@@ -1,0 +1,14 @@
+// Reproduces paper Figure 4: the Figure 3 grid with message ordering
+// relaxed — communicators created with mpi_assert_allow_overtaking
+// (sequence validation skipped) and receives posted with MPI_ANY_TAG
+// (posted-queue search skipped), isolating how much of the multithreaded
+// degradation is matching cost.
+#include "msgrate_figure.hpp"
+
+int main(int argc, char** argv) {
+  fairmpi::bench::MsgRateFigureOptions opt;
+  opt.fig_prefix = "fig4";
+  opt.note = "Figure 4: zero-byte message rate with message overtaking";
+  opt.overtaking = true;
+  return fairmpi::bench::run_msgrate_figure(argc, argv, opt);
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Figure 6: RMA-MT performance (MPI_Put +
+// MPI_Win_flush) on the Trinitite Haswell model — message sizes 1 B to
+// 16 KiB, 1-32 threads, 32 CRIs (ugni creates one per core), single vs
+// dedicated vs round-robin instances, serial vs concurrent progress.
+#include "rma_figure.hpp"
+
+int main(int argc, char** argv) {
+  fairmpi::bench::RmaFigureOptions opt;
+  opt.fig_prefix = "fig6";
+  opt.arch = "Haswell";
+  opt.costs = fairmpi::model::trinitite_haswell();
+  opt.instances = 32;
+  opt.max_threads = 32;
+  return fairmpi::bench::run_rma_figure(argc, argv, opt);
+}

@@ -1,0 +1,14 @@
+// Reproduces paper Figure 7: RMA-MT performance (MPI_Put +
+// MPI_Win_flush) on the Trinitite KNL model — slow serial cores (~3x
+// Haswell per-op cost), 72 CRIs (one per available core), 1-64 threads.
+#include "rma_figure.hpp"
+
+int main(int argc, char** argv) {
+  fairmpi::bench::RmaFigureOptions opt;
+  opt.fig_prefix = "fig7";
+  opt.arch = "KNL";
+  opt.costs = fairmpi::model::trinitite_knl();
+  opt.instances = 72;
+  opt.max_threads = 64;
+  return fairmpi::bench::run_rma_figure(argc, argv, opt);
+}

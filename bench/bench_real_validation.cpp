@@ -1,0 +1,126 @@
+// Host-scale validation of the paper's trends on the REAL engine (actual
+// threads, locks and fabric — no virtual time). A 2-core container cannot
+// show 20-thread scaling, but the *mechanisms* are measurable:
+//   * per-pair communicators reduce matching contention;
+//   * overtaking removes out-of-sequence buffering entirely;
+//   * concurrent senders on one communicator produce out-of-sequence
+//     arrivals (the §II-C effect, measured, not simulated);
+//   * dedicated CRIs keep RMA instance locks uncontended.
+#include <algorithm>
+#include <cstdio>
+
+#include "fairmpi/benchsupport/report.hpp"
+#include "fairmpi/common/cli.hpp"
+#include "fairmpi/common/table.hpp"
+#include "fairmpi/multirate/multirate.hpp"
+#include "fairmpi/rmamt/rmamt.hpp"
+
+using namespace fairmpi;
+using spc::Counter;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_real_validation",
+          "real-engine (host-scale) validation of the paper's mechanisms");
+  auto& pairs_opt = cli.opt_int("pairs", 2, "thread pairs for the two-sided runs");
+  auto& duration = cli.opt_double("duration", 0.15, "seconds per measurement");
+  auto& csv_dir = cli.opt_str("csv", "", "directory for CSV dump (empty = none)");
+  cli.parse(argc, argv);
+
+  const int pairs = static_cast<int>(*pairs_opt);
+  benchsupport::CheckList checks;
+  Table table({"configuration", "msg rate", "OOS", "unexpected"});
+
+  auto run = [&](const char* name, multirate::MultirateConfig cfg) {
+    cfg.pairs = pairs;
+    cfg.duration_s = *duration;
+    const auto res = multirate::run_pairwise(cfg);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%s msg/s", format_si(res.msg_rate).c_str());
+    table.add_row({name, rate,
+                   std::to_string(res.receiver_spc.get(Counter::kOutOfSequence)),
+                   std::to_string(res.receiver_spc.get(Counter::kUnexpectedMessages))});
+    return res;
+  };
+
+  multirate::MultirateConfig base;
+  base.engine.num_instances = 1;
+  const auto r_base = run("base: 1 CRI, serial progress", base);
+
+  multirate::MultirateConfig cri = base;
+  cri.engine.num_instances = 4;
+  cri.engine.assignment = cri::Assignment::kDedicated;
+  const auto r_cri = run("4 CRIs dedicated, serial progress", cri);
+
+  multirate::MultirateConfig full = cri;
+  full.engine.progress_mode = progress::ProgressMode::kConcurrent;
+  full.comm_per_pair = true;
+  const auto r_full = run("4 CRIs + concurrent progress + comm-per-pair", full);
+
+  multirate::MultirateConfig ovt = full;
+  ovt.engine.allow_overtaking = true;
+  ovt.any_tag = true;
+  const auto r_ovt = run("... + overtaking + ANY_TAG", ovt);
+
+  multirate::MultirateConfig process = base;
+  process.process_mode = true;
+  const auto r_process = run("process mode", process);
+
+  std::puts(table.render().c_str());
+
+  // Mechanism checks (rates on an oversubscribed 2-core host are noisy;
+  // the counter-based checks are the robust ones).
+  checks.expect(pairs < 2 || r_base.receiver_spc.get(Counter::kOutOfSequence) > 0,
+                "concurrent senders on one communicator produce out-of-sequence "
+                "arrivals (measured)");
+  checks.expect(r_full.receiver_spc.get(Counter::kOutOfSequence) <
+                    std::max<std::uint64_t>(r_base.receiver_spc.get(Counter::kOutOfSequence),
+                                            1),
+                "comm-per-pair + dedicated reduces out-of-sequence arrivals");
+  checks.expect(r_ovt.receiver_spc.get(Counter::kOutOfSequence) == 0,
+                "overtaking eliminates out-of-sequence buffering");
+  checks.expect(r_process.receiver_spc.get(Counter::kOutOfSequence) == 0,
+                "process mode: private streams are always in order");
+  checks.expect(r_base.msg_rate > 0 && r_cri.msg_rate > 0 && r_full.msg_rate > 0,
+                "all configurations make forward progress");
+
+  // RMA on the real engine. NOTE: on this class of host (2 oversubscribed
+  // vCPUs) run-to-run variance between near-equal configurations is 2-3x,
+  // and with only two hardware threads the serializing single instance can
+  // even win (alternating bursts are kinder to the cache-coherence fabric
+  // than two truly concurrent initiators sharing SPC lines). The
+  // paper-scale dedicated-vs-single contrast is the model backend's job
+  // (bench_fig6/7); here we print the observation and assert only the
+  // stable property: instances that are not used cost nothing.
+  auto rma_rate = [&](int threads, int instances) {
+    rmamt::RmamtConfig rma;
+    rma.threads = threads;
+    rma.engine.num_instances = instances;
+    rma.engine.assignment = cri::Assignment::kDedicated;
+    rma.duration_s = *duration;
+    rma.ops_per_round = 256;
+    return rmamt::run_put_flush(rma).msg_rate;
+  };
+  std::printf("RMA put rate, 2 threads: dedicated-2 %s/s vs single %s/s "
+              "(informational; see note in source)\n",
+              format_si(rma_rate(2, 2)).c_str(), format_si(rma_rate(2, 1)).c_str());
+  double best_1t_many = 0, best_1t_single = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    best_1t_many = std::max(best_1t_many, rma_rate(1, 4));
+    best_1t_single = std::max(best_1t_single, rma_rate(1, 1));
+  }
+  checks.expect_ratio_at_least(best_1t_many, best_1t_single, 0.7,
+                               "unused extra instances do not slow a single thread");
+
+  std::puts(checks.render().c_str());
+  if (!(*csv_dir).empty()) {
+    benchsupport::FigureReport fr("real_validation", "real-engine validation", "config",
+                                  "msg/s");
+    fr.add_point("rate", 0, r_base.msg_rate);
+    fr.add_point("rate", 1, r_cri.msg_rate);
+    fr.add_point("rate", 2, r_full.msg_rate);
+    fr.add_point("rate", 3, r_ovt.msg_rate);
+    fr.add_point("rate", 4, r_process.msg_rate);
+    fr.write_csv(*csv_dir);
+  }
+  return checks.failures() == 0 ? 0 : 1;
+}

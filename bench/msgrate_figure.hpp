@@ -1,0 +1,159 @@
+// Shared driver for the Figure 3 / Figure 4 sweeps: three panels
+// (serial progress, concurrent progress, concurrent progress + concurrent
+// matching), each with round-robin vs dedicated assignment at 1/10/20
+// instances — the exact grid of the paper. Figure 4 is the same grid with
+// message overtaking + wildcard-tag receives.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fairmpi/benchsupport/report.hpp"
+#include "fairmpi/common/cli.hpp"
+#include "fairmpi/model/msgrate.hpp"
+#include "fairmpi/multirate/multirate.hpp"
+
+namespace fairmpi::bench {
+
+struct MsgRateFigureOptions {
+  std::string fig_prefix;  ///< "fig3" or "fig4"
+  std::string note;        ///< figure caption
+  bool overtaking = false; ///< Figure 4 mode
+};
+
+inline int run_msgrate_figure(int argc, char** argv, const MsgRateFigureOptions& opt) {
+  Cli cli("bench_" + opt.fig_prefix, opt.note);
+  auto& full = cli.opt_flag("full", "paper-scale sweep (all pair counts, 3 repetitions)");
+  auto& reps_opt = cli.opt_int("reps", 0, "repetitions per point (0 = auto)");
+  auto& pairs_max = cli.opt_int("pairs-max", 20, "largest thread-pair count");
+  auto& csv_dir = cli.opt_str("csv", "", "directory for CSV dumps (empty = none)");
+  auto& seed = cli.opt_int("seed", 1, "base RNG seed");
+  auto& real = cli.opt_flag("real", "also run the real engine at host scale");
+  cli.parse(argc, argv);
+
+  const int reps = *reps_opt > 0 ? static_cast<int>(*reps_opt) : (*full ? 3 : 1);
+  std::vector<int> pair_counts;
+  if (*full) {
+    for (int p = 1; p <= *pairs_max; ++p) pair_counts.push_back(p);
+  } else {
+    for (const int p : {1, 2, 4, 8, 12, 16, 20}) {
+      if (p <= *pairs_max) pair_counts.push_back(p);
+    }
+  }
+
+  struct Panel {
+    const char* suffix;
+    const char* title;
+    progress::ProgressMode mode;
+    bool comm_per_pair;
+  };
+  const Panel panels[] = {
+      {"a", "Serial progress", progress::ProgressMode::kSerial, false},
+      {"b", "Concurrent progress", progress::ProgressMode::kConcurrent, false},
+      {"c", "Concurrent progress + concurrent matching",
+       progress::ProgressMode::kConcurrent, true},
+  };
+  struct SeriesSpec {
+    const char* name;
+    int instances;
+    cri::Assignment assignment;
+  };
+  const SeriesSpec series[] = {
+      {"rr-1", 1, cri::Assignment::kRoundRobin},
+      {"rr-10", 10, cri::Assignment::kRoundRobin},
+      {"rr-20", 20, cri::Assignment::kRoundRobin},
+      {"ded-1", 1, cri::Assignment::kDedicated},
+      {"ded-10", 10, cri::Assignment::kDedicated},
+      {"ded-20", 20, cri::Assignment::kDedicated},
+  };
+
+  std::vector<benchsupport::FigureReport> reports;
+  for (const Panel& panel : panels) {
+    benchsupport::FigureReport report(
+        opt.fig_prefix + panel.suffix,
+        std::string(panel.title) + (opt.overtaking ? " (overtaking + ANY_TAG)" : "") +
+            " — zero-byte message rate",
+        "thread pairs", "msg/s");
+    for (const SeriesSpec& s : series) {
+      for (const int pairs : pair_counts) {
+        const auto stats = benchsupport::repeat(
+            reps, static_cast<std::uint64_t>(*seed), [&](std::uint64_t run_seed) {
+              model::MsgRateConfig cfg;
+              cfg.pairs = pairs;
+              cfg.instances = s.instances;
+              cfg.assignment = s.assignment;
+              cfg.progress = panel.mode;
+              cfg.comm_per_pair = panel.comm_per_pair;
+              cfg.overtaking = opt.overtaking;
+              cfg.any_tag = opt.overtaking;
+              cfg.seed = run_seed;
+              if (!*full) {
+                cfg.warmup_ns = 6'000'000;
+                cfg.measure_ns = 8'000'000;
+              }
+              return model::run_msgrate(cfg).msg_rate;
+            });
+        report.add_point(s.name, pairs, stats);
+      }
+    }
+    std::puts(report.render().c_str());
+    if (!(*csv_dir).empty()) report.write_csv(*csv_dir);
+    reports.push_back(std::move(report));
+  }
+
+  // Self-validation against the paper's qualitative claims.
+  const double hi = pair_counts.back();
+  benchsupport::CheckList checks;
+  checks.expect_ratio_at_least(
+      reports[0].value_at("ded-20", hi), reports[0].value_at("ded-1", hi), 1.3,
+      "(" + opt.fig_prefix + "a) more instances lift the send path at max pairs");
+  checks.expect_ratio_at_least(
+      reports[0].value_at("ded-1", 1), reports[0].value_at("ded-1", hi), 1.2,
+      "(" + opt.fig_prefix + "a) single shared instance degrades with pairs");
+  if (!opt.overtaking) {
+    checks.expect_ratio_at_least(
+        reports[0].value_at("ded-20", hi), reports[1].value_at("ded-20", hi), 1.1,
+        "(" + opt.fig_prefix + "b) concurrent progress alone does not beat serial");
+    checks.expect_ratio_at_least(
+        reports[2].value_at("ded-20", 12), reports[0].value_at("ded-1", 12), 3.0,
+        "(" + opt.fig_prefix + "c) concurrent matching gives a major increase");
+    checks.expect_ratio_at_least(
+        reports[2].value_at("ded-20", 8), reports[2].value_at("rr-20", 8), 1.1,
+        "(" + opt.fig_prefix + "c) dedicated beats round-robin at mid pair counts");
+  } else {
+    checks.expect_close(
+        reports[0].value_at("ded-20", hi), reports[0].value_at("ded-20", 8), 0.35,
+        "(" + opt.fig_prefix + "a) serial progress flattens once matching is cheap");
+  }
+  std::puts(checks.render().c_str());
+
+  if (*real) {
+    benchsupport::FigureReport real_report(
+        opt.fig_prefix + "_real", "Real engine, host scale (validation)", "thread pairs",
+        "msg/s");
+    for (const int pairs : {1, 2, 4}) {
+      for (const bool many : {false, true}) {
+        multirate::MultirateConfig cfg;
+        cfg.pairs = pairs;
+        cfg.engine.num_instances = many ? 4 : 1;
+        cfg.engine.assignment = cri::Assignment::kDedicated;
+        cfg.comm_per_pair = many;
+        cfg.engine.progress_mode = many ? progress::ProgressMode::kConcurrent
+                                        : progress::ProgressMode::kSerial;
+        cfg.engine.allow_overtaking = opt.overtaking;
+        cfg.any_tag = opt.overtaking;
+        if (opt.overtaking) cfg.comm_per_pair = true;
+        cfg.duration_s = 0.15;
+        real_report.add_point(many ? "cri+match" : "base", pairs,
+                              multirate::run_pairwise(cfg).msg_rate);
+      }
+    }
+    std::puts(real_report.render().c_str());
+    if (!(*csv_dir).empty()) real_report.write_csv(*csv_dir);
+  }
+
+  return checks.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace fairmpi::bench

@@ -1,0 +1,92 @@
+// Bench harness support: aggregate repeated runs into mean/stddev series,
+// render each paper figure as an ASCII chart plus a data table, dump CSVs,
+// and check the paper's qualitative expectations so a bench run is
+// self-validating ("who wins, by roughly what factor, where crossovers
+// fall" — EXPERIMENTS.md records the outcomes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fairmpi/common/stats.hpp"
+
+namespace fairmpi::benchsupport {
+
+/// Run `fn(seed)` for `reps` distinct seeds and aggregate the returned
+/// metric. The paper reports mean and (consistently small) standard
+/// deviation over repeated runs; so do we.
+template <typename Fn>
+RunningStats repeat(int reps, std::uint64_t base_seed, Fn&& fn) {
+  RunningStats stats;
+  for (int r = 0; r < reps; ++r) {
+    stats.add(fn(base_seed + static_cast<std::uint64_t>(r) * 7919));
+  }
+  return stats;
+}
+
+/// One reproduced figure (or sub-figure): multiple named series of
+/// (x, mean, stddev) points.
+class FigureReport {
+ public:
+  FigureReport(std::string id, std::string title, std::string x_label,
+               std::string y_label, bool log_y = true);
+
+  void add_point(const std::string& series, double x, double mean, double stddev = 0.0);
+  void add_point(const std::string& series, double x, const RunningStats& stats);
+
+  /// ASCII chart + aligned data table.
+  std::string render() const;
+
+  /// Write `<dir>/<id>.csv` (long format: series,x,mean,stddev).
+  /// Creates the directory if needed; aborts on I/O failure.
+  void write_csv(const std::string& dir) const;
+
+  /// Mean of the point at `x` in `series` (aborts if absent) — used by the
+  /// expectation checks.
+  double value_at(const std::string& series, double x) const;
+  bool has_point(const std::string& series, double x) const;
+
+  const std::string& id() const noexcept { return id_; }
+
+ private:
+  struct Point {
+    double x, mean, stddev;
+  };
+  struct Series {
+    std::string name;
+    std::vector<Point> points;
+  };
+  const Series* find(const std::string& name) const;
+  Series& find_or_create(const std::string& name);
+
+  std::string id_, title_, x_label_, y_label_;
+  bool log_y_;
+  std::vector<Series> series_;
+};
+
+/// Self-validation of a bench run against the paper's qualitative claims.
+class CheckList {
+ public:
+  void expect(bool condition, std::string what, std::string detail = "");
+  /// Passes when a >= min_ratio * b.
+  void expect_ratio_at_least(double a, double b, double min_ratio, std::string what);
+  /// Passes when |a-b| <= tol_frac * max(|a|,|b|).
+  void expect_close(double a, double b, double tol_frac, std::string what);
+
+  std::string render() const;
+  int failures() const noexcept { return failures_; }
+  int total() const noexcept { return static_cast<int>(entries_.size()); }
+
+ private:
+  struct Entry {
+    bool pass;
+    std::string what;
+    std::string detail;
+  };
+  std::vector<Entry> entries_;
+  int failures_ = 0;
+};
+
+}  // namespace fairmpi::benchsupport

@@ -1,0 +1,178 @@
+// Collective operations over fairmpi communicators (substrate extension:
+// the paper's benchmarks are point-to-point/RMA, but a library a
+// downstream application can adopt needs the collective basics).
+//
+// Semantics follow blocking MPI collectives: exactly one thread per rank
+// participates in a given collective call, every rank of the communicator
+// must participate, and at most one collective is in flight per
+// communicator at a time (use distinct communicators for concurrent
+// collectives — cheap here, and exactly the paper's §III-F trick).
+//
+// Algorithms: binomial trees for broadcast/reduce (log2(n) rounds),
+// reduce+broadcast for allreduce, linear gather/scatter. Internal traffic
+// uses the reserved tag block starting at kCollTagBase, far above user
+// tags.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/core/universe.hpp"
+
+namespace fairmpi::coll {
+
+/// Reserved tag block for collective traffic (user tags must stay below).
+inline constexpr int kCollTagBase = 1 << 29;
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+namespace detail {
+
+inline constexpr int kTagBcast = kCollTagBase + 0;
+inline constexpr int kTagReduce = kCollTagBase + 1;
+inline constexpr int kTagGather = kCollTagBase + 2;
+inline constexpr int kTagScatter = kCollTagBase + 3;
+inline constexpr int kTagAllreduce = kCollTagBase + 4;
+
+template <typename T>
+void apply(ReduceOp op, T* acc, const T* in, std::size_t count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = acc[i] + in[i];
+      return;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+      return;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i) acc[i] = acc[i] < in[i] ? in[i] : acc[i];
+      return;
+  }
+  FAIRMPI_CHECK_MSG(false, "unknown reduce op");
+}
+
+}  // namespace detail
+
+/// Block until every rank of the communicator has entered the barrier.
+inline void barrier(Communicator comm) { comm.barrier(); }
+
+/// Broadcast `count` elements from `root`'s `data` to every rank's `data`.
+/// Binomial tree: O(log n) rounds.
+template <typename T>
+void broadcast(Communicator comm, int root, T* data, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = comm.size();
+  const int me = comm.rank();
+  FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid broadcast root");
+  if (n == 1) return;
+  const std::size_t bytes = count * sizeof(T);
+
+  // Virtual ranks put the root at 0. A rank receives from the parent that
+  // differs in its lowest set bit, then forwards to children at every
+  // lower bit position (standard binomial broadcast).
+  const int vr = (me - root + n) % n;
+  int mask = 1;
+  while (mask < n && (vr & mask) == 0) mask <<= 1;  // lowest set bit (or >= n at root)
+  if (vr != 0) {
+    const int parent = ((vr - mask) + root) % n;  // clear the lowest set bit
+    comm.recv(parent, detail::kTagBcast, data, bytes);
+  }
+  mask >>= 1;
+  for (; mask > 0; mask >>= 1) {
+    if (vr + mask < n) {
+      const int child = (vr + mask + root) % n;
+      comm.send(child, detail::kTagBcast, data, bytes);
+    }
+  }
+}
+
+/// Reduce `count` elements from every rank's `in` into `root`'s `out`
+/// (elementwise `op`). Binomial tree, O(log n) rounds; `out` is only
+/// written at the root (may be null elsewhere).
+template <typename T>
+void reduce(Communicator comm, int root, const T* in, T* out, std::size_t count,
+            ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = comm.size();
+  const int me = comm.rank();
+  FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid reduce root");
+  const std::size_t bytes = count * sizeof(T);
+
+  std::vector<T> acc(in, in + count);
+  std::vector<T> incoming(count);
+  const int vr = (me - root + n) % n;
+  // Combine children (who differ from us in one higher bit), lowest
+  // distance first; then forward the partial result to the parent.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((vr & mask) == 0) {
+      if (vr + mask < n) {
+        const int child = (vr + mask + root) % n;
+        comm.recv(child, detail::kTagReduce, incoming.data(), bytes);
+        detail::apply(op, acc.data(), incoming.data(), count);
+      }
+    } else {
+      const int parent = ((vr ^ mask) + root) % n;
+      comm.send(parent, detail::kTagReduce, acc.data(), bytes);
+      break;
+    }
+  }
+  if (me == root) {
+    FAIRMPI_CHECK_MSG(out != nullptr, "reduce root needs an output buffer");
+    std::memcpy(out, acc.data(), bytes);
+  }
+}
+
+/// Allreduce = reduce to rank 0 + broadcast. `out` is written everywhere.
+template <typename T>
+void allreduce(Communicator comm, const T* in, T* out, std::size_t count, ReduceOp op) {
+  if (comm.rank() == 0) {
+    reduce(comm, 0, in, out, count, op);
+  } else {
+    std::vector<T> scratch(count);
+    reduce(comm, 0, in, scratch.data(), count, op);
+  }
+  broadcast(comm, 0, out, count);
+}
+
+/// Gather `count` elements from every rank into `root`'s `out`
+/// (rank i's block lands at out + i*count). Linear.
+template <typename T>
+void gather(Communicator comm, int root, const T* in, std::size_t count, T* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = comm.size();
+  const int me = comm.rank();
+  const std::size_t bytes = count * sizeof(T);
+  if (me == root) {
+    FAIRMPI_CHECK_MSG(out != nullptr, "gather root needs an output buffer");
+    std::memcpy(out + static_cast<std::size_t>(me) * count, in, bytes);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      comm.recv(r, detail::kTagGather, out + static_cast<std::size_t>(r) * count, bytes);
+    }
+  } else {
+    comm.send(root, detail::kTagGather, in, bytes);
+  }
+}
+
+/// Scatter `count` elements per rank from `root`'s `in` (rank i's block at
+/// in + i*count) into every rank's `out`. Linear.
+template <typename T>
+void scatter(Communicator comm, int root, const T* in, T* out, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = comm.size();
+  const int me = comm.rank();
+  const std::size_t bytes = count * sizeof(T);
+  if (me == root) {
+    FAIRMPI_CHECK_MSG(in != nullptr, "scatter root needs an input buffer");
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      comm.send(r, detail::kTagScatter, in + static_cast<std::size_t>(r) * count, bytes);
+    }
+    std::memcpy(out, in + static_cast<std::size_t>(me) * count, bytes);
+  } else {
+    comm.recv(root, detail::kTagScatter, out, bytes);
+  }
+}
+
+}  // namespace fairmpi::coll

@@ -1,0 +1,54 @@
+// Cache-line alignment helpers.
+//
+// Almost every shared counter in fairmpi lives on its own cache line: the
+// paper's whole premise is that contention (locks, shared atomics) dominates
+// multithreaded MPI cost, so we are careful not to *add* false sharing on
+// top of the contention we deliberately study.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fairmpi {
+
+// Fixed at 64 (true for x86-64 and most aarch64): using
+// std::hardware_destructive_interference_size would make layout depend on
+// compiler flags, which -Winterference-size rightly flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a T so that it occupies (at least) one full cache line, preventing
+/// false sharing between adjacent elements in arrays of hot objects.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(Padded<int>) == kCacheLine);
+
+/// Round `n` up to the next multiple of `align` (power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// True iff `n` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n must be <= 2^63).
+constexpr std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace fairmpi

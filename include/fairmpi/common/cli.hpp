@@ -1,0 +1,67 @@
+// Minimal command-line option parser for the bench/example binaries.
+//
+// Usage:
+//   fairmpi::Cli cli("bench_fig3", "Reproduces Figure 3.");
+//   auto& pairs = cli.opt_int("pairs", 8, "max number of thread pairs");
+//   auto& full  = cli.opt_flag("full", "run the paper-scale sweep");
+//   cli.parse(argc, argv);          // exits on --help / bad input
+//   use *pairs, *full ...
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fairmpi {
+
+class Cli {
+ public:
+  /// Holder for a parsed option value; filled in by parse().
+  template <typename T>
+  class Value {
+   public:
+    explicit Value(T def) : value_(std::move(def)) {}
+    const T& operator*() const noexcept { return value_; }
+
+   private:
+    friend class Cli;
+    T value_;
+  };
+
+  Cli(std::string program, std::string description);
+  ~Cli();
+
+  Cli(const Cli&) = delete;
+  Cli& operator=(const Cli&) = delete;
+
+  Value<std::int64_t>& opt_int(std::string name, std::int64_t def, std::string help);
+  Value<double>& opt_double(std::string name, double def, std::string help);
+  Value<std::string>& opt_str(std::string name, std::string def, std::string help);
+  Value<bool>& opt_flag(std::string name, std::string help);
+  /// Comma-separated integer list, e.g. --sizes 1,128,1024.
+  Value<std::vector<std::int64_t>>& opt_int_list(std::string name,
+                                                 std::vector<std::int64_t> def,
+                                                 std::string help);
+
+  /// Parses argv. Prints usage and exits(0) on --help; prints an error and
+  /// exits(2) on unknown options or malformed values.
+  void parse(int argc, char** argv);
+
+  /// Render the usage text (exposed for tests).
+  std::string usage() const;
+
+  /// Test hook: like parse() but returns an error string instead of exiting.
+  /// Empty string means success; "help" means --help was requested.
+  std::string parse_for_test(const std::vector<std::string>& args);
+
+ private:
+  struct Option;
+  Option* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::unique_ptr<Option>> options_;
+};
+
+}  // namespace fairmpi

@@ -1,0 +1,46 @@
+// Fail-fast error handling.
+//
+// fairmpi is an engine, not an application framework: internal invariant
+// violations abort immediately with a location, mirroring how MPI
+// implementations treat internal corruption (there is no meaningful way to
+// continue once a matching queue or ring buffer is inconsistent).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace fairmpi::detail {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* expr,
+                              std::string_view msg = {}) {
+  std::fprintf(stderr, "fairmpi: check failed at %s:%d: %s%s%.*s\n", file, line, expr,
+               msg.empty() ? "" : " — ", static_cast<int>(msg.size()),
+               msg.empty() ? "" : msg.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fairmpi::detail
+
+/// Always-on invariant check (kept in release builds; these guard correctness
+/// of concurrent data structures where silent corruption is far worse than
+/// the branch cost).
+#define FAIRMPI_CHECK(expr)                                           \
+  do {                                                                \
+    if (!(expr)) ::fairmpi::detail::fail(__FILE__, __LINE__, #expr);  \
+  } while (0)
+
+#define FAIRMPI_CHECK_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) ::fairmpi::detail::fail(__FILE__, __LINE__, #expr, msg);  \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define FAIRMPI_DCHECK(expr) FAIRMPI_CHECK(expr)
+#else
+#define FAIRMPI_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#endif

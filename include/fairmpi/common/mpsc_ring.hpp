@@ -1,0 +1,116 @@
+// Bounded lock-free ring buffer (Vyukov-style bounded MPMC queue).
+//
+// This is the RX ring of a simulated network context: remote sender threads
+// are the producers, the (single, lock-protected) progressing thread is the
+// consumer. The queue is actually MPMC-safe, which keeps it robust if a
+// progress design ever allows concurrent drains of one context.
+//
+// A full ring is the fabric's backpressure signal: try_push() returns false
+// and the sender must progress its own resources before retrying — exactly
+// the "BTL returns EAGAIN" flow in a real MPI stack (see p2p/sender.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; minimum 2.
+  explicit MpscRing(std::size_t capacity)
+      : capacity_(next_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Attempt to enqueue. Returns false when the ring is full (backpressure).
+  /// Safe to call from any number of threads concurrently.
+  bool try_push(T&& item) noexcept {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = std::move(item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: pos was refreshed, retry with the new value.
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_push(const T& item) noexcept {
+    T copy = item;
+    return try_push(std::move(copy));
+  }
+
+  /// Attempt to dequeue into `out`. Returns false when empty.
+  /// Safe for concurrent consumers (MPMC), though fairmpi uses one consumer
+  /// at a time under the owning CRI's lock.
+  bool try_pop(T& out) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.seq.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Approximate occupancy; exact only when quiescent.
+  std::size_t size_approx() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  // producers
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  // consumer
+};
+
+}  // namespace fairmpi

@@ -1,0 +1,72 @@
+// Result presentation: aligned ASCII tables, CSV dumps, and log/linear-scale
+// ASCII charts so each bench binary can print the paper's tables and a
+// terminal rendering of each figure's series.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fairmpi {
+
+/// Column-aligned ASCII table (also CSV-exportable).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, boxed rendering for terminals.
+  std::string render() const;
+
+  /// RFC-4180-ish CSV (no quoting of commas needed for our content, but
+  /// cells containing commas or quotes are quoted anyway).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.23 M", "456 K", "7.8 G" — matches the paper's axis labelling.
+std::string format_si(double value, int precision = 2);
+
+/// Format nanoseconds as "1.23 ms" / "456 us" / ...
+std::string format_ns(double ns);
+
+/// Multi-series ASCII chart. One series per (name, points) pair; points are
+/// (x, y). Renders a braille-free, plain-ASCII plot with per-series marker
+/// characters and a legend — enough to eyeball the paper's curve shapes in
+/// a terminal or CI log.
+class SeriesChart {
+ public:
+  SeriesChart(std::string title, std::string x_label, std::string y_label);
+
+  void set_log_y(bool log_y) noexcept { log_y_ = log_y; }
+
+  void add_series(std::string name, std::vector<std::pair<double, double>> points);
+
+  std::string render(int width = 72, int height = 20) const;
+
+  /// Dump all series as long-format CSV: series,x,y.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace fairmpi

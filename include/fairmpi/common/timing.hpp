@@ -1,0 +1,44 @@
+// Wall-clock timing utilities for the real backend and the benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fairmpi {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulates elapsed time into a plain counter; used by the SPC match-time
+/// counter, which is only ever updated while the matching lock is held (so a
+/// non-atomic accumulator is race-free by construction).
+class ScopedElapsed {
+ public:
+  explicit ScopedElapsed(std::uint64_t& sink) noexcept : sink_(sink), start_(now_ns()) {}
+  ScopedElapsed(const ScopedElapsed&) = delete;
+  ScopedElapsed& operator=(const ScopedElapsed&) = delete;
+  ~ScopedElapsed() { sink_ += now_ns() - start_; }
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+/// Simple stopwatch for bench loops.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace fairmpi

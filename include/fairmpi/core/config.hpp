@@ -1,0 +1,56 @@
+// Runtime configuration of a fairmpi universe.
+//
+// Every design axis the paper studies is a knob here, so one binary can
+// sweep the whole space: number of CRIs, thread->CRI assignment, progress
+// design, and message overtaking.
+#pragma once
+
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/fabric/fabric.hpp"
+#include "fairmpi/progress/progress.hpp"
+
+namespace fairmpi {
+
+struct Config {
+  /// Ranks ("MPI processes") in the universe. Thread mode uses 2 ranks with
+  /// many threads each; process mode uses 2*N single-threaded ranks.
+  int num_ranks = 2;
+
+  /// CRIs per rank (network contexts + endpoints + CQs). The paper's hint
+  /// mechanism (MCA parameter / MPI_T cvar) maps to this field.
+  int num_instances = 1;
+
+  /// Thread -> CRI assignment policy (Algorithm 1).
+  cri::Assignment assignment = cri::Assignment::kDedicated;
+
+  /// Progress-engine design (serial vs Algorithm 2).
+  progress::ProgressMode progress_mode = progress::ProgressMode::kSerial;
+
+  /// Skip sequence-number validation (mpi_assert_allow_overtaking, §IV-D).
+  /// Applies to every communicator created in this universe.
+  bool allow_overtaking = false;
+
+  /// Max packets drained from one RX ring per progress visit.
+  int progress_batch = 64;
+
+  /// Largest payload sent eagerly (copied at injection); larger messages
+  /// use the rendezvous protocol (RTS/ACK/fragments).
+  std::size_t eager_limit = 32 * 1024;
+
+  /// Fragment size for rendezvous data transfer.
+  std::size_t rndv_frag_bytes = 64 * 1024;
+
+  /// Per-rank trace-ring capacity (0 = tracing compiled out of the data
+  /// path except one relaxed load). Enable at runtime with
+  /// Rank::tracer().enable(true).
+  std::size_t trace_entries = 0;
+
+  /// Capacity of the communicator table (ids are dense, starting at 0 for
+  /// the world communicator).
+  int max_communicators = 1024;
+
+  /// Fabric sizing (RX ring / CQ depths).
+  fabric::FabricParams fabric{};
+};
+
+}  // namespace fairmpi

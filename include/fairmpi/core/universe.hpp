@@ -1,0 +1,189 @@
+// The public faces of fairmpi: Universe, Rank, Communicator.
+//
+// A Universe is a simulated MPI job living inside one OS process: N ranks,
+// each with its own NIC (CRI pool), progress engine, SPC counters and
+// communicator table, connected by the in-process fabric. User threads call
+// into a Rank concurrently — the engine is MPI_THREAD_MULTIPLE by
+// construction, and which of the paper's designs protects it is chosen by
+// the Config.
+//
+// Quickstart (examples/quickstart.cpp):
+//   fairmpi::Config cfg;                  // 2 ranks, 1 CRI, serial progress
+//   fairmpi::Universe uni(cfg);
+//   auto w0 = uni.rank(0).world(), w1 = uni.rank(1).world();
+//   // thread A:                         // thread B:
+//   w0.send(1, /*tag=*/7, "hi", 3);      char buf[8]; w1.recv(0, 7, buf, 8);
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/core/config.hpp"
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/fabric/fabric.hpp"
+#include "fairmpi/p2p/comm_state.hpp"
+#include "fairmpi/p2p/rendezvous.hpp"
+#include "fairmpi/p2p/request.hpp"
+#include "fairmpi/progress/progress.hpp"
+#include "fairmpi/spc/spc.hpp"
+#include "fairmpi/trace/trace.hpp"
+
+namespace fairmpi {
+
+class Universe;
+class Rank;
+
+using p2p::CommId;
+using p2p::kWorldComm;
+using p2p::Request;
+using p2p::Status;
+using p2p::kAnySource;
+using p2p::kAnyTag;
+
+/// Lightweight handle pairing a rank with a communicator id. Copyable;
+/// all operations forward to the owning Rank.
+class Communicator {
+ public:
+  Communicator(Rank& rank, CommId id) noexcept : rank_(&rank), id_(id) {}
+
+  /// This endpoint's rank id within the universe.
+  int rank() const noexcept;
+  /// Number of ranks in the communicator (== universe size; fairmpi
+  /// communicators are duplicates of world, per the paper's usage).
+  int size() const noexcept;
+  CommId id() const noexcept { return id_; }
+
+  void isend(int dst, int tag, const void* buf, std::size_t n, Request& req);
+  void irecv(int src, int tag, void* buf, std::size_t capacity, Request& req);
+  void send(int dst, int tag, const void* buf, std::size_t n);
+  Status recv(int src, int tag, void* buf, std::size_t capacity);
+
+  /// Dissemination barrier over all ranks of the communicator. Every rank
+  /// must have (at least) one thread inside barrier() for it to complete.
+  void barrier();
+
+ private:
+  Rank* rank_;
+  CommId id_;
+};
+
+/// One simulated MPI process.
+class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
+ public:
+  ~Rank() override;
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int id() const noexcept { return id_; }
+  Universe& universe() noexcept { return *uni_; }
+
+  Communicator world() noexcept { return Communicator(*this, kWorldComm); }
+  Communicator comm(CommId id) noexcept { return Communicator(*this, id); }
+
+  // --- two-sided ---
+  void isend(CommId comm, int dst, int tag, const void* buf, std::size_t n, Request& req);
+  void irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity, Request& req);
+  void send(CommId comm, int dst, int tag, const void* buf, std::size_t n);
+  Status recv(CommId comm, int src, int tag, void* buf, std::size_t capacity);
+
+  /// Spin (progressing) until the request completes.
+  void wait(Request& req);
+  /// Progress once; true when the request is complete.
+  bool test(Request& req);
+  void wait_all(Request* const* reqs, std::size_t n);
+  /// Spin until any request completes; returns its index.
+  std::size_t wait_any(Request* const* reqs, std::size_t n);
+
+  /// Non-destructive check for a matchable incoming message (MPI_Iprobe):
+  /// progresses once, then queries the unexpected queue.
+  bool iprobe(CommId comm, int src, int tag, Status* status = nullptr);
+  /// Blocking probe: progress until a matching message is available.
+  Status probe(CommId comm, int src, int tag);
+
+  /// One explicit progress call (normally implicit in wait/test).
+  std::size_t progress();
+
+  // --- internals exposed for substrates, benches and tests ---
+  spc::CounterSet& counters() noexcept { return spc_; }
+  trace::Tracer& tracer() noexcept { return tracer_; }
+  cri::CriPool& pool() noexcept { return pool_; }
+  progress::ProgressEngine& engine() noexcept { return engine_; }
+  p2p::CommState& comm_state(CommId id);
+
+  // PacketSink
+  std::size_t handle_packet(fabric::Packet&& pkt) override;
+  std::size_t handle_completion(const fabric::Completion& c) override;
+
+  // RendezvousHook (called by the matching engine, match lock held)
+  void on_rts_matched(p2p::Request* req, const fabric::Packet& rts) override;
+
+ private:
+  friend class Universe;
+  Rank(Universe& uni, int id);
+  void install_comm(CommId id);
+
+  // --- rendezvous protocol (see p2p/rendezvous.hpp) ---
+  void rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
+                  Request& req);
+  std::size_t handle_rndv_ack(const fabric::Packet& pkt);
+  std::size_t handle_rndv_data(const fabric::Packet& pkt);
+  /// Execute deferred protocol sends; called from progress() with no
+  /// engine lock held.
+  void drain_control();
+  /// Inject one protocol packet, retrying on backpressure.
+  void inject_control(int dst, fabric::Packet&& pkt);
+
+  Universe* uni_;
+  const int id_;
+  spc::CounterSet spc_;
+  trace::Tracer tracer_;
+  cri::CriPool pool_;
+  progress::ProgressEngine engine_;
+  std::vector<std::atomic<p2p::CommState*>> comms_;
+
+  // Rendezvous registries and the deferred-send queue. A plain mutex-style
+  // spinlock is fine here: traffic is one entry per large message, not per
+  // fragment-byte.
+  Spinlock rndv_lock_;
+  std::uint64_t next_cookie_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvSendState>> rndv_sends_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvRecvState>> rndv_recvs_;
+  Spinlock control_lock_;
+  std::deque<p2p::ControlMsg> control_;
+};
+
+class Universe {
+ public:
+  explicit Universe(Config cfg);
+  ~Universe();
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  int num_ranks() const noexcept { return static_cast<int>(ranks_.size()); }
+  Rank& rank(int r) { return *ranks_[static_cast<std::size_t>(r)]; }
+  const Config& config() const noexcept { return cfg_; }
+  fabric::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Create a new communicator spanning all ranks (a dup of world). Safe to
+  /// call from any one thread; the id is usable on every rank once this
+  /// returns. Models MPI_Comm_dup for the paper's comm-per-pair runs.
+  CommId create_communicator();
+
+  /// Sum of all ranks' SPC counters (high-water counters take the max).
+  spc::Snapshot aggregate_counters() const;
+
+ private:
+  friend class Rank;
+  Config cfg_;
+  fabric::Fabric fabric_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::atomic<CommId> next_comm_{kWorldComm + 1};
+  Spinlock comm_create_lock_;
+};
+
+}  // namespace fairmpi

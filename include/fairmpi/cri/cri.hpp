@@ -1,0 +1,100 @@
+// Communication Resource Instances (§III-B/D, Algorithm 1).
+//
+// A CRI bundles the resources one thread needs to drive the network — a
+// network context (with its RX ring and CQ) plus one endpoint per peer —
+// behind a single per-instance lock. The pool replicates CRIs so threads
+// can inject and extract concurrently; the assignment policy decides which
+// instance a thread uses:
+//
+//   * kRoundRobin — an atomic circular counter hands out a (probably)
+//     different instance on every call: no sustained contention, good load
+//     balance, at the price of one atomic per operation and losing
+//     instance affinity (Alg. 1, GET-INSTANCE-ID--ROUND-ROBIN).
+//   * kDedicated — sticky thread-local binding, first assigned via
+//     round-robin: zero contention while #threads <= #instances
+//     (Alg. 1, GET-INSTANCE-ID--DEDICATED).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/fabric/fabric.hpp"
+
+namespace fairmpi::cri {
+
+enum class Assignment {
+  kRoundRobin,
+  kDedicated,
+};
+
+const char* assignment_name(Assignment a) noexcept;
+
+/// One instance: context + per-peer endpoints + the protection lock.
+class CommResourceInstance {
+ public:
+  CommResourceInstance(int id, fabric::Fabric& fabric, fabric::NetworkContext& ctx)
+      : id_(id), ctx_(&ctx) {
+    endpoints_.reserve(static_cast<std::size_t>(fabric.num_ranks()));
+    for (int peer = 0; peer < fabric.num_ranks(); ++peer) {
+      endpoints_.emplace_back(fabric, ctx, peer);
+    }
+  }
+
+  CommResourceInstance(const CommResourceInstance&) = delete;
+  CommResourceInstance& operator=(const CommResourceInstance&) = delete;
+
+  int id() const noexcept { return id_; }
+  Spinlock& lock() noexcept { return lock_; }
+  fabric::NetworkContext& context() noexcept { return *ctx_; }
+  fabric::Endpoint& endpoint(int peer) { return endpoints_[static_cast<std::size_t>(peer)]; }
+
+ private:
+  const int id_;
+  fabric::NetworkContext* ctx_;
+  std::vector<fabric::Endpoint> endpoints_;
+  Spinlock lock_;
+};
+
+/// The pool of CRIs owned by one rank, plus the "centralized body" (§III-B)
+/// that assigns instances to threads.
+class CriPool {
+ public:
+  /// Builds one CRI per context of `rank`'s NIC.
+  CriPool(fabric::Fabric& fabric, int rank, Assignment assignment);
+
+  CriPool(const CriPool&) = delete;
+  CriPool& operator=(const CriPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(instances_.size()); }
+  Assignment assignment() const noexcept { return assignment_; }
+
+  CommResourceInstance& instance(int i) { return *instances_[static_cast<std::size_t>(i)]; }
+
+  /// Alg. 1 GET-INSTANCE-ID--ROUND-ROBIN: atomic circular counter.
+  int next_round_robin() noexcept {
+    return static_cast<int>(rr_->fetch_add(1, std::memory_order_relaxed) %
+                            static_cast<std::uint32_t>(instances_.size()));
+  }
+
+  /// Alg. 1 GET-INSTANCE-ID--DEDICATED: sticky thread-local id, assigned via
+  /// round-robin on a thread's first use of this pool.
+  int dedicated_id();
+
+  /// The instance id for the calling thread per the configured policy.
+  int id_for_thread() {
+    return assignment_ == Assignment::kDedicated ? dedicated_id() : next_round_robin();
+  }
+
+ private:
+  const Assignment assignment_;
+  const std::uint64_t pool_key_;  ///< global key for the TLS binding table
+  std::vector<std::unique_ptr<CommResourceInstance>> instances_;
+  Padded<std::atomic<std::uint32_t>> rr_{};
+
+  static std::atomic<std::uint64_t> next_pool_key_;
+};
+
+}  // namespace fairmpi::cri

@@ -1,0 +1,152 @@
+// Simulated network fabric.
+//
+// Substitution for InfiniBand EDR / Cray Aries (DESIGN.md §4): an in-process
+// fabric that provides the *structural* resources the paper's CRI design
+// replicates — per-context RX queues and completion queues — and the same
+// arbitrary cross-context arrival order real networks exhibit.
+//
+// Topology model: every rank owns a NIC with `n` network contexts. Context
+// `i` of rank A reaches rank B through B's RX ring `i mod n_B` — the analog
+// of connecting one QP/endpoint per (context, peer) pair. A receiver
+// progressing context `j` therefore only sees traffic injected through
+// matching sender contexts; when senders spread over many contexts, messages
+// from one (comm, peer) stream arrive interleaved across rings, which is
+// precisely the out-of-sequence pressure §II-C describes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/mpsc_ring.hpp"
+#include "fairmpi/fabric/wire.hpp"
+
+namespace fairmpi::fabric {
+
+/// Sizing knobs for the fabric.
+struct FabricParams {
+  std::size_t rx_ring_entries = 4096;  ///< per-context RX descriptor ring
+  std::size_t cq_entries = 4096;       ///< per-context completion queue
+};
+
+/// A completion event on a context's CQ. Two-sided eager sends complete at
+/// injection (buffered semantics); the CQ carries completions for tracked
+/// operations — RMA puts/gets and rendezvous fragments.
+struct Completion {
+  enum class Kind : std::uint8_t { kNone = 0, kRmaDone, kSendDone };
+  Kind kind = Kind::kNone;
+  void* cookie = nullptr;  ///< kRmaDone: rma::Window*; kSendDone: p2p request
+};
+
+/// One network context: the unit of resource replication inside a CRI.
+/// Owns an RX ring (remote producers, locally-locked consumer) and a CQ.
+class NetworkContext {
+ public:
+  NetworkContext(int rank, int index, const FabricParams& params)
+      : rank_(rank), index_(index), rx_(params.rx_ring_entries), cq_(params.cq_entries) {}
+
+  int rank() const noexcept { return rank_; }
+  int index() const noexcept { return index_; }
+
+  MpscRing<Packet>& rx() noexcept { return rx_; }
+  MpscRing<Completion>& cq() noexcept { return cq_; }
+
+  /// Count of packets ever delivered into this context (diagnostics).
+  std::uint64_t delivered() const noexcept {
+    return delivered_->load(std::memory_order_relaxed);
+  }
+  void note_delivered() noexcept { delivered_->fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  const int rank_;
+  const int index_;
+  MpscRing<Packet> rx_;
+  MpscRing<Completion> cq_;
+  Padded<std::atomic<std::uint64_t>> delivered_{};
+};
+
+/// A rank's NIC: the bundle of contexts the CRI pool hands out.
+class Nic {
+ public:
+  Nic(int rank, int num_contexts, const FabricParams& params) : rank_(rank) {
+    FAIRMPI_CHECK(num_contexts >= 1);
+    contexts_.reserve(static_cast<std::size_t>(num_contexts));
+    for (int i = 0; i < num_contexts; ++i) {
+      contexts_.push_back(std::make_unique<NetworkContext>(rank, i, params));
+    }
+  }
+
+  int rank() const noexcept { return rank_; }
+  int num_contexts() const noexcept { return static_cast<int>(contexts_.size()); }
+  NetworkContext& context(int i) { return *contexts_[static_cast<std::size_t>(i)]; }
+  const NetworkContext& context(int i) const { return *contexts_[static_cast<std::size_t>(i)]; }
+
+ private:
+  const int rank_;
+  std::vector<std::unique_ptr<NetworkContext>> contexts_;
+};
+
+/// The switch connecting all NICs of a universe.
+class Fabric {
+ public:
+  /// `contexts_per_rank[r]` = number of contexts on rank r's NIC.
+  Fabric(const std::vector<int>& contexts_per_rank, FabricParams params = {})
+      : params_(params) {
+    nics_.reserve(contexts_per_rank.size());
+    for (std::size_t r = 0; r < contexts_per_rank.size(); ++r) {
+      nics_.push_back(std::make_unique<Nic>(static_cast<int>(r), contexts_per_rank[r], params_));
+    }
+  }
+
+  int num_ranks() const noexcept { return static_cast<int>(nics_.size()); }
+  Nic& nic(int rank) { return *nics_[static_cast<std::size_t>(rank)]; }
+
+  /// RX context on `dst_rank` that sender context `src_ctx` feeds.
+  int route(int dst_rank, int src_ctx) const noexcept {
+    const int n = nics_[static_cast<std::size_t>(dst_rank)]->num_contexts();
+    return src_ctx % n;
+  }
+
+  /// Inject a packet from (src context `src_ctx`) toward `dst_rank`.
+  /// Returns false when the destination ring is full — the caller must
+  /// back off (drop the CRI lock, progress, retry); see p2p/sender.cpp.
+  bool try_deliver(int dst_rank, int src_ctx, Packet&& pkt) {
+    Nic& dst = *nics_[static_cast<std::size_t>(dst_rank)];
+    NetworkContext& ctx = dst.context(route(dst_rank, src_ctx));
+    if (!ctx.rx().try_push(std::move(pkt))) return false;
+    ctx.note_delivered();
+    return true;
+  }
+
+  const FabricParams& params() const noexcept { return params_; }
+
+ private:
+  FabricParams params_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+/// A (context, peer) pairing — the sender-side handle a CRI uses to reach
+/// one destination rank, mirroring one endpoint/QP per peer per context.
+class Endpoint {
+ public:
+  Endpoint(Fabric& fabric, NetworkContext& local, int dst_rank) noexcept
+      : fabric_(&fabric), local_(&local), dst_rank_(dst_rank) {}
+
+  int dst_rank() const noexcept { return dst_rank_; }
+
+  /// Injects; false on backpressure.
+  bool try_send(Packet&& pkt) {
+    pkt.hdr.src_ctx = static_cast<std::uint32_t>(local_->index());
+    return fabric_->try_deliver(dst_rank_, local_->index(), std::move(pkt));
+  }
+
+ private:
+  Fabric* fabric_;
+  NetworkContext* local_;
+  int dst_rank_;
+};
+
+}  // namespace fairmpi::fabric

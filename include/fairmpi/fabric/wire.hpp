@@ -1,0 +1,76 @@
+// Wire format of the simulated fabric.
+//
+// Open MPI's OB1 eager protocol prepends a small matching envelope (~28
+// bytes: source, communicator, tag, sequence number) to every fragment; the
+// paper's zero-byte experiments measure exactly the cost of moving and
+// matching this envelope. Our header is 32 bytes and carries the same
+// information plus an opcode for RMA extensions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace fairmpi::fabric {
+
+enum class Opcode : std::uint16_t {
+  kInvalid = 0,
+  kEager,        ///< two-sided eager message (envelope [+ payload])
+  kRndvRts,      ///< rendezvous request-to-send (large-message extension)
+  kRndvAck,      ///< rendezvous clear-to-send
+  kRndvData,     ///< rendezvous payload fragment
+};
+
+/// The matching envelope. POD, fixed 32 bytes.
+struct WireHeader {
+  Opcode opcode = Opcode::kInvalid;
+  std::uint16_t src_rank = 0;     ///< sending rank in the universe
+  std::uint32_t comm_id = 0;      ///< destination communicator
+  std::int32_t tag = 0;           ///< user tag
+  std::uint32_t seq = 0;          ///< per (comm, src->dst) sequence number
+  std::uint32_t payload_size = 0; ///< bytes following the header
+  std::uint32_t src_ctx = 0;      ///< sender-side context id (diagnostics)
+  std::uint64_t imm = 0;          ///< opcode-specific immediate (e.g. request cookie)
+};
+static_assert(sizeof(WireHeader) == 32, "envelope must stay compact");
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+
+/// Payload bytes small enough to travel inline in the ring slot, as a real
+/// NIC inlines small sends into the descriptor.
+inline constexpr std::size_t kInlineBytes = 64;
+
+/// One fabric packet: header + inline or heap payload. Move-only; the heap
+/// buffer's ownership rides through the RX ring to the receiver.
+struct Packet {
+  WireHeader hdr{};
+  std::array<std::byte, kInlineBytes> inline_data{};
+  std::unique_ptr<std::byte[]> heap;
+
+  Packet() = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  /// Copy `n` payload bytes in, choosing inline vs heap storage.
+  void set_payload(const void* data, std::size_t n) {
+    hdr.payload_size = static_cast<std::uint32_t>(n);
+    if (n == 0) return;
+    if (n <= kInlineBytes) {
+      std::memcpy(inline_data.data(), data, n);
+      heap.reset();
+    } else {
+      heap = std::make_unique<std::byte[]>(n);
+      std::memcpy(heap.get(), data, n);
+    }
+  }
+
+  const std::byte* payload() const noexcept {
+    if (hdr.payload_size == 0) return nullptr;
+    return hdr.payload_size <= kInlineBytes ? inline_data.data() : heap.get();
+  }
+};
+
+}  // namespace fairmpi::fabric

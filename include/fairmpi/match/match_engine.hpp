@@ -1,0 +1,107 @@
+// OB1-style per-communicator matching engine (§II-C, §III-F of the paper).
+//
+// One MatchEngine per communicator, guarded by one lock — matching is "the
+// only strictly serial operation in MPI two-sided communication". Creating
+// one communicator per thread pair therefore parallelizes matching, which
+// is exactly how the paper simulates concurrent matching (Fig. 3c).
+//
+// Pipeline for an incoming envelope (under the lock):
+//   1. sequence validation — per (src) expected counter; out-of-sequence
+//      arrivals are buffered in a reorder map (a real allocation on the
+//      critical path, as §II-C stresses). Skipped entirely in overtaking
+//      mode (`mpi_assert_allow_overtaking`, §IV-D).
+//   2. queue search — first posted receive whose (source, tag) filter
+//      matches, honouring post order across the per-peer and ANY_SOURCE
+//      queues; unmatched messages land in the per-peer unexpected queue.
+//
+// SPCs record out-of-sequence counts, match time and queue depths — the
+// counters behind the paper's Table II.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/fabric/wire.hpp"
+#include "fairmpi/p2p/rendezvous.hpp"
+#include "fairmpi/p2p/request.hpp"
+#include "fairmpi/spc/spc.hpp"
+
+namespace fairmpi::match {
+
+class MatchEngine {
+ public:
+  /// @param num_ranks   ranks in the communicator's universe (peer table size)
+  /// @param allow_overtaking  skip sequence validation (MPI info key
+  ///                          mpi_assert_allow_overtaking)
+  /// @param counters    the owning rank's SPC set
+  MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& counters);
+
+  MatchEngine(const MatchEngine&) = delete;
+  MatchEngine& operator=(const MatchEngine&) = delete;
+
+  /// Handle one incoming eager packet (called from the progress engine).
+  /// Returns the number of receive requests completed (out-of-sequence
+  /// drains can complete several at once).
+  std::size_t incoming(fabric::Packet&& pkt);
+
+  /// Post a receive. Returns true when the request matched an unexpected
+  /// message and completed immediately.
+  bool post(p2p::Request* req);
+
+  /// Non-destructive matching query (MPI_Iprobe semantics): is there an
+  /// unexpected message a receive with these filters would match right
+  /// now? Fills `status` (source, tag, size) on success. Messages parked
+  /// in the reorder buffer are not yet matchable and are not reported.
+  bool probe(int src, int tag, p2p::Status* status);
+
+  /// Diagnostics (approximate unless externally quiesced).
+  std::size_t unexpected_count() const noexcept;
+  std::size_t reorder_buffered() const noexcept;
+  std::size_t posted_count() const noexcept;
+
+  bool allow_overtaking() const noexcept { return allow_overtaking_; }
+
+  /// Install the rendezvous observer (must happen before any RndvRts
+  /// traffic; done once by the owning Rank at construction).
+  void set_rendezvous_hook(p2p::RendezvousHook* hook) noexcept { rndv_hook_ = hook; }
+
+ private:
+  struct Unexpected {
+    std::uint64_t arrival;
+    fabric::Packet pkt;
+  };
+
+  struct PeerState {
+    std::uint32_t expected_seq = 0;
+    std::map<std::uint32_t, fabric::Packet> reorder;  ///< out-of-sequence buffer
+    std::deque<Unexpected> unexpected;
+    std::deque<p2p::Request*> posted;  ///< source-specific posted receives
+  };
+
+  /// Match one in-order packet against the posted queues; deliver or store
+  /// as unexpected. Returns 1 on delivery, 0 otherwise. Lock held.
+  std::size_t match_one(fabric::Packet&& pkt);
+
+  /// Hand a matched packet to its request: eager payloads are copied and
+  /// the request completes; rendezvous RTS envelopes are reported to the
+  /// hook (the request completes when the data lands). Lock held.
+  void deliver(p2p::Request* req, const fabric::Packet& pkt);
+
+  PeerState& peer(int rank) { return peers_[static_cast<std::size_t>(rank)]; }
+
+  const bool allow_overtaking_;
+  spc::CounterSet& spc_;
+  p2p::RendezvousHook* rndv_hook_ = nullptr;
+
+  mutable Spinlock lock_;
+  std::vector<PeerState> peers_;
+  std::deque<p2p::Request*> posted_any_;  ///< ANY_SOURCE posted receives
+  std::uint64_t post_stamp_ = 0;
+  std::uint64_t arrival_stamp_ = 0;
+  std::uint64_t reorder_total_ = 0;  ///< current total reorder-buffer entries
+};
+
+}  // namespace fairmpi::match

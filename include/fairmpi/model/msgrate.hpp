@@ -1,0 +1,65 @@
+// Discrete-event model of Multirate-pairwise (paper ref [6]) over the
+// fairmpi engine designs — the workhorse behind Figures 3, 4, 5 and
+// Table II.
+//
+// Two simulated nodes: every pair contributes one sender entity on node 0
+// and one receiver entity on node 1 (paper Fig. 2). Entities map to threads
+// of one MPI process per node (thread mode), to single-threaded processes
+// (process mode), or to threads serialized by one big lock (the
+// global-lock baseline standing in for stock MPICH/Intel MPI threading —
+// DESIGN.md §4). The actors execute the actual algorithms — sequence
+// ticketing before instance acquisition, Alg. 1 instance assignment,
+// serial-gate or Alg. 2 progress, OB1 per-communicator matching with
+// out-of-sequence buffering — charging the CostModel for each step.
+#pragma once
+
+#include <cstdint>
+
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/model/costs.hpp"
+#include "fairmpi/progress/progress.hpp"
+
+namespace fairmpi::model {
+
+struct MsgRateConfig {
+  CostModel costs = alembert();
+  int pairs = 1;            ///< communication entities per node
+  int instances = 1;        ///< CRIs per MPI process (thread mode)
+  cri::Assignment assignment = cri::Assignment::kDedicated;
+  progress::ProgressMode progress = progress::ProgressMode::kSerial;
+  bool comm_per_pair = false;  ///< dedicated communicator per pair (Fig. 3c)
+  bool overtaking = false;     ///< mpi_assert_allow_overtaking (Fig. 4)
+  bool any_tag = false;        ///< receives posted with MPI_ANY_TAG (Fig. 4)
+  bool process_mode = false;   ///< single-threaded process per entity (Fig. 5)
+  bool global_lock = false;    ///< big-lock threading baseline (Fig. 5)
+  /// Software-offload baseline (paper ref [20], DESIGN.md §6): one
+  /// dedicated communication actor per node owns the engine; application
+  /// entities only enqueue commands. No lock storms, but single-driver
+  /// throughput.
+  bool offload = false;
+  std::uint64_t payload_bytes = 0;  ///< 0-byte messages in all paper runs
+  int window = 128;            ///< outstanding receives per pair
+  std::size_t ring_entries = 4096;
+  /// Long enough for the RX-ring backlog to reach steady state even at the
+  /// lowest rates the sweep produces.
+  sim::Time warmup_ns = 8'000'000;
+  sim::Time measure_ns = 12'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct MsgRateResult {
+  double msg_rate = 0.0;             ///< delivered messages per (virtual) second
+  std::uint64_t delivered = 0;       ///< during the measurement window
+  std::uint64_t sent = 0;            ///< injected during the measurement window
+  std::uint64_t out_of_sequence = 0; ///< OOS arrivals during measurement
+  std::uint64_t incoming = 0;        ///< envelopes processed by matching
+  double oos_fraction = 0.0;         ///< out_of_sequence / incoming (paper's %)
+  sim::Time match_time_ns = 0;       ///< total time in matching (incl. lock wait)
+  std::uint64_t events = 0;          ///< simulator events processed
+};
+
+/// Run one configuration to completion (warmup + measurement) and report.
+/// Deterministic: identical config + seed => identical result.
+MsgRateResult run_msgrate(const MsgRateConfig& cfg);
+
+}  // namespace fairmpi::model

@@ -1,0 +1,45 @@
+// Discrete-event model of the RMA-MT benchmark (paper refs [7][14]) —
+// Figures 6 (Haswell) and 7 (KNL).
+//
+// N threads on the initiating node each issue `ops_per_round` MPI_Put
+// descriptors of one message size and then MPI_Win_flush. Puts are pure
+// initiator work (no target involvement, no matching): select a CRI
+// (Alg. 1), inject under the instance lock, pace on the shared NIC wire;
+// the completion becomes visible on the initiating instance's CQ when the
+// wire has carried the message. Flush polls the thread's own instance
+// first, then sweeps — independent of the two-sided progress design, which
+// is why serial vs concurrent progress barely differ here (paper §IV-F).
+#pragma once
+
+#include <cstdint>
+
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/model/costs.hpp"
+#include "fairmpi/progress/progress.hpp"
+
+namespace fairmpi::model {
+
+struct RmaModelConfig {
+  CostModel costs = trinitite_haswell();
+  int threads = 1;
+  int instances = 32;  ///< ugni creates one per available core by default
+  cri::Assignment assignment = cri::Assignment::kDedicated;
+  progress::ProgressMode progress = progress::ProgressMode::kSerial;
+  std::uint64_t message_size = 1;
+  int ops_per_round = 1000;  ///< puts per thread between flushes (RMA-MT)
+  sim::Time warmup_ns = 500'000;
+  sim::Time measure_ns = 20'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct RmaModelResult {
+  double msg_rate = 0.0;      ///< puts per (virtual) second, all threads
+  std::uint64_t ops = 0;      ///< puts injected during measurement
+  double peak_rate = 0.0;     ///< wire-limited theoretical peak for the size
+  std::uint64_t events = 0;
+};
+
+/// Deterministic: identical config + seed => identical result.
+RmaModelResult run_rma_model(const RmaModelConfig& cfg);
+
+}  // namespace fairmpi::model

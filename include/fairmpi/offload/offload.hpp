@@ -1,0 +1,77 @@
+// Software offloading (paper ref [20]; DESIGN.md §6 extension).
+//
+// An alternative answer to multithreaded MPI: instead of letting N threads
+// into the engine (and paying for locks), funnel every operation through a
+// lock-less command queue to ONE dedicated communication thread that owns
+// the engine outright. Application threads never contend on engine locks;
+// they pay one queue enqueue per operation and wait on the request flag.
+//
+// Trade-off (visible in the model's Fig. 5 extension series): no lock
+// storms — but the aggregate rate is capped by the single comm thread,
+// so it cannot approach the CRI designs' parallel injection.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "fairmpi/common/mpsc_ring.hpp"
+#include "fairmpi/core/universe.hpp"
+
+namespace fairmpi::offload {
+
+/// Drives one Rank from a dedicated communication thread. Application
+/// threads submit through submit_*() (wait-free except under queue
+/// backpressure) and complete via Request::done() — they must NOT call
+/// Rank::progress()/wait() themselves (that would defeat the design and
+/// reintroduce engine contention).
+class OffloadDriver {
+ public:
+  /// @param queue_entries  command-queue capacity (backpressure bound)
+  explicit OffloadDriver(Rank& rank, std::size_t queue_entries = 4096);
+  ~OffloadDriver();
+
+  OffloadDriver(const OffloadDriver&) = delete;
+  OffloadDriver& operator=(const OffloadDriver&) = delete;
+
+  /// Enqueue a send; `req` completes once the comm thread has injected it.
+  void submit_isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
+                    Request& req);
+  /// Enqueue a receive post; `req` completes when the message arrives.
+  void submit_irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity,
+                    Request& req);
+
+  /// Spin until the request completes (no engine work — the comm thread
+  /// does it all).
+  static void wait(const Request& req) {
+    while (!req.done()) detail::cpu_relax();
+  }
+
+  /// Commands accepted so far (diagnostics).
+  std::uint64_t submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Command {
+    enum class Kind : std::uint8_t { kNone = 0, kSend, kRecv };
+    Kind kind = Kind::kNone;
+    CommId comm = kWorldComm;
+    int peer = 0;
+    int tag = 0;
+    void* buffer = nullptr;
+    std::size_t bytes = 0;
+    Request* request = nullptr;
+  };
+
+  void submit(Command&& cmd);
+  void run();  // comm-thread main loop
+
+  Rank& rank_;
+  MpscRing<Command> queue_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::thread worker_;
+};
+
+}  // namespace fairmpi::offload

@@ -1,0 +1,51 @@
+// Per-communicator engine state.
+//
+// Holds the two things the paper's two-sided pipeline needs per
+// communicator: the matching engine (receiver side) and the per-destination
+// send sequence counters (sender side). As in OB1, the sequence number is
+// ticketed with a relaxed atomic *before* the network resources are
+// acquired — the race between ticketing and injection across threads is the
+// source of out-of-sequence arrivals (DESIGN.md §5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/match/match_engine.hpp"
+#include "fairmpi/spc/spc.hpp"
+
+namespace fairmpi::p2p {
+
+using CommId = std::uint32_t;
+
+/// Id of the predefined world communicator.
+inline constexpr CommId kWorldComm = 0;
+
+class CommState {
+ public:
+  CommState(CommId id, int num_ranks, bool allow_overtaking, spc::CounterSet& counters)
+      : id_(id), match_(num_ranks, allow_overtaking, counters),
+        send_seq_(static_cast<std::size_t>(num_ranks)) {}
+
+  CommState(const CommState&) = delete;
+  CommState& operator=(const CommState&) = delete;
+
+  CommId id() const noexcept { return id_; }
+  match::MatchEngine& match() noexcept { return match_; }
+
+  /// Ticket the next sequence number toward `dst` (Alg. 1 precursor).
+  std::uint32_t next_seq(int dst) noexcept {
+    return send_seq_[static_cast<std::size_t>(dst)]->fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const CommId id_;
+  match::MatchEngine match_;
+  /// One padded counter per destination: the counters are deliberately hot
+  /// (every sending thread increments them) but must not false-share.
+  std::vector<Padded<std::atomic<std::uint32_t>>> send_seq_;
+};
+
+}  // namespace fairmpi::p2p

@@ -1,0 +1,92 @@
+// Rendezvous protocol for large messages (extension beyond the paper's
+// zero/small-byte experiments; DESIGN.md §6).
+//
+// Eager sends copy the payload at injection, which is wasteful past a few
+// tens of KiB. Above Config::eager_limit the engine switches to
+// rendezvous:
+//
+//   sender                         receiver
+//   ──────                        ────────
+//   RndvRts (envelope only,        matching engine matches the RTS like an
+//     seq-numbered; 16-byte body     eager envelope (same FIFO/overtaking
+//     carries total size + sender    semantics) but does not copy; it
+//     cookie)                        reports the match to the rendezvous
+//                                    hook, which schedules…
+//   …RndvAck (receiver cookie) ◄──  an ack through the control queue
+//   data fragments (RndvData,  ──►  copied straight into the posted
+//     frag offset via hdr.seq)       buffer; the receive completes when
+//                                    every fragment has landed; the send
+//                                    completes when the last fragment is
+//                                    injected.
+//
+// Lock discipline: matches and acks are discovered while holding the
+// matching lock and possibly a CRI lock; sending from those contexts could
+// deadlock two progress threads acquiring each other's instances. All
+// protocol sends are therefore *deferred* to a control queue drained by
+// Rank::progress() outside any engine lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "fairmpi/fabric/wire.hpp"
+#include "fairmpi/p2p/request.hpp"
+
+namespace fairmpi::p2p {
+
+/// 16-byte body of a RndvRts packet.
+struct RtsBody {
+  std::uint64_t total = 0;         ///< full message size
+  std::uint64_t sender_cookie = 0; ///< sender-side RndvSendState id
+};
+static_assert(sizeof(RtsBody) == 16);
+
+inline RtsBody read_rts_body(const fabric::Packet& pkt) {
+  RtsBody body;
+  std::memcpy(&body, pkt.payload(), sizeof body);
+  return body;
+}
+
+/// Sender-side state of one rendezvous transfer, registered under a cookie
+/// so wire packets can reference it safely.
+struct RndvSendState {
+  const std::byte* data = nullptr;
+  std::uint64_t total = 0;
+  int dst = 0;
+  std::uint32_t comm = 0;
+  Request* request = nullptr;  ///< completes when all fragments are injected
+};
+
+/// Receiver-side state of one rendezvous transfer.
+struct RndvRecvState {
+  Request* request = nullptr;
+  std::byte* buffer = nullptr;
+  std::uint64_t capacity = 0;
+  std::uint64_t total = 0;                  ///< size announced by the RTS
+  std::atomic<std::uint64_t> remaining{0};  ///< bytes still in flight
+  Status status{};                          ///< published when remaining hits 0
+};
+
+/// Deferred protocol action, queued from locked contexts and executed by
+/// Rank::progress() with no engine lock held.
+struct ControlMsg {
+  enum class Kind : std::uint8_t { kNone = 0, kSendAck, kSendData };
+  Kind kind = Kind::kNone;
+  int peer = 0;                     ///< rank to talk to
+  std::uint32_t comm = 0;
+  std::uint64_t local_cookie = 0;   ///< our state id
+  std::uint64_t remote_cookie = 0;  ///< peer's state id
+};
+
+/// Observer the matching engine calls when it matches a rendezvous RTS
+/// (instead of copying payload). Implemented by core::Rank.
+class RendezvousHook {
+ public:
+  virtual ~RendezvousHook() = default;
+  /// Called with the matching lock held; must only record + enqueue
+  /// control work, never inject.
+  virtual void on_rts_matched(Request* req, const fabric::Packet& rts) = 0;
+};
+
+}  // namespace fairmpi::p2p

@@ -1,0 +1,85 @@
+// Two-sided communication requests.
+//
+// A Request is the caller-owned handle for a nonblocking operation, kept
+// alive until wait()/test() observes completion (standard MPI semantics).
+// Completion may be signalled by any thread running the progress engine, so
+// the done flag is an acquire/release atomic and all result fields (status,
+// truncation) are written before the release store.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fairmpi::p2p {
+
+/// Wildcards, mirroring MPI_ANY_TAG / MPI_ANY_SOURCE.
+inline constexpr int kAnyTag = -1;
+inline constexpr int kAnySource = -1;
+
+/// Result of a completed receive.
+struct Status {
+  int source = kAnySource;    ///< actual sending rank
+  int tag = kAnyTag;          ///< actual message tag
+  std::size_t size = 0;       ///< payload size as sent
+  bool truncated = false;     ///< payload exceeded the receive buffer
+};
+
+class Request {
+ public:
+  enum class Kind : std::uint8_t { kNone, kSend, kRecv };
+
+  Request() = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+  /// Valid once done() is true (for receives).
+  const Status& status() const noexcept { return status_; }
+
+  Kind kind() const noexcept { return kind_; }
+
+  // --- engine-internal below (set up by Rank::isend/irecv, completed by the
+  //     matching engine / progress) ---
+
+  void init_send() noexcept {
+    kind_ = Kind::kSend;
+    done_.store(false, std::memory_order_relaxed);
+  }
+
+  void init_recv(void* buffer, std::size_t capacity, int source, int tag) noexcept {
+    kind_ = Kind::kRecv;
+    buffer_ = buffer;
+    capacity_ = capacity;
+    source_ = source;
+    tag_ = tag;
+    done_.store(false, std::memory_order_relaxed);
+  }
+
+  void* buffer() const noexcept { return buffer_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  int source_filter() const noexcept { return source_; }
+  int tag_filter() const noexcept { return tag_; }
+
+  std::uint64_t post_stamp = 0;  ///< matching order among posted receives
+
+  /// Publish completion. Must be the last write touching this request.
+  void complete(const Status& status) noexcept {
+    status_ = status;
+    done_.store(true, std::memory_order_release);
+  }
+
+  void complete() noexcept { done_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> done_{false};
+  Kind kind_ = Kind::kNone;
+  void* buffer_ = nullptr;
+  std::size_t capacity_ = 0;
+  int source_ = kAnySource;
+  int tag_ = kAnyTag;
+  Status status_{};
+};
+
+}  // namespace fairmpi::p2p

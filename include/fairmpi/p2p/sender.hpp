@@ -1,0 +1,22 @@
+// The eager send path (Algorithm 1, SEND).
+#pragma once
+
+#include <cstddef>
+
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/p2p/comm_state.hpp"
+#include "fairmpi/p2p/request.hpp"
+#include "fairmpi/progress/progress.hpp"
+#include "fairmpi/spc/spc.hpp"
+
+namespace fairmpi::p2p {
+
+/// Execute one eager send: ticket the sequence number, acquire a CRI per
+/// the pool's policy, inject through the per-peer endpoint; on backpressure
+/// (full destination ring) release the instance, progress own resources and
+/// retry. Completes `req` before returning (buffered-send semantics).
+void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& engine,
+                spc::CounterSet& counters, int src_rank, int dst, int tag,
+                const void* buf, std::size_t n, Request& req);
+
+}  // namespace fairmpi::p2p

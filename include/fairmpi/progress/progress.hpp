@@ -1,0 +1,83 @@
+// The progress engine (§II-B, §III-E, Algorithm 2).
+//
+// Two designs, selectable at runtime:
+//
+//   * kSerial — the traditional Open MPI scheme: a single thread at a time
+//     may progress communications. A thread that finds the engine busy
+//     returns immediately (as opal_progress does under THREAD_MULTIPLE);
+//     the holder sweeps every CRI. Message extraction is limited to the
+//     power of one thread.
+//
+//   * kConcurrent — Algorithm 2: every thread may progress. A thread
+//     try-locks its *own* instance first (per the pool's assignment
+//     policy); only when that instance yields no completions does it sweep
+//     the other instances round-robin, which both avoids convoying and
+//     guarantees that orphaned instances (e.g. whose dedicated thread
+//     exited) are still progressed eventually.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/fabric/fabric.hpp"
+#include "fairmpi/spc/spc.hpp"
+
+namespace fairmpi::progress {
+
+enum class ProgressMode {
+  kSerial,
+  kConcurrent,
+};
+
+const char* progress_mode_name(ProgressMode m) noexcept;
+
+/// Where extracted traffic goes: implemented by core::Rank, which dispatches
+/// packets to the matching engine and completions to their owners.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// Handle one incoming packet; returns number of user-visible completions.
+  virtual std::size_t handle_packet(fabric::Packet&& pkt) = 0;
+  /// Handle one completion-queue event; returns completions (usually 1).
+  virtual std::size_t handle_completion(const fabric::Completion& c) = 0;
+};
+
+class ProgressEngine {
+ public:
+  /// @param batch  max packets drained from one RX ring per visit, bounding
+  ///               lock hold time.
+  ProgressEngine(cri::CriPool& pool, PacketSink& sink, ProgressMode mode,
+                 spc::CounterSet& counters, int batch = 64);
+
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  ProgressMode mode() const noexcept { return mode_; }
+
+  /// One progress call. Returns the number of completions harvested
+  /// (0 does not imply quiescence — the engine may have been busy).
+  std::size_t progress();
+
+  /// Drain one instance's CQ and RX ring. The instance lock must be held by
+  /// the caller. Exposed for the RMA flush path, which polls its own
+  /// instance directly (as btl-level flush does in Open MPI).
+  std::size_t progress_instance_locked(cri::CommResourceInstance& inst);
+
+ private:
+  std::size_t progress_serial();
+  std::size_t progress_concurrent();
+
+  cri::CriPool& pool_;
+  PacketSink& sink_;
+  const ProgressMode mode_;
+  spc::CounterSet& spc_;
+  const int batch_;
+  /// Guard for the serial design; try-lock only, FIFO irrelevant since
+  /// non-holders bail out.
+  Spinlock serial_gate_;
+};
+
+}  // namespace fairmpi::progress

@@ -1,0 +1,32 @@
+// RMA-MT (paper refs [7][14]) over the *real* fairmpi engine: N threads on
+// an initiating rank each perform rounds of `ops_per_round` puts of one
+// message size followed by a flush, against a window exposed by the target
+// rank. Reports the aggregate put rate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fairmpi/core/config.hpp"
+
+namespace fairmpi::rmamt {
+
+struct RmamtConfig {
+  Config engine;              ///< instances / assignment / progress
+  int threads = 1;
+  std::size_t message_size = 1;
+  int ops_per_round = 1000;   ///< puts between flushes (as in RMA-MT)
+  double duration_s = 0.25;
+};
+
+struct RmamtResult {
+  double msg_rate = 0.0;    ///< puts per wall second, all threads
+  std::uint64_t ops = 0;    ///< puts counted in the timed region
+  double duration_s = 0.0;
+};
+
+/// Run put+flush rounds for the configured duration (host-scale
+/// validation; use the model backend for paper-scale sweeps).
+RmamtResult run_put_flush(const RmamtConfig& cfg);
+
+}  // namespace fairmpi::rmamt

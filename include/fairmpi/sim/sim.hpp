@@ -1,0 +1,287 @@
+// Discrete-event simulation kernel.
+//
+// Substitution substrate (DESIGN.md §4): the paper's evaluation needs two
+// cluster nodes with 20-64 cores; this kernel provides *virtual* threads
+// (C++20 coroutines) and virtual time so the model in src/model can execute
+// the paper's algorithms at full scale on any host, deterministically.
+//
+// Concepts:
+//   * Simulation — the event loop: a priority queue of (time, seq, handle).
+//     Determinism: ties in time resolve by schedule order (seq), so the
+//     same program produces the same trace on every run.
+//   * Task — a coroutine returning sim::Task is a simulated thread. Tasks
+//     are awaitable (child tasks run inline at the current virtual time
+//     with symmetric transfer) and spawnable (root actors).
+//   * delay(ns) — advance this actor's local time.
+//   * SimMutex — FIFO mutex with try_acquire; models a contended lock,
+//     including a configurable handoff penalty that grows with the number
+//     of spinning waiters (cache-line ping-pong on real hardware).
+//   * SimBarrier — arrival barrier for phase synchronization.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/rng.hpp"
+
+namespace fairmpi::sim {
+
+using Time = std::uint64_t;  ///< virtual nanoseconds
+
+class Simulation;
+
+/// Coroutine task: simulated thread (root) or awaitable sub-task.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Resume whoever co_awaited us; root tasks park (the Simulation
+        // owns and reaps them).
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+
+    std::coroutine_handle<> continuation = nullptr;
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(other.handle_) { other.handle_ = nullptr; }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiting a Task runs it inline (same virtual time) until it finishes
+  /// or suspends into the simulation.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer: start the child now
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+  bool done() const noexcept { return !handle_ || handle_.done(); }
+  std::coroutine_handle<promise_type> handle() const noexcept { return handle_; }
+  std::coroutine_handle<promise_type> release() noexcept {
+    auto h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Take ownership of a root task and schedule it at the current time.
+  void spawn(Task task);
+
+  /// Schedule a raw handle (used by synchronization primitives).
+  void schedule(Time at, std::coroutine_handle<> h);
+
+  /// Awaitable: resume this actor `ns` virtual nanoseconds from now.
+  /// delay(0) still round-trips through the event queue (deterministic
+  /// yield point).
+  auto delay(Time ns) noexcept {
+    struct Awaiter {
+      Simulation* sim;
+      Time ns;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim->schedule(sim->now_ + ns, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, ns};
+  }
+
+  /// Run until the event queue drains. Returns the final virtual time.
+  Time run();
+
+  /// Run until (at most) virtual time `deadline`; events at later times
+  /// stay queued. Returns true if events remain.
+  bool run_until(Time deadline);
+
+  /// Number of events processed so far (diagnostics / perf counters).
+  std::uint64_t events_processed() const noexcept { return events_; }
+
+ private:
+  void reap_done_roots();
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const noexcept {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Task::promise_type>> roots_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// Mutex for simulated threads.
+///
+/// `handoff_base` + `handoff_per_waiter` model the cache-coherence cost a
+/// real contended lock pays on every ownership transfer: the incoming owner
+/// stalls on the lock/data cache lines, and test-and-set spinners make the
+/// transfer more expensive the more of them there are. Zero by default
+/// (ideal lock).
+///
+/// Grant order: FIFO by default (ticket lock). Passing an RNG switches to
+/// *random* handoff, modeling an unfair test-and-set spinlock where any
+/// spinner may win the next acquisition — the grant-order randomness is
+/// what turns concurrent senders into out-of-sequence message streams
+/// (paper §II-C), so the model uses random handoff for instance locks.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation& sim, Time handoff_base = 0, Time handoff_per_waiter = 0,
+                    Xoshiro256* rng = nullptr)
+      : sim_(&sim), handoff_base_(handoff_base), handoff_per_waiter_(handoff_per_waiter),
+        rng_(rng) {}
+
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  /// Awaitable blocking acquire (FIFO among waiters).
+  auto acquire() noexcept {
+    struct Awaiter {
+      SimMutex* mu;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+        if (!mu->locked_) {
+          mu->locked_ = true;
+          return h;  // uncontended: continue immediately
+        }
+        mu->waiters_.push_back(h);
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Non-blocking acquire (the paper's try-lock primitive).
+  bool try_acquire() noexcept {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  /// Release; if waiters exist the lock transfers (FIFO, or uniformly at
+  /// random with an RNG) and the next owner resumes after the handoff
+  /// penalty.
+  void release() {
+    FAIRMPI_CHECK_MSG(locked_, "release of an unlocked SimMutex");
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    std::size_t idx = 0;
+    if (rng_ != nullptr && waiters_.size() > 1) {
+      idx = static_cast<std::size_t>(rng_->bounded(waiters_.size()));
+    }
+    auto next = waiters_[idx];
+    waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(idx));
+    // Lock stays held; ownership moves to `next` after the handoff cost.
+    // The spinner-storm term saturates: real spinners back off, so the
+    // coherence traffic stops growing past a dozen waiters.
+    constexpr std::size_t kStormCap = 12;
+    const std::size_t spinners = waiters_.size() < kStormCap ? waiters_.size() : kStormCap;
+    const Time penalty = handoff_base_ + handoff_per_waiter_ * spinners;
+    sim_->schedule(sim_->now() + penalty, next);
+  }
+
+  bool locked() const noexcept { return locked_; }
+  std::size_t waiters() const noexcept { return waiters_.size(); }
+
+ private:
+  Simulation* sim_;
+  const Time handoff_base_;
+  const Time handoff_per_waiter_;
+  Xoshiro256* rng_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Arrival barrier: the N-th arriving actor releases everyone.
+class SimBarrier {
+ public:
+  SimBarrier(Simulation& sim, std::size_t parties) : sim_(&sim), parties_(parties) {
+    FAIRMPI_CHECK(parties >= 1);
+  }
+
+  SimBarrier(const SimBarrier&) = delete;
+  SimBarrier& operator=(const SimBarrier&) = delete;
+
+  auto arrive_and_wait() noexcept {
+    struct Awaiter {
+      SimBarrier* bar;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+        if (bar->waiting_.size() + 1 == bar->parties_) {
+          for (auto w : bar->waiting_) bar->sim_->schedule(bar->sim_->now(), w);
+          bar->waiting_.clear();
+          return h;  // last arriver proceeds immediately
+        }
+        bar->waiting_.push_back(h);
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation* sim_;
+  const std::size_t parties_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace fairmpi::sim

@@ -1,0 +1,104 @@
+// Software-based Performance Counters (SPCs).
+//
+// Mirrors the Open MPI SPC infrastructure the paper uses (ref [9]) to expose
+// low-overhead internal statistics. Table II of the paper is built from two
+// of these counters (out-of-sequence messages and total matching time); we
+// expose the full set the engine maintains so benches and tests can assert
+// on internal behaviour, not just end-to-end rates.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "fairmpi/common/align.hpp"
+
+namespace fairmpi::spc {
+
+enum class Counter : int {
+  kMessagesSent = 0,       ///< completed two-sided sends
+  kMessagesReceived,       ///< matched + delivered two-sided receives
+  kBytesSent,              ///< payload bytes injected
+  kBytesReceived,          ///< payload bytes delivered
+  kUnexpectedMessages,     ///< arrived before a matching receive was posted
+  kOutOfSequence,          ///< arrived with seq != expected (buffered)
+  kMatchTimeNs,            ///< total time spent holding a matching lock
+  kMatchAttempts,          ///< entries into the matching critical section
+  kPostedQueueDepth,       ///< cumulative posted-recv queue length at search
+  kUnexpectedQueueDepth,   ///< cumulative unexpected queue length at search
+  kOosBufferPeak,          ///< high-water mark of the reorder buffer (max, not sum)
+  kSendBackpressure,       ///< sends that had to retry on a full RX ring
+  kProgressCalls,          ///< entries into the progress engine
+  kProgressCompletions,    ///< completions harvested by progress
+  kInstanceTrylockFail,    ///< failed try_lock on a CRI (Alg. 2 skip)
+  kInstanceLockWaitNs,     ///< time spent blocked acquiring CRI locks
+  kRmaPuts,                ///< one-sided put operations
+  kRmaGets,                ///< one-sided get operations
+  kRmaAccumulates,         ///< one-sided accumulate operations
+  kRmaFlushes,             ///< passive-target flush operations
+  kCount
+};
+
+constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+/// Human-readable counter name ("OutOfSequence", ...).
+const char* counter_name(Counter c) noexcept;
+
+/// Point-in-time copy of all counters; supports delta and merge so benches
+/// can report per-phase numbers (Table II is the delta over the timed loop).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> values{};
+
+  std::uint64_t get(Counter c) const noexcept { return values[static_cast<int>(c)]; }
+
+  /// Counter-wise difference (this - earlier); kOosBufferPeak keeps the
+  /// later (max-style) value since it is a high-water mark, not a sum.
+  Snapshot delta_since(const Snapshot& earlier) const noexcept;
+
+  /// Sum (max for high-water counters) across engines — e.g. both ranks.
+  void merge(const Snapshot& other) noexcept;
+
+  std::string to_string() const;
+};
+
+/// One set of counters, shared by all threads of a rank. Relaxed atomics:
+/// SPCs trade exactness of interleaving for negligible overhead, like the
+/// Open MPI originals.
+class CounterSet {
+ public:
+  void add(Counter c, std::uint64_t n = 1) noexcept {
+    values_[static_cast<int>(c)]->fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Update a high-water-mark counter to max(current, candidate).
+  void update_max(Counter c, std::uint64_t candidate) noexcept {
+    auto& cell = *values_[static_cast<int>(c)];
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !cell.compare_exchange_weak(cur, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t get(Counter c) const noexcept {
+    return values_[static_cast<int>(c)]->load(std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const noexcept {
+    Snapshot snap;
+    for (int i = 0; i < kNumCounters; ++i) {
+      snap.values[static_cast<std::size_t>(i)] =
+          values_[static_cast<std::size_t>(i)]->load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+  void reset() noexcept {
+    for (auto& v : values_) v->store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<Padded<std::atomic<std::uint64_t>>, kNumCounters> values_{};
+};
+
+}  // namespace fairmpi::spc

@@ -1,0 +1,131 @@
+#include "fairmpi/benchsupport/report.hpp"
+
+#include <cstdio>
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/table.hpp"
+
+namespace fairmpi::benchsupport {
+
+FigureReport::FigureReport(std::string id, std::string title, std::string x_label,
+                           std::string y_label, bool log_y)
+    : id_(std::move(id)), title_(std::move(title)), x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)), log_y_(log_y) {}
+
+const FigureReport::Series* FigureReport::find(const std::string& name) const {
+  for (const auto& s : series_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+FigureReport::Series& FigureReport::find_or_create(const std::string& name) {
+  for (auto& s : series_) {
+    if (s.name == name) return s;
+  }
+  series_.push_back(Series{name, {}});
+  return series_.back();
+}
+
+void FigureReport::add_point(const std::string& series, double x, double mean,
+                             double stddev) {
+  find_or_create(series).points.push_back(Point{x, mean, stddev});
+}
+
+void FigureReport::add_point(const std::string& series, double x,
+                             const RunningStats& stats) {
+  add_point(series, x, stats.mean(), stats.stddev());
+}
+
+std::string FigureReport::render() const {
+  SeriesChart chart(id_ + ": " + title_, x_label_, y_label_);
+  chart.set_log_y(log_y_);
+  for (const auto& s : series_) {
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(s.points.size());
+    for (const auto& p : s.points) pts.emplace_back(p.x, p.mean);
+    chart.add_series(s.name, std::move(pts));
+  }
+
+  Table table({x_label_, "series", y_label_ + " (mean)", "stddev"});
+  for (const auto& s : series_) {
+    for (const auto& p : s.points) {
+      char xbuf[32];
+      std::snprintf(xbuf, sizeof xbuf, "%g", p.x);
+      table.add_row({xbuf, s.name, format_si(p.mean), format_si(p.stddev)});
+    }
+  }
+  return chart.render() + "\n" + table.render();
+}
+
+void FigureReport::write_csv(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + id_ + ".csv";
+  std::ofstream os(path);
+  FAIRMPI_CHECK_MSG(os.good(), "cannot open CSV output file");
+  os << "series,x,mean,stddev\n";
+  for (const auto& s : series_) {
+    for (const auto& p : s.points) {
+      os << s.name << ',' << p.x << ',' << p.mean << ',' << p.stddev << '\n';
+    }
+  }
+  FAIRMPI_CHECK_MSG(os.good(), "CSV write failed");
+}
+
+bool FigureReport::has_point(const std::string& series, double x) const {
+  const Series* s = find(series);
+  if (s == nullptr) return false;
+  for (const auto& p : s->points) {
+    if (p.x == x) return true;
+  }
+  return false;
+}
+
+double FigureReport::value_at(const std::string& series, double x) const {
+  const Series* s = find(series);
+  FAIRMPI_CHECK_MSG(s != nullptr, "unknown series in value_at");
+  for (const auto& p : s->points) {
+    if (p.x == x) return p.mean;
+  }
+  FAIRMPI_CHECK_MSG(false, "no point at requested x in value_at");
+  return 0.0;
+}
+
+void CheckList::expect(bool condition, std::string what, std::string detail) {
+  entries_.push_back(Entry{condition, std::move(what), std::move(detail)});
+  if (!condition) ++failures_;
+}
+
+void CheckList::expect_ratio_at_least(double a, double b, double min_ratio,
+                                      std::string what) {
+  char detail[128];
+  std::snprintf(detail, sizeof detail, "%.3g vs %.3g (ratio %.2f, need >= %.2f)", a, b,
+                b != 0 ? a / b : 0.0, min_ratio);
+  expect(a >= min_ratio * b, std::move(what), detail);
+}
+
+void CheckList::expect_close(double a, double b, double tol_frac, std::string what) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  char detail[128];
+  std::snprintf(detail, sizeof detail, "%.3g vs %.3g (tol %.0f%%)", a, b, tol_frac * 100);
+  expect(std::abs(a - b) <= tol_frac * scale, std::move(what), detail);
+}
+
+std::string CheckList::render() const {
+  std::ostringstream os;
+  os << "Expectation checks (paper-shape validation):\n";
+  for (const auto& e : entries_) {
+    os << "  [" << (e.pass ? "PASS" : "FAIL") << "] " << e.what;
+    if (!e.detail.empty()) os << " — " << e.detail;
+    os << '\n';
+  }
+  os << "  " << (total() - failures_) << "/" << total() << " checks passed\n";
+  return os.str();
+}
+
+}  // namespace fairmpi::benchsupport

@@ -1,0 +1,201 @@
+#include "fairmpi/common/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <variant>
+
+namespace fairmpi {
+
+struct Cli::Option {
+  std::string name;
+  std::string help;
+  std::string default_text;
+  bool is_flag = false;
+  // Exactly one of these is non-null, pointing at the user-held Value<T>.
+  Value<std::int64_t>* as_int = nullptr;
+  Value<double>* as_double = nullptr;
+  Value<std::string>* as_str = nullptr;
+  Value<bool>* as_bool = nullptr;
+  Value<std::vector<std::int64_t>>* as_int_list = nullptr;
+  // Ownership of the Value objects themselves.
+  std::variant<std::monostate, std::unique_ptr<Value<std::int64_t>>,
+               std::unique_ptr<Value<double>>, std::unique_ptr<Value<std::string>>,
+               std::unique_ptr<Value<bool>>,
+               std::unique_ptr<Value<std::vector<std::int64_t>>>>
+      storage;
+};
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli::~Cli() = default;
+
+Cli::Option* Cli::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt->name == name) return opt.get();
+  }
+  return nullptr;
+}
+
+Cli::Value<std::int64_t>& Cli::opt_int(std::string name, std::int64_t def, std::string help) {
+  auto opt = std::make_unique<Option>();
+  auto val = std::make_unique<Value<std::int64_t>>(def);
+  opt->as_int = val.get();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->default_text = std::to_string(def);
+  opt->storage = std::move(val);
+  options_.push_back(std::move(opt));
+  return *options_.back()->as_int;
+}
+
+Cli::Value<double>& Cli::opt_double(std::string name, double def, std::string help) {
+  auto opt = std::make_unique<Option>();
+  auto val = std::make_unique<Value<double>>(def);
+  opt->as_double = val.get();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->default_text = std::to_string(def);
+  opt->storage = std::move(val);
+  options_.push_back(std::move(opt));
+  return *options_.back()->as_double;
+}
+
+Cli::Value<std::string>& Cli::opt_str(std::string name, std::string def, std::string help) {
+  auto opt = std::make_unique<Option>();
+  auto val = std::make_unique<Value<std::string>>(def);
+  opt->as_str = val.get();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->default_text = def.empty() ? "\"\"" : def;
+  opt->storage = std::move(val);
+  options_.push_back(std::move(opt));
+  return *options_.back()->as_str;
+}
+
+Cli::Value<bool>& Cli::opt_flag(std::string name, std::string help) {
+  auto opt = std::make_unique<Option>();
+  auto val = std::make_unique<Value<bool>>(false);
+  opt->as_bool = val.get();
+  opt->is_flag = true;
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->default_text = "false";
+  opt->storage = std::move(val);
+  options_.push_back(std::move(opt));
+  return *options_.back()->as_bool;
+}
+
+Cli::Value<std::vector<std::int64_t>>& Cli::opt_int_list(std::string name,
+                                                         std::vector<std::int64_t> def,
+                                                         std::string help) {
+  auto opt = std::make_unique<Option>();
+  std::ostringstream os;
+  for (std::size_t i = 0; i < def.size(); ++i) os << (i ? "," : "") << def[i];
+  auto val = std::make_unique<Value<std::vector<std::int64_t>>>(std::move(def));
+  opt->as_int_list = val.get();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->default_text = os.str();
+  opt->storage = std::move(val);
+  options_.push_back(std::move(opt));
+  return *options_.back()->as_int_list;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    os << "  --" << opt->name;
+    if (!opt->is_flag) os << " <value>";
+    os << "\n      " << opt->help << " (default: " << opt->default_text << ")\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+namespace {
+
+bool parse_i64(const std::string& text, std::int64_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_f64(const std::string& text, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(text, &pos);
+    return pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string Cli::parse_for_test(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
+    if (arg == "--help" || arg == "-h") return "help";
+    if (arg.rfind("--", 0) != 0) return "unexpected positional argument: " + arg;
+    arg = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) return "unknown option: --" + arg;
+    if (opt->is_flag) {
+      if (has_inline) return "flag --" + arg + " does not take a value";
+      opt->as_bool->value_ = true;
+      continue;
+    }
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= args.size()) return "missing value for --" + arg;
+      value = args[++i];
+    }
+    if (opt->as_int != nullptr) {
+      if (!parse_i64(value, opt->as_int->value_)) return "bad integer for --" + arg;
+    } else if (opt->as_double != nullptr) {
+      if (!parse_f64(value, opt->as_double->value_)) return "bad number for --" + arg;
+    } else if (opt->as_str != nullptr) {
+      opt->as_str->value_ = value;
+    } else if (opt->as_int_list != nullptr) {
+      std::vector<std::int64_t> items;
+      std::string token;
+      std::istringstream is(value);
+      while (std::getline(is, token, ',')) {
+        std::int64_t item = 0;
+        if (!parse_i64(token, item)) return "bad integer list for --" + arg;
+        items.push_back(item);
+      }
+      if (items.empty()) return "empty list for --" + arg;
+      opt->as_int_list->value_ = std::move(items);
+    }
+  }
+  return "";
+}
+
+void Cli::parse(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const std::string err = parse_for_test(args);
+  if (err.empty()) return;
+  if (err == "help") {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), err.c_str(), usage().c_str());
+  std::exit(2);
+}
+
+}  // namespace fairmpi

@@ -1,0 +1,206 @@
+#include "fairmpi/common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FAIRMPI_CHECK_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+namespace {
+void csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") != std::string::npos) {
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  } else {
+    os << cell;
+  }
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    csv_cell(os, headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      csv_cell(os, row[c]);
+    }
+    os << '\n';
+  }
+}
+
+std::string format_si(double value, int precision) {
+  const char* suffix = "";
+  double scaled = value;
+  const double mag = std::fabs(value);
+  if (mag >= 1e9) {
+    scaled = value / 1e9;
+    suffix = " G";
+  } else if (mag >= 1e6) {
+    scaled = value / 1e6;
+    suffix = " M";
+  } else if (mag >= 1e3) {
+    scaled = value / 1e3;
+    suffix = " K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+  }
+  return buf;
+}
+
+SeriesChart::SeriesChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void SeriesChart::add_series(std::string name, std::vector<std::pair<double, double>> points) {
+  static constexpr char kMarkers[] = "*o+x#@%&=~";
+  const char marker = kMarkers[series_.size() % (sizeof kMarkers - 1)];
+  series_.push_back(Series{std::move(name), marker, std::move(points)});
+}
+
+std::string SeriesChart::render(int width, int height) const {
+  std::ostringstream os;
+  os << "=== " << title_ << " ===\n";
+  if (series_.empty()) {
+    os << "(no data)\n";
+    return os.str();
+  }
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity(), ymax = -ymin;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      if (!log_y_ || y > 0) {
+        ymin = std::min(ymin, y);
+        ymax = std::max(ymax, y);
+      }
+    }
+  }
+  if (!(xmin < xmax)) xmax = xmin + 1;
+  if (!(ymin < ymax)) ymax = ymin + (ymin == 0 ? 1 : std::fabs(ymin) * 0.1 + 1e-12);
+
+  auto ymap = [&](double y) {
+    if (log_y_) {
+      const double lo = std::log10(ymin), hi = std::log10(ymax);
+      return (std::log10(std::max(y, ymin)) - lo) / (hi - lo);
+    }
+    return (y - ymin) / (ymax - ymin);
+  };
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      if (log_y_ && y <= 0) continue;
+      const double fx = (x - xmin) / (xmax - xmin);
+      const double fy = ymap(y);
+      auto col = static_cast<int>(std::lround(fx * (width - 1)));
+      auto row = static_cast<int>(std::lround((1.0 - fy) * (height - 1)));
+      col = std::clamp(col, 0, width - 1);
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  // Y-axis labels on the left: top, middle, bottom.
+  const std::string top = format_si(ymax), bot = format_si(ymin);
+  const std::string mid =
+      format_si(log_y_ ? std::pow(10.0, (std::log10(ymin) + std::log10(ymax)) / 2)
+                       : (ymin + ymax) / 2);
+  std::size_t label_w = std::max({top.size(), mid.size(), bot.size()}) + 1;
+  for (int r = 0; r < height; ++r) {
+    std::string label;
+    if (r == 0) label = top;
+    else if (r == height / 2) label = mid;
+    else if (r == height - 1) label = bot;
+    os << std::string(label_w - label.size(), ' ') << label << " |"
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(label_w + 1, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+     << '\n';
+  {
+    const std::string lo = format_si(xmin, 0), hi = format_si(xmax, 0);
+    os << std::string(label_w + 2, ' ') << lo
+       << std::string(static_cast<std::size_t>(std::max(
+              1, width - static_cast<int>(lo.size()) - static_cast<int>(hi.size()))), ' ')
+       << hi << "   (" << x_label_ << (log_y_ ? ", log-scale " : ", ") << y_label_ << ")\n";
+  }
+  os << "  legend:";
+  for (const auto& s : series_) os << "  [" << s.marker << "] " << s.name;
+  os << '\n';
+  return os.str();
+}
+
+void SeriesChart::write_csv(std::ostream& os) const {
+  os << "series,x,y\n";
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      csv_cell(os, s.name);
+      os << ',' << x << ',' << y << '\n';
+    }
+  }
+}
+
+}  // namespace fairmpi

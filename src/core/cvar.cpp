@@ -1,0 +1,134 @@
+#include "fairmpi/core/cvar.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi {
+
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_bool(std::string_view text, bool& out) {
+  if (text == "0" || text == "false" || text == "off") {
+    out = false;
+    return true;
+  }
+  if (text == "1" || text == "true" || text == "on") {
+    out = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
+  std::uint64_t u = 0;
+  if (name == "num_instances") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.num_instances = static_cast<int>(u);
+    return true;
+  }
+  if (name == "assignment") {
+    if (value == "rr" || value == "round-robin") {
+      cfg.assignment = cri::Assignment::kRoundRobin;
+      return true;
+    }
+    if (value == "dedicated") {
+      cfg.assignment = cri::Assignment::kDedicated;
+      return true;
+    }
+    return false;
+  }
+  if (name == "progress") {
+    if (value == "serial") {
+      cfg.progress_mode = progress::ProgressMode::kSerial;
+      return true;
+    }
+    if (value == "concurrent") {
+      cfg.progress_mode = progress::ProgressMode::kConcurrent;
+      return true;
+    }
+    return false;
+  }
+  if (name == "allow_overtaking") {
+    return parse_bool(value, cfg.allow_overtaking);
+  }
+  if (name == "progress_batch") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.progress_batch = static_cast<int>(u);
+    return true;
+  }
+  if (name == "eager_limit") {
+    if (!parse_u64(value, u)) return false;
+    cfg.eager_limit = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "rndv_frag_bytes") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.rndv_frag_bytes = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "rx_ring_entries") {
+    if (!parse_u64(value, u) || u < 2) return false;
+    cfg.fabric.rx_ring_entries = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "cq_entries") {
+    if (!parse_u64(value, u) || u < 2) return false;
+    cfg.fabric.cq_entries = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "max_communicators") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.max_communicators = static_cast<int>(u);
+    return true;
+  }
+  return false;
+}
+
+Config config_from_env(Config base) {
+  static constexpr const char* kNames[] = {
+      "num_instances", "assignment",      "progress",        "allow_overtaking",
+      "progress_batch", "eager_limit",    "rndv_frag_bytes", "rx_ring_entries",
+      "cq_entries",     "max_communicators",
+  };
+  for (const char* name : kNames) {
+    std::string env_name = "FAIRMPI_";
+    for (const char* p = name; *p != '\0'; ++p) {
+      env_name.push_back(*p == '-' ? '_'
+                                   : static_cast<char>(std::toupper(
+                                         static_cast<unsigned char>(*p))));
+    }
+    const char* value = std::getenv(env_name.c_str());
+    if (value == nullptr) continue;
+    FAIRMPI_CHECK_MSG(apply_cvar(base, name, value), "malformed FAIRMPI_* variable");
+  }
+  return base;
+}
+
+std::string list_cvars(const Config& cfg) {
+  std::ostringstream os;
+  os << "num_instances     = " << cfg.num_instances << '\n'
+     << "assignment        = " << cri::assignment_name(cfg.assignment) << '\n'
+     << "progress          = " << progress::progress_mode_name(cfg.progress_mode) << '\n'
+     << "allow_overtaking  = " << (cfg.allow_overtaking ? "true" : "false") << '\n'
+     << "progress_batch    = " << cfg.progress_batch << '\n'
+     << "eager_limit       = " << cfg.eager_limit << '\n'
+     << "rndv_frag_bytes   = " << cfg.rndv_frag_bytes << '\n'
+     << "rx_ring_entries   = " << cfg.fabric.rx_ring_entries << '\n'
+     << "cq_entries        = " << cfg.fabric.cq_entries << '\n'
+     << "max_communicators = " << cfg.max_communicators << '\n';
+  return os.str();
+}
+
+}  // namespace fairmpi

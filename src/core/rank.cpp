@@ -1,0 +1,223 @@
+#include <mutex>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/core/universe.hpp"
+#include "fairmpi/p2p/sender.hpp"
+
+namespace fairmpi {
+
+Rank::Rank(Universe& uni, int id)
+    : uni_(&uni), id_(id), tracer_(uni.config().trace_entries),
+      pool_(uni.fabric(), id, uni.config().assignment),
+      engine_(pool_, *this, uni.config().progress_mode, spc_, uni.config().progress_batch),
+      comms_(static_cast<std::size_t>(uni.config().max_communicators)) {
+  for (auto& slot : comms_) slot.store(nullptr, std::memory_order_relaxed);
+}
+
+Rank::~Rank() {
+  for (auto& slot : comms_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+void Rank::install_comm(CommId id) {
+  FAIRMPI_CHECK(id < comms_.size());
+  FAIRMPI_CHECK_MSG(comms_[id].load(std::memory_order_relaxed) == nullptr,
+                    "communicator id already installed");
+  auto* state = new p2p::CommState(id, uni_->num_ranks(),
+                                   uni_->config().allow_overtaking, spc_);
+  state->match().set_rendezvous_hook(this);
+  comms_[id].store(state, std::memory_order_release);
+}
+
+p2p::CommState& Rank::comm_state(CommId id) {
+  FAIRMPI_CHECK_MSG(id < comms_.size(), "communicator id out of range");
+  p2p::CommState* state = comms_[id].load(std::memory_order_acquire);
+  FAIRMPI_CHECK_MSG(state != nullptr, "communicator not created");
+  return *state;
+}
+
+void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
+                 Request& req) {
+  FAIRMPI_CHECK_MSG(dst >= 0 && dst < uni_->num_ranks(), "invalid destination rank");
+  if (n > uni_->config().eager_limit) {
+    FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
+    tracer_.record(trace::Event::kRndvRts, static_cast<std::uint32_t>(dst),
+                   static_cast<std::uint32_t>(n));
+    rndv_isend(comm, dst, tag, buf, n, req);
+    return;
+  }
+  tracer_.record(trace::Event::kSend, static_cast<std::uint32_t>(dst),
+                 static_cast<std::uint32_t>(tag));
+  p2p::eager_send(comm_state(comm), pool_, engine_, spc_, id_, dst, tag, buf, n, req);
+}
+
+void Rank::irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity,
+                 Request& req) {
+  FAIRMPI_CHECK_MSG(src == kAnySource || (src >= 0 && src < uni_->num_ranks()),
+                    "invalid source rank");
+  FAIRMPI_CHECK_MSG(tag == kAnyTag || tag >= 0, "invalid tag filter");
+  req.init_recv(buf, capacity, src, tag);
+  tracer_.record(trace::Event::kRecvPost, static_cast<std::uint32_t>(src + 1),
+                 static_cast<std::uint32_t>(tag));
+  comm_state(comm).match().post(&req);
+}
+
+void Rank::send(CommId comm, int dst, int tag, const void* buf, std::size_t n) {
+  Request req;
+  isend(comm, dst, tag, buf, n, req);
+  wait(req);  // eager sends complete at injection; wait() is a formality
+}
+
+Status Rank::recv(CommId comm, int src, int tag, void* buf, std::size_t capacity) {
+  Request req;
+  irecv(comm, src, tag, buf, capacity, req);
+  wait(req);
+  return req.status();
+}
+
+void Rank::wait(Request& req) {
+  while (!req.done()) {
+    if (progress() == 0) detail::cpu_relax();
+  }
+}
+
+bool Rank::test(Request& req) {
+  if (req.done()) return true;
+  progress();
+  return req.done();
+}
+
+void Rank::wait_all(Request* const* reqs, std::size_t n) {
+  for (;;) {
+    bool all_done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reqs[i]->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) return;
+    if (progress() == 0) detail::cpu_relax();
+  }
+}
+
+std::size_t Rank::wait_any(Request* const* reqs, std::size_t n) {
+  FAIRMPI_CHECK_MSG(n > 0, "wait_any needs at least one request");
+  for (;;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reqs[i]->done()) return i;
+    }
+    if (progress() == 0) detail::cpu_relax();
+  }
+}
+
+bool Rank::iprobe(CommId comm, int src, int tag, Status* status) {
+  progress();
+  return comm_state(comm).match().probe(src, tag, status);
+}
+
+Status Rank::probe(CommId comm, int src, int tag) {
+  Status status;
+  while (!comm_state(comm).match().probe(src, tag, &status)) {
+    if (progress() == 0) detail::cpu_relax();
+  }
+  return status;
+}
+
+std::size_t Rank::progress() {
+  // Deferred rendezvous protocol work first (runs with no engine lock
+  // held — see p2p/rendezvous.hpp), then the progress engine proper.
+  drain_control();
+  const std::size_t completions = engine_.progress();
+  if (completions != 0) {
+    tracer_.record(trace::Event::kProgress, static_cast<std::uint32_t>(completions));
+  }
+  return completions;
+}
+
+std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
+  switch (pkt.hdr.opcode) {
+    case fabric::Opcode::kEager:
+    case fabric::Opcode::kRndvRts:
+      // Both carry a matching envelope; RTS delivery diverts to the
+      // rendezvous hook inside the engine.
+      return comm_state(pkt.hdr.comm_id).match().incoming(std::move(pkt));
+    case fabric::Opcode::kRndvAck:
+      return handle_rndv_ack(pkt);
+    case fabric::Opcode::kRndvData:
+      return handle_rndv_data(pkt);
+    case fabric::Opcode::kInvalid:
+      break;
+  }
+  FAIRMPI_CHECK_MSG(false, "invalid opcode on the wire");
+  return 0;
+}
+
+std::size_t Rank::handle_completion(const fabric::Completion& c) {
+  switch (c.kind) {
+    case fabric::Completion::Kind::kSendDone: {
+      auto* req = static_cast<p2p::Request*>(c.cookie);
+      req->complete();
+      return 1;
+    }
+    case fabric::Completion::Kind::kRmaDone: {
+      // The cookie is the initiating window's pending-operation counter
+      // (see rma/window.cpp). Handled here too because a generic progress
+      // call may drain RMA completions before the flush path sees them.
+      auto* pending = static_cast<std::atomic<std::uint64_t>*>(c.cookie);
+      pending->fetch_sub(1, std::memory_order_release);
+      return 1;
+    }
+    case fabric::Completion::Kind::kNone:
+      break;
+  }
+  FAIRMPI_CHECK_MSG(false, "invalid completion on a CQ");
+  return 0;
+}
+
+// --- Communicator forwarding ---
+
+int Communicator::rank() const noexcept { return rank_->id(); }
+
+int Communicator::size() const noexcept { return rank_->universe().num_ranks(); }
+
+void Communicator::isend(int dst, int tag, const void* buf, std::size_t n, Request& req) {
+  rank_->isend(id_, dst, tag, buf, n, req);
+}
+
+void Communicator::irecv(int src, int tag, void* buf, std::size_t capacity, Request& req) {
+  rank_->irecv(id_, src, tag, buf, capacity, req);
+}
+
+void Communicator::send(int dst, int tag, const void* buf, std::size_t n) {
+  rank_->send(id_, dst, tag, buf, n);
+}
+
+Status Communicator::recv(int src, int tag, void* buf, std::size_t capacity) {
+  return rank_->recv(id_, src, tag, buf, capacity);
+}
+
+void Communicator::barrier() {
+  // Dissemination barrier: log2(n) rounds of paired send/recv on reserved
+  // tags. Reserved tag space starts at kBarrierTagBase; user tags in the
+  // examples/benches stay far below it.
+  constexpr int kBarrierTagBase = 1 << 30;
+  const int n = size();
+  const int me = rank();
+  if (n == 1) return;
+  unsigned char token = 0;
+  for (int step = 0, dist = 1; dist < n; ++step, dist <<= 1) {
+    const int to = (me + dist) % n;
+    const int from = ((me - dist) % n + n) % n;
+    Request sreq, rreq;
+    unsigned char in = 0;
+    rank_->isend(id_, to, kBarrierTagBase + step, &token, 1, sreq);
+    rank_->irecv(id_, from, kBarrierTagBase + step, &in, 1, rreq);
+    rank_->wait(rreq);
+    rank_->wait(sreq);
+  }
+}
+
+}  // namespace fairmpi

@@ -1,0 +1,48 @@
+#include "fairmpi/core/universe.hpp"
+
+#include <mutex>
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi {
+
+namespace {
+std::vector<int> contexts_per_rank(const Config& cfg) {
+  FAIRMPI_CHECK_MSG(cfg.num_ranks >= 1, "universe needs at least one rank");
+  FAIRMPI_CHECK_MSG(cfg.num_instances >= 1, "at least one CRI per rank");
+  return std::vector<int>(static_cast<std::size_t>(cfg.num_ranks), cfg.num_instances);
+}
+}  // namespace
+
+Universe::Universe(Config cfg)
+    : cfg_(cfg), fabric_(contexts_per_rank(cfg), cfg.fabric) {
+  FAIRMPI_CHECK(cfg_.max_communicators >= 1);
+  ranks_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
+  for (int r = 0; r < cfg_.num_ranks; ++r) {
+    // make_unique can't reach the private constructor.
+    ranks_.emplace_back(new Rank(*this, r));
+  }
+  // World communicator exists everywhere from the start.
+  for (auto& rank : ranks_) rank->install_comm(kWorldComm);
+}
+
+Universe::~Universe() = default;
+
+CommId Universe::create_communicator() {
+  std::scoped_lock guard(comm_create_lock_);
+  const CommId id = next_comm_.fetch_add(1, std::memory_order_relaxed);
+  FAIRMPI_CHECK_MSG(id < static_cast<CommId>(cfg_.max_communicators),
+                    "communicator table exhausted (raise Config::max_communicators)");
+  for (auto& rank : ranks_) rank->install_comm(id);
+  return id;
+}
+
+spc::Snapshot Universe::aggregate_counters() const {
+  spc::Snapshot total;
+  for (const auto& rank : ranks_) {
+    total.merge(rank->counters().snapshot());
+  }
+  return total;
+}
+
+}  // namespace fairmpi

@@ -1,0 +1,43 @@
+#include "fairmpi/cri/cri.hpp"
+
+#include <memory>
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi::cri {
+
+const char* assignment_name(Assignment a) noexcept {
+  switch (a) {
+    case Assignment::kRoundRobin: return "round-robin";
+    case Assignment::kDedicated: return "dedicated";
+  }
+  return "unknown";
+}
+
+std::atomic<std::uint64_t> CriPool::next_pool_key_{0};
+
+CriPool::CriPool(fabric::Fabric& fabric, int rank, Assignment assignment)
+    : assignment_(assignment),
+      pool_key_(next_pool_key_.fetch_add(1, std::memory_order_relaxed)) {
+  fabric::Nic& nic = fabric.nic(rank);
+  instances_.reserve(static_cast<std::size_t>(nic.num_contexts()));
+  for (int i = 0; i < nic.num_contexts(); ++i) {
+    instances_.push_back(
+        std::make_unique<CommResourceInstance>(i, fabric, nic.context(i)));
+  }
+  FAIRMPI_CHECK(!instances_.empty());
+}
+
+int CriPool::dedicated_id() {
+  // Per-thread binding table indexed by pool key. Pools are few and
+  // long-lived (one per rank per universe), so a flat vector beats a hash
+  // map on this hot path. -1 marks "not yet bound" (Alg. 1: my_id
+  // undefined -> assign via round-robin and remember).
+  thread_local std::vector<std::int32_t> bindings;
+  if (bindings.size() <= pool_key_) bindings.resize(pool_key_ + 1, -1);
+  std::int32_t& slot = bindings[pool_key_];
+  if (slot < 0) slot = static_cast<std::int32_t>(next_round_robin());
+  return slot;
+}
+
+}  // namespace fairmpi::cri

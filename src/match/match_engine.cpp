@@ -1,0 +1,263 @@
+#include "fairmpi/match/match_engine.hpp"
+
+#include <cstring>
+#include <limits>
+#include <mutex>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/timing.hpp"
+
+namespace fairmpi::match {
+
+using spc::Counter;
+
+MatchEngine::MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& counters)
+    : allow_overtaking_(allow_overtaking), spc_(counters),
+      peers_(static_cast<std::size_t>(num_ranks)) {
+  FAIRMPI_CHECK(num_ranks >= 1);
+}
+
+void MatchEngine::deliver(p2p::Request* req, const fabric::Packet& pkt) {
+  if (pkt.hdr.opcode == fabric::Opcode::kRndvRts) {
+    // Rendezvous: the envelope pairs with the receive here (preserving the
+    // matching semantics), but the data transfer and the completion are
+    // the rendezvous protocol's job.
+    FAIRMPI_CHECK_MSG(rndv_hook_ != nullptr, "RndvRts received with no hook installed");
+    rndv_hook_->on_rts_matched(req, pkt);
+    return;
+  }
+  p2p::Status status;
+  status.source = static_cast<int>(pkt.hdr.src_rank);
+  status.tag = pkt.hdr.tag;
+  status.size = pkt.hdr.payload_size;
+  status.truncated = pkt.hdr.payload_size > req->capacity();
+  const std::size_t n =
+      status.truncated ? req->capacity() : static_cast<std::size_t>(pkt.hdr.payload_size);
+  if (n != 0) std::memcpy(req->buffer(), pkt.payload(), n);
+  spc_.add(Counter::kMessagesReceived);
+  spc_.add(Counter::kBytesReceived, pkt.hdr.payload_size);
+  req->complete(status);
+}
+
+std::size_t MatchEngine::match_one(fabric::Packet&& pkt) {
+  const int src = static_cast<int>(pkt.hdr.src_rank);
+  const int tag = pkt.hdr.tag;
+  PeerState& ps = peer(src);
+
+  // Queue search: earliest posted receive (by post stamp) whose filters
+  // accept this message, across the source-specific and wildcard queues.
+  auto accepts = [&](const p2p::Request* req) {
+    return req->tag_filter() == p2p::kAnyTag || req->tag_filter() == tag;
+  };
+
+  std::size_t scanned = 0;
+  std::deque<p2p::Request*>::iterator spec_it = ps.posted.end();
+  for (auto it = ps.posted.begin(); it != ps.posted.end(); ++it, ++scanned) {
+    if (accepts(*it)) {
+      spec_it = it;
+      break;
+    }
+  }
+  std::deque<p2p::Request*>::iterator any_it = posted_any_.end();
+  for (auto it = posted_any_.begin(); it != posted_any_.end(); ++it, ++scanned) {
+    if (accepts(*it)) {
+      any_it = it;
+      break;
+    }
+  }
+  spc_.add(Counter::kPostedQueueDepth, scanned);
+
+  p2p::Request* winner = nullptr;
+  if (spec_it != ps.posted.end() && any_it != posted_any_.end()) {
+    // Both candidates match: the MPI matching order is post order.
+    if ((*spec_it)->post_stamp < (*any_it)->post_stamp) {
+      winner = *spec_it;
+      ps.posted.erase(spec_it);
+    } else {
+      winner = *any_it;
+      posted_any_.erase(any_it);
+    }
+  } else if (spec_it != ps.posted.end()) {
+    winner = *spec_it;
+    ps.posted.erase(spec_it);
+  } else if (any_it != posted_any_.end()) {
+    winner = *any_it;
+    posted_any_.erase(any_it);
+  }
+
+  if (winner != nullptr) {
+    deliver(winner, pkt);
+    return 1;
+  }
+
+  spc_.add(Counter::kUnexpectedMessages);
+  ps.unexpected.push_back(Unexpected{arrival_stamp_++, std::move(pkt)});
+  return 0;
+}
+
+std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
+  const int src = static_cast<int>(pkt.hdr.src_rank);
+  FAIRMPI_CHECK_MSG(src >= 0 && src < static_cast<int>(peers_.size()),
+                    "packet from unknown rank");
+
+  std::scoped_lock guard(lock_);
+  std::uint64_t elapsed = 0;
+  std::size_t completions = 0;
+  {
+    ScopedElapsed timer(elapsed);
+    spc_.add(Counter::kMatchAttempts);
+
+    if (allow_overtaking_) {
+      // Overtaking: every message is immediately matchable (§IV-D).
+      completions = match_one(std::move(pkt));
+    } else {
+      PeerState& ps = peer(src);
+      const std::uint32_t seq = pkt.hdr.seq;
+      if (seq != ps.expected_seq) {
+        // Sequence numbers never repeat per (comm, src->dst) stream and the
+        // expected counter only advances past processed messages, so an
+        // unexpected seq must be from the future.
+        FAIRMPI_CHECK_MSG(
+            static_cast<std::int32_t>(seq - ps.expected_seq) > 0,
+            "duplicate or stale sequence number");
+        spc_.add(Counter::kOutOfSequence);
+        ps.reorder.emplace(seq, std::move(pkt));
+        ++reorder_total_;
+        spc_.update_max(Counter::kOosBufferPeak, reorder_total_);
+      } else {
+        ++ps.expected_seq;
+        completions += match_one(std::move(pkt));
+        // Drain any buffered messages that are now in order.
+        for (auto it = ps.reorder.find(ps.expected_seq); it != ps.reorder.end();
+             it = ps.reorder.find(ps.expected_seq)) {
+          fabric::Packet next = std::move(it->second);
+          ps.reorder.erase(it);
+          --reorder_total_;
+          ++ps.expected_seq;
+          completions += match_one(std::move(next));
+        }
+      }
+    }
+  }
+  spc_.add(Counter::kMatchTimeNs, elapsed);
+  return completions;
+}
+
+bool MatchEngine::post(p2p::Request* req) {
+  FAIRMPI_CHECK(req->kind() == p2p::Request::Kind::kRecv);
+  const int src = req->source_filter();
+  const int tag = req->tag_filter();
+  FAIRMPI_CHECK_MSG(src == p2p::kAnySource ||
+                        (src >= 0 && src < static_cast<int>(peers_.size())),
+                    "invalid source filter");
+
+  std::scoped_lock guard(lock_);
+  std::uint64_t elapsed = 0;
+  bool matched = false;
+  {
+    ScopedElapsed timer(elapsed);
+    spc_.add(Counter::kMatchAttempts);
+
+    auto accepts = [&](const Unexpected& u) {
+      return tag == p2p::kAnyTag || tag == u.pkt.hdr.tag;
+    };
+
+    // Search the unexpected queue(s) for the earliest-arrived match.
+    PeerState* best_ps = nullptr;
+    std::deque<Unexpected>::iterator best_it;
+    std::uint64_t best_arrival = std::numeric_limits<std::uint64_t>::max();
+    std::size_t scanned = 0;
+
+    auto scan_peer = [&](PeerState& ps) {
+      for (auto it = ps.unexpected.begin(); it != ps.unexpected.end(); ++it, ++scanned) {
+        if (accepts(*it)) {
+          if (it->arrival < best_arrival) {
+            best_arrival = it->arrival;
+            best_ps = &ps;
+            best_it = it;
+          }
+          break;  // within one peer, earliest match is the first match
+        }
+      }
+    };
+
+    if (src == p2p::kAnySource) {
+      for (auto& ps : peers_) scan_peer(ps);
+    } else {
+      scan_peer(peer(src));
+    }
+    spc_.add(Counter::kUnexpectedQueueDepth, scanned);
+
+    if (best_ps != nullptr) {
+      deliver(req, best_it->pkt);
+      best_ps->unexpected.erase(best_it);
+      matched = true;
+    } else {
+      req->post_stamp = post_stamp_++;
+      if (src == p2p::kAnySource) {
+        posted_any_.push_back(req);
+      } else {
+        peer(src).posted.push_back(req);
+      }
+    }
+  }
+  spc_.add(Counter::kMatchTimeNs, elapsed);
+  return matched;
+}
+
+bool MatchEngine::probe(int src, int tag, p2p::Status* status) {
+  FAIRMPI_CHECK_MSG(src == p2p::kAnySource ||
+                        (src >= 0 && src < static_cast<int>(peers_.size())),
+                    "invalid source filter");
+  std::scoped_lock guard(lock_);
+
+  auto accepts = [&](const Unexpected& u) {
+    return tag == p2p::kAnyTag || tag == u.pkt.hdr.tag;
+  };
+  const Unexpected* best = nullptr;
+  auto scan_peer = [&](const PeerState& ps) {
+    for (const auto& u : ps.unexpected) {
+      if (accepts(u)) {
+        if (best == nullptr || u.arrival < best->arrival) best = &u;
+        break;
+      }
+    }
+  };
+  if (src == p2p::kAnySource) {
+    for (const auto& ps : peers_) scan_peer(ps);
+  } else {
+    scan_peer(peers_[static_cast<std::size_t>(src)]);
+  }
+  if (best == nullptr) return false;
+
+  if (status != nullptr) {
+    status->source = static_cast<int>(best->pkt.hdr.src_rank);
+    status->tag = best->pkt.hdr.tag;
+    status->size = best->pkt.hdr.opcode == fabric::Opcode::kRndvRts
+                       ? p2p::read_rts_body(best->pkt).total
+                       : best->pkt.hdr.payload_size;
+    status->truncated = false;
+  }
+  return true;
+}
+
+std::size_t MatchEngine::unexpected_count() const noexcept {
+  std::scoped_lock guard(lock_);
+  std::size_t n = 0;
+  for (const auto& ps : peers_) n += ps.unexpected.size();
+  return n;
+}
+
+std::size_t MatchEngine::reorder_buffered() const noexcept {
+  std::scoped_lock guard(lock_);
+  return reorder_total_;
+}
+
+std::size_t MatchEngine::posted_count() const noexcept {
+  std::scoped_lock guard(lock_);
+  std::size_t n = posted_any_.size();
+  for (const auto& ps : peers_) n += ps.posted.size();
+  return n;
+}
+
+}  // namespace fairmpi::match

@@ -1,0 +1,47 @@
+#include "fairmpi/model/costs.hpp"
+
+namespace fairmpi::model {
+
+CostModel alembert() {
+  CostModel c;  // the defaults are the Alembert calibration
+  c.name = "alembert";
+  return c;
+}
+
+CostModel trinitite_haswell() {
+  CostModel c;
+  c.name = "trinitite-haswell";
+  // Aries (ugni) has slightly higher per-op software cost than the IB uct
+  // path but the same order of magnitude; the RMA constants are the ones
+  // that matter for Fig. 6.
+  c.rma_op_cpu = 980;
+  c.wire_msg_gap_ns = 34.0;  // ~29 M msg/s small-message peak
+  c.wire_byte_ns = 0.08;     // 100 Gb/s
+  return c;
+}
+
+CostModel trinitite_knl() {
+  CostModel c = trinitite_haswell();
+  c.name = "trinitite-knl";
+  // KNL cores run the serial MPI software path roughly 3x slower than
+  // Haswell cores (low clock, narrow OoO window); the fabric is the same.
+  c.atomic_op *= 3;
+  c.tls_lookup *= 3;
+  c.lock_uncontended *= 3;
+  c.lock_handoff_base *= 2;
+  c.send_path *= 3;
+  c.send_inject *= 3;
+  c.progress_gate *= 3;
+  c.poll_empty *= 3;
+  c.extract_msg *= 3;
+  c.match_base *= 3;
+  c.recv_post *= 3;
+  c.wait_spin *= 3;
+  c.rma_op_cpu = 3100;
+  c.rma_byte_ns = 0.035;  // weaker per-core copy bandwidth
+  c.rma_flush_poll *= 3;
+  c.rma_migration *= 2;
+  return c;
+}
+
+}  // namespace fairmpi::model

@@ -1,0 +1,489 @@
+#include "fairmpi/model/msgrate.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/rng.hpp"
+
+namespace fairmpi::model {
+
+namespace {
+
+using cri::Assignment;
+using progress::ProgressMode;
+using sim::SimMutex;
+using sim::Simulation;
+using sim::Task;
+using sim::Time;
+
+/// One in-flight envelope. `arrival` is when the wire has delivered it and
+/// it becomes visible to the receiver's polling.
+struct Msg {
+  int pair = 0;
+  std::uint64_t seq = 0;
+  Time arrival = 0;
+};
+
+/// Matching state of one communicator (single source process per comm in
+/// this benchmark, so one sequence stream per comm).
+struct CommState {
+  explicit CommState(Simulation& sim, int pairs, Xoshiro256* lock_rng, Time hb, Time hw)
+      : lock(sim, hb, hw, lock_rng), posted(static_cast<std::size_t>(pairs), 0),
+        unexpected(static_cast<std::size_t>(pairs), 0) {}
+
+  SimMutex lock;                       ///< the per-communicator matching lock
+  std::uint64_t next_seq = 0;          ///< sender-side ticket counter
+  std::uint64_t expected = 0;          ///< receiver-side sequence validation
+  std::map<std::uint64_t, int> reorder;  ///< out-of-sequence buffer: seq -> pair
+  std::vector<int> posted;             ///< posted receives per pair (tag)
+  std::vector<int> unexpected;         ///< unexpected messages per pair
+  int posted_total = 0;
+};
+
+struct World {
+  explicit World(const MsgRateConfig& config)
+      : cfg(config), C(config.costs), master(config.seed), lock_rng(master.fork()) {
+    const int n_resources = cfg.process_mode ? cfg.pairs : cfg.instances;
+    const int n_comms = (cfg.comm_per_pair || cfg.process_mode) ? cfg.pairs : 1;
+
+    auto make_locks = [&](std::vector<std::unique_ptr<SimMutex>>& out) {
+      for (int i = 0; i < n_resources; ++i) {
+        // Instance locks are TAS spinlocks: random grant order.
+        out.push_back(std::make_unique<SimMutex>(sim, C.lock_handoff_base,
+                                                 C.lock_handoff_per_waiter, &lock_rng));
+      }
+    };
+    make_locks(send_locks);
+    make_locks(prog_locks);
+    rings.resize(static_cast<std::size_t>(n_resources));
+
+    gate = std::make_unique<SimMutex>(sim);  // try-only; order irrelevant
+    // Offload "comm threads": FIFO, no handoff penalty — a single driver
+    // keeps the engine's working set hot in its own cache.
+    offload_snd = std::make_unique<SimMutex>(sim);
+    offload_rcv = std::make_unique<SimMutex>(sim);
+    big_lock = std::make_unique<SimMutex>(sim, C.lock_handoff_base,
+                                          C.lock_handoff_per_waiter, &lock_rng);
+    // The shared-process section is a set of scattered atomics rather than
+    // one lock line, so its handoff penalty is far milder than a CRI lock.
+    shared_snd = std::make_unique<SimMutex>(sim, C.lock_handoff_base / 4,
+                                            C.lock_handoff_per_waiter / 10, &lock_rng);
+    shared_rcv = std::make_unique<SimMutex>(sim, C.lock_handoff_base / 4,
+                                            C.lock_handoff_per_waiter / 10, &lock_rng);
+
+    for (int c = 0; c < n_comms; ++c) {
+      // The matching lock's handoff penalty is charged explicitly inside
+      // the timed critical section (match_incoming) so the MATCH_TIME
+      // counter sees it, as the paper's SPC does; hence 0 here.
+      comms.push_back(std::make_unique<CommState>(sim, cfg.pairs, &lock_rng, 0, 0));
+    }
+
+    completed.assign(static_cast<std::size_t>(cfg.pairs), 0);
+    rr_send = 0;
+    rr_prog = 0;
+  }
+
+  int comm_of(int pair) const {
+    return (cfg.comm_per_pair || cfg.process_mode) ? pair : 0;
+  }
+  int num_resources() const { return static_cast<int>(rings.size()); }
+
+  const MsgRateConfig& cfg;
+  CostModel C;
+  Simulation sim;
+  Xoshiro256 master;
+  Xoshiro256 lock_rng;
+
+  // Per-"context" resources. In thread mode there are cfg.instances of
+  // them shared by all pairs; in process mode each pair owns its own.
+  std::vector<std::unique_ptr<SimMutex>> send_locks;  // sender node CRIs
+  std::vector<std::unique_ptr<SimMutex>> prog_locks;  // receiver node CRIs
+  std::vector<std::deque<Msg>> rings;                 // receiver RX rings
+
+  std::unique_ptr<SimMutex> gate;        // serial progress gate (receiver node)
+  std::unique_ptr<SimMutex> offload_snd; // offload comm-thread, sender node
+  std::unique_ptr<SimMutex> offload_rcv; // offload comm-thread, receiver node
+  std::unique_ptr<SimMutex> big_lock;    // global-lock baseline
+  std::unique_ptr<SimMutex> shared_snd;  // shared-process section, sender node
+  std::unique_ptr<SimMutex> shared_rcv;  // shared-process section, receiver node
+
+  std::vector<std::unique_ptr<CommState>> comms;
+
+  double wire_next_free_snd = 0;  // sender node NIC occupancy
+
+  // Counters (stats).
+  std::vector<std::uint64_t> completed;  // per pair
+  std::uint64_t delivered_total = 0;
+  std::uint64_t sent_total = 0;
+  std::uint64_t oos_total = 0;
+  std::uint64_t incoming_total = 0;  ///< envelopes that entered matching
+  std::uint64_t match_time = 0;
+
+  std::uint64_t rr_send = 0, rr_prog = 0;
+};
+
+/// Multiplicative jitter: base * U[1-f, 1+f].
+Time jit(const CostModel& C, Xoshiro256& rng, Time base) {
+  if (base == 0 || C.jitter_frac <= 0) return base;
+  const double u = rng.uniform() * 2.0 - 1.0;
+  const double v = static_cast<double>(base) * (1.0 + C.jitter_frac * u);
+  return v < 1.0 ? 1 : static_cast<Time>(v);
+}
+
+/// Deliver one in-order envelope to its pair: complete a posted receive or
+/// queue as unexpected. Pure bookkeeping (costs are charged by the caller).
+void deliver(World& w, CommState& comm, int pair) {
+  auto idx = static_cast<std::size_t>(pair);
+  if (comm.posted[idx] > 0) {
+    --comm.posted[idx];
+    --comm.posted_total;
+    ++w.completed[idx];
+    ++w.delivered_total;
+  } else {
+    ++comm.unexpected[idx];
+  }
+}
+
+/// Match one extracted envelope (assumes the communicator's match lock is
+/// NOT held; acquires it, charges the matching costs, releases).
+/// Match time is accounted from before the lock acquisition, like the
+/// paper's MATCH_TIME software counter.
+Task match_incoming(World& w, Xoshiro256& rng, Msg msg) {
+  CommState& comm = *w.comms[static_cast<std::size_t>(w.comm_of(msg.pair))];
+  const CostModel& C = w.C;
+  const bool contended = comm.lock.locked();
+  co_await comm.lock.acquire();
+  // Time-in-matching starts once the lock is ours (the paper's MATCH_TIME
+  // semantics); the first cost is the cache-coherence penalty of taking
+  // over matching state another thread just wrote — the reason concurrent
+  // progress inflates matching time ~3x (Table II) even though the
+  // matching work itself is unchanged.
+  const Time t0 = w.sim.now();
+  ++w.incoming_total;
+  if (contended || comm.lock.waiters() > 0) {
+    const auto spinners = comm.lock.waiters() < 12 ? comm.lock.waiters() : std::size_t{12};
+    co_await w.sim.delay(jit(C, rng,
+                             C.match_handoff_base +
+                                 C.match_handoff_per_waiter * static_cast<Time>(spinners)));
+  }
+
+  auto search_cost = [&]() -> Time {
+    if (w.cfg.any_tag) return jit(C, rng, C.match_any_tag);
+    // Linear scan of the posted queue. In-sequence consumption keeps the
+    // match near the front of its tag's run: the entries ahead of it are
+    // (at most a few) unconsumed entries of the *other* tags sharing the
+    // communicator, so the effective scan depth is O(pairs-in-comm), not
+    // O(pairs * window).
+    const int pairs_in_comm =
+        (w.cfg.comm_per_pair || w.cfg.process_mode) ? 1 : w.cfg.pairs;
+    const int depth = comm.posted_total < 4 * pairs_in_comm ? comm.posted_total
+                                                            : 4 * pairs_in_comm;
+    return jit(C, rng,
+               C.match_base / 4 +
+                   C.match_search_per_entry * static_cast<Time>(depth / 2 + 1));
+  };
+
+  if (w.cfg.overtaking) {
+    // Sequence validation skipped: every envelope matches immediately.
+    co_await w.sim.delay(search_cost());
+    deliver(w, comm, msg.pair);
+  } else {
+    co_await w.sim.delay(jit(C, rng, C.match_base));  // sequence validation
+    if (msg.seq != comm.expected) {
+      // Out of sequence: allocate + insert into the reorder buffer.
+      ++w.oos_total;
+      co_await w.sim.delay(jit(C, rng, C.oos_insert));
+      comm.reorder.emplace(msg.seq, msg.pair);
+    } else {
+      ++comm.expected;
+      co_await w.sim.delay(search_cost());
+      deliver(w, comm, msg.pair);
+      // Drain now-in-order buffered envelopes.
+      for (auto it = comm.reorder.find(comm.expected); it != comm.reorder.end();
+           it = comm.reorder.find(comm.expected)) {
+        const int pair = it->second;
+        comm.reorder.erase(it);
+        ++comm.expected;
+        co_await w.sim.delay(jit(C, rng, C.oos_drain) + search_cost());
+        deliver(w, comm, pair);
+      }
+    }
+  }
+  comm.lock.release();
+  w.match_time += w.sim.now() - t0;
+}
+
+/// Drain one RX ring (its instance lock must be held by the caller):
+/// extract up to one batch of arrived envelopes and run matching on each.
+Task drain_ring(World& w, Xoshiro256& rng, int ring_idx, std::size_t& extracted) {
+  const CostModel& C = w.C;
+  co_await w.sim.delay(jit(C, rng, C.poll_empty));
+  auto& ring = w.rings[static_cast<std::size_t>(ring_idx)];
+  for (int i = 0; i < C.progress_batch; ++i) {
+    if (ring.empty() || ring.front().arrival > w.sim.now()) break;
+    Msg msg = ring.front();
+    ring.pop_front();
+    co_await w.sim.delay(jit(C, rng, C.extract_msg));
+    co_await match_incoming(w, rng, msg);
+    ++extracted;
+  }
+}
+
+/// One progress-engine call on the receiver node by pair `p`'s thread.
+Task progress_once(World& w, Xoshiro256& rng, int p, std::size_t& got) {
+  const CostModel& C = w.C;
+  const MsgRateConfig& cfg = w.cfg;
+  co_await w.sim.delay(jit(C, rng, C.progress_gate));
+
+  if (cfg.process_mode) {
+    // Single-threaded process: progress its own (only) context directly.
+    co_await drain_ring(w, rng, p, got);
+    co_return;
+  }
+
+  if (cfg.global_lock) {
+    // Big-lock design: the whole engine is one critical section.
+    co_await w.big_lock->acquire();
+    co_await drain_ring(w, rng, 0, got);
+    w.big_lock->release();
+    co_return;
+  }
+
+  if (cfg.offload) {
+    // One dedicated driver extracts; waiting entities queue FIFO on it
+    // (modeling the command/completion queue, not a contended lock).
+    co_await w.offload_rcv->acquire();
+    co_await drain_ring(w, rng, 0, got);
+    w.offload_rcv->release();
+    co_return;
+  }
+
+  if (cfg.progress == ProgressMode::kSerial) {
+    // Traditional design: one thread in the engine, others bail out.
+    if (!w.gate->try_acquire()) co_return;
+    for (int i = 0; i < w.num_resources(); ++i) {
+      SimMutex& lk = *w.prog_locks[static_cast<std::size_t>(i)];
+      co_await lk.acquire();
+      co_await drain_ring(w, rng, i, got);
+      lk.release();
+    }
+    w.gate->release();
+    co_return;
+  }
+
+  // Algorithm 2: own instance first (per assignment policy), then sweep.
+  const int own = cfg.assignment == Assignment::kDedicated
+                      ? p % w.num_resources()
+                      : static_cast<int>(w.rr_prog++ % static_cast<std::uint64_t>(
+                                             w.num_resources()));
+  co_await w.sim.delay(
+      jit(C, rng, cfg.assignment == Assignment::kDedicated ? C.tls_lookup : C.atomic_op));
+  {
+    SimMutex& lk = *w.prog_locks[static_cast<std::size_t>(own)];
+    if (lk.try_acquire()) {
+      co_await drain_ring(w, rng, own, got);
+      lk.release();
+    }
+  }
+  if (got == 0) {
+    for (int i = 0; i < w.num_resources(); ++i) {
+      const int k = static_cast<int>(w.rr_prog++ %
+                                     static_cast<std::uint64_t>(w.num_resources()));
+      SimMutex& lk = *w.prog_locks[static_cast<std::size_t>(k)];
+      if (!lk.try_acquire()) continue;
+      co_await drain_ring(w, rng, k, got);
+      lk.release();
+      if (got > 0) break;
+    }
+  }
+}
+
+/// Sender entity for pair `p` (node 0): an endless stream of eager sends.
+Task sender(World& w, int p) {
+  Xoshiro256 rng = w.master.fork();
+  const CostModel& C = w.C;
+  const MsgRateConfig& cfg = w.cfg;
+  CommState& comm = *w.comms[static_cast<std::size_t>(w.comm_of(p))];
+
+  if (cfg.offload) {
+    // Offload design: enqueue a command (one atomic), then the dedicated
+    // comm actor executes the whole send path serially, uncontended.
+    for (;;) {
+      co_await w.sim.delay(C.atomic_op);  // command enqueue
+      co_await w.offload_snd->acquire();
+      co_await w.sim.delay(jit(C, rng, C.send_path) + jit(C, rng, C.send_inject));
+      const std::uint64_t seq = comm.next_seq++;
+      const double svc = C.wire_service_ns(cfg.payload_bytes);
+      const double now_d = static_cast<double>(w.sim.now());
+      w.wire_next_free_snd =
+          (w.wire_next_free_snd > now_d ? w.wire_next_free_snd : now_d) + svc;
+      const Time arrival = static_cast<Time>(w.wire_next_free_snd);
+      auto& ring = w.rings[0];
+      Time backoff = C.wait_spin * 4;
+      while (ring.size() >= w.cfg.ring_entries) {
+        w.offload_snd->release();
+        co_await w.sim.delay(jit(C, rng, backoff));
+        if (backoff < 4000) backoff *= 2;
+        co_await w.offload_snd->acquire();
+      }
+      ring.push_back(Msg{p, seq, arrival});
+      w.offload_snd->release();
+      ++w.sent_total;
+    }
+  }
+
+  for (;;) {
+    // PML bookkeeping (request setup, descriptor).
+    co_await w.sim.delay(jit(C, rng, C.send_path));
+
+    if (!cfg.process_mode) {
+      // Per-message touch of process-shared state (allocator, counters).
+      co_await w.shared_snd->acquire();
+      co_await w.sim.delay(jit(C, rng, C.process_shared));
+      w.shared_snd->release();
+    }
+
+    // Sequence ticket — before resource acquisition, as in OB1. This is
+    // the out-of-sequence race.
+    if (!cfg.process_mode) co_await w.sim.delay(C.atomic_op);
+    const std::uint64_t seq = comm.next_seq++;
+
+    // Instance selection (Alg. 1).
+    int k;
+    if (cfg.process_mode) {
+      k = p;
+    } else if (cfg.global_lock) {
+      k = 0;
+    } else if (cfg.assignment == Assignment::kDedicated) {
+      k = p % w.num_resources();
+      co_await w.sim.delay(jit(C, rng, C.tls_lookup));
+    } else {
+      k = static_cast<int>(w.rr_send++ % static_cast<std::uint64_t>(w.num_resources()));
+      co_await w.sim.delay(C.atomic_op);
+    }
+
+    SimMutex& lk = cfg.global_lock ? *w.big_lock : *w.send_locks[static_cast<std::size_t>(k)];
+    co_await lk.acquire();
+    co_await w.sim.delay(jit(C, rng, C.send_inject));
+
+    // Wire pacing: the NIC serializes injected messages; the envelope
+    // becomes visible at the receiver once the wire has carried it.
+    const double svc = C.wire_service_ns(cfg.payload_bytes);
+    const double now_d = static_cast<double>(w.sim.now());
+    w.wire_next_free_snd = (w.wire_next_free_snd > now_d ? w.wire_next_free_snd : now_d) + svc;
+    const Time arrival = static_cast<Time>(w.wire_next_free_snd);
+
+    // RX ring with backpressure: full ring forces the sender to release
+    // the instance and retry (the fabric's EAGAIN).
+    const int ring_idx = k % w.num_resources();
+    auto& ring = w.rings[static_cast<std::size_t>(ring_idx)];
+    Time backoff = C.wait_spin * 4;
+    while (ring.size() >= w.cfg.ring_entries) {
+      lk.release();
+      // Exponential backoff keeps the event count bounded while the
+      // receiver is the bottleneck; a spinning sender burns only its own
+      // (infinite, in this model) CPU, so the poll cadence is not
+      // performance-relevant beyond reaction latency.
+      co_await w.sim.delay(jit(C, rng, backoff));
+      if (backoff < 4000) backoff *= 2;
+      co_await lk.acquire();
+    }
+    ring.push_back(Msg{p, seq, arrival});
+    lk.release();
+    ++w.sent_total;
+  }
+}
+
+/// Receiver entity for pair `p` (node 1): windows of irecv + progress.
+Task receiver(World& w, int p) {
+  Xoshiro256 rng = w.master.fork();
+  const CostModel& C = w.C;
+  const MsgRateConfig& cfg = w.cfg;
+  CommState& comm = *w.comms[static_cast<std::size_t>(w.comm_of(p))];
+  const auto idx = static_cast<std::size_t>(p);
+  std::uint64_t issued = 0;
+
+  for (;;) {
+    // Post a window of receives (under the matching lock: the posted and
+    // unexpected queues are matching state).
+    for (int i = 0; i < cfg.window; ++i) {
+      co_await w.sim.delay(jit(C, rng, C.recv_post));
+      if (!cfg.process_mode) {
+        co_await w.shared_rcv->acquire();
+        co_await w.sim.delay(jit(C, rng, C.process_shared));
+        w.shared_rcv->release();
+      }
+      co_await comm.lock.acquire();
+      if (comm.unexpected[idx] > 0) {
+        --comm.unexpected[idx];
+        ++w.completed[idx];
+        ++w.delivered_total;
+      } else {
+        ++comm.posted[idx];
+        ++comm.posted_total;
+      }
+      comm.lock.release();
+      ++issued;
+    }
+    // Wait for the window to complete, progressing the engine. Fruitless
+    // progress attempts back off exponentially (bounded event count; the
+    // spin cadence of a thread that extracts nothing does not affect the
+    // extraction throughput of the threads doing work).
+    Time backoff = C.wait_spin;
+    while (w.completed[idx] < issued) {
+      std::size_t got = 0;
+      co_await progress_once(w, rng, p, got);
+      if (got == 0) {
+        co_await w.sim.delay(jit(C, rng, backoff));
+        if (backoff < 4000) backoff *= 2;
+      } else {
+        backoff = C.wait_spin;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MsgRateResult run_msgrate(const MsgRateConfig& cfg) {
+  FAIRMPI_CHECK(cfg.pairs >= 1);
+  FAIRMPI_CHECK(cfg.instances >= 1);
+  FAIRMPI_CHECK(cfg.window >= 1);
+  FAIRMPI_CHECK_MSG(cfg.process_mode + cfg.global_lock + cfg.offload <= 1,
+                    "process_mode, global_lock and offload are exclusive");
+
+  World w(cfg);
+  for (int p = 0; p < cfg.pairs; ++p) {
+    w.sim.spawn(sender(w, p));
+    w.sim.spawn(receiver(w, p));
+  }
+
+  w.sim.run_until(cfg.warmup_ns);
+  const std::uint64_t delivered0 = w.delivered_total;
+  const std::uint64_t sent0 = w.sent_total;
+  const std::uint64_t oos0 = w.oos_total;
+  const std::uint64_t incoming0 = w.incoming_total;
+  const std::uint64_t match0 = w.match_time;
+
+  w.sim.run_until(cfg.warmup_ns + cfg.measure_ns);
+
+  MsgRateResult res;
+  res.delivered = w.delivered_total - delivered0;
+  res.sent = w.sent_total - sent0;
+  res.out_of_sequence = w.oos_total - oos0;
+  res.incoming = w.incoming_total - incoming0;
+  res.match_time_ns = w.match_time - match0;
+  res.msg_rate = static_cast<double>(res.delivered) * 1e9 /
+                 static_cast<double>(cfg.measure_ns);
+  res.oos_fraction = res.incoming
+                         ? static_cast<double>(res.out_of_sequence) /
+                               static_cast<double>(res.incoming)
+                         : 0.0;
+  res.events = w.sim.events_processed();
+  return res;
+}
+
+}  // namespace fairmpi::model

@@ -1,0 +1,178 @@
+#include "fairmpi/model/rmamt.hpp"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/rng.hpp"
+
+namespace fairmpi::model {
+
+namespace {
+
+using cri::Assignment;
+using sim::SimMutex;
+using sim::Simulation;
+using sim::Task;
+using sim::Time;
+
+/// A put completion parked on an instance CQ; visible once the wire has
+/// delivered the payload.
+struct Cqe {
+  int thread = 0;
+  Time ready = 0;
+};
+
+struct World {
+  explicit World(const RmaModelConfig& config)
+      : cfg(config), C(config.costs), master(config.seed), lock_rng(master.fork()) {
+    for (int i = 0; i < cfg.instances; ++i) {
+      locks.push_back(std::make_unique<SimMutex>(sim, C.lock_handoff_base,
+                                                 C.lock_handoff_per_waiter, &lock_rng));
+    }
+    cqs.resize(static_cast<std::size_t>(cfg.instances));
+    pending.assign(static_cast<std::size_t>(cfg.threads), 0);
+    last_instance.assign(static_cast<std::size_t>(cfg.threads), -1);
+  }
+
+  const RmaModelConfig& cfg;
+  CostModel C;
+  Simulation sim;
+  Xoshiro256 master;
+  Xoshiro256 lock_rng;
+
+  std::vector<std::unique_ptr<SimMutex>> locks;
+  std::vector<std::deque<Cqe>> cqs;
+  double wire_next_free = 0;
+
+  std::vector<std::uint64_t> pending;  ///< outstanding puts per thread
+  std::vector<int> last_instance;      ///< affinity tracking (RR migration)
+  std::uint64_t rr = 0;
+  std::uint64_t ops_in_window = 0;
+};
+
+Time jit(const CostModel& C, Xoshiro256& rng, Time base) {
+  if (base == 0 || C.jitter_frac <= 0) return base;
+  const double u = rng.uniform() * 2.0 - 1.0;
+  const double v = static_cast<double>(base) * (1.0 + C.jitter_frac * u);
+  return v < 1.0 ? 1 : static_cast<Time>(v);
+}
+
+/// Drain ready completions from one instance CQ (lock held by caller).
+/// Returns via out-param how many entries were retired.
+Task drain_cq(World& w, Xoshiro256& rng, int k, std::size_t& retired) {
+  co_await w.sim.delay(jit(w.C, rng, w.C.rma_flush_poll));
+  auto& cq = w.cqs[static_cast<std::size_t>(k)];
+  while (!cq.empty() && cq.front().ready <= w.sim.now()) {
+    const Cqe e = cq.front();
+    cq.pop_front();
+    FAIRMPI_CHECK(w.pending[static_cast<std::size_t>(e.thread)] > 0);
+    --w.pending[static_cast<std::size_t>(e.thread)];
+    ++retired;
+  }
+}
+
+/// One RMA-MT thread: rounds of `ops_per_round` puts, then flush.
+Task rma_thread(World& w, int t) {
+  Xoshiro256 rng = w.master.fork();
+  const CostModel& C = w.C;
+  const RmaModelConfig& cfg = w.cfg;
+  const auto ti = static_cast<std::size_t>(t);
+
+  for (;;) {
+    for (int op = 0; op < cfg.ops_per_round; ++op) {
+      // Instance selection (Alg. 1).
+      int k;
+      if (cfg.assignment == Assignment::kDedicated) {
+        k = t % cfg.instances;
+        co_await w.sim.delay(jit(C, rng, C.tls_lookup));
+      } else {
+        k = static_cast<int>(w.rr++ % static_cast<std::uint64_t>(cfg.instances));
+        co_await w.sim.delay(C.atomic_op);
+      }
+      // Losing instance affinity costs a working-set migration (descriptor
+      // rings, doorbell page) — the round-robin tax the paper observes.
+      if (w.last_instance[ti] != k) {
+        co_await w.sim.delay(jit(C, rng, C.rma_migration));
+        w.last_instance[ti] = k;
+      }
+
+      SimMutex& lk = *w.locks[static_cast<std::size_t>(k)];
+      co_await lk.acquire();
+      const Time cpu = jit(C, rng,
+                           C.rma_op_cpu + static_cast<Time>(C.rma_byte_ns *
+                                                            static_cast<double>(
+                                                                cfg.message_size)));
+      co_await w.sim.delay(cpu);
+
+      // Wire pacing (shared NIC).
+      const double svc = C.wire_service_ns(cfg.message_size);
+      const double now_d = static_cast<double>(w.sim.now());
+      w.wire_next_free = (w.wire_next_free > now_d ? w.wire_next_free : now_d) + svc;
+      const Time arrival = static_cast<Time>(w.wire_next_free);
+      w.cqs[static_cast<std::size_t>(k)].push_back(Cqe{t, arrival});
+      ++w.pending[ti];
+      lk.release();
+      // An op counts when the wire has carried it, attributed to the
+      // window its arrival falls in — injection bursts queued on the NIC
+      // cannot inflate the reported rate beyond the wire peak.
+      if (arrival > cfg.warmup_ns && arrival <= cfg.warmup_ns + cfg.measure_ns) {
+        ++w.ops_in_window;
+      }
+    }
+
+    // MPI_Win_flush: drain own instance first, then sweep (btl-level flush
+    // behaviour; identical under both progress designs, except the serial
+    // design's incidental opal_progress gate probe).
+    if (cfg.progress == progress::ProgressMode::kSerial) {
+      co_await w.sim.delay(jit(C, rng, C.progress_gate));
+    }
+    Time backoff = C.rma_flush_poll;
+    while (w.pending[ti] > 0) {
+      const int own = cfg.assignment == Assignment::kDedicated
+                          ? t % cfg.instances
+                          : static_cast<int>(w.rr++ %
+                                             static_cast<std::uint64_t>(cfg.instances));
+      std::size_t retired = 0;
+      for (int i = 0; i < cfg.instances && w.pending[ti] > 0; ++i) {
+        const int k = (own + i) % cfg.instances;
+        SimMutex& lk = *w.locks[static_cast<std::size_t>(k)];
+        if (!lk.try_acquire()) continue;
+        co_await drain_cq(w, rng, k, retired);
+        lk.release();
+        // Dedicated threads' completions live on their own instance; stop
+        // sweeping once something was retired there.
+        if (retired > 0 && cfg.assignment == Assignment::kDedicated) break;
+      }
+      if (w.pending[ti] > 0 && retired == 0) {
+        co_await w.sim.delay(jit(C, rng, backoff));
+        if (backoff < 4000) backoff *= 2;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RmaModelResult run_rma_model(const RmaModelConfig& cfg) {
+  FAIRMPI_CHECK(cfg.threads >= 1);
+  FAIRMPI_CHECK(cfg.instances >= 1);
+  FAIRMPI_CHECK(cfg.ops_per_round >= 1);
+
+  World w(cfg);
+  for (int t = 0; t < cfg.threads; ++t) w.sim.spawn(rma_thread(w, t));
+
+  // Run past the window end so in-flight rounds whose arrivals fall inside
+  // the window are actually injected.
+  w.sim.run_until(cfg.warmup_ns + cfg.measure_ns + cfg.measure_ns / 4);
+
+  RmaModelResult res;
+  res.ops = w.ops_in_window;
+  res.msg_rate = static_cast<double>(res.ops) * 1e9 / static_cast<double>(cfg.measure_ns);
+  res.peak_rate = cfg.costs.wire_peak_rate(cfg.message_size);
+  res.events = w.sim.events_processed();
+  return res;
+}
+
+}  // namespace fairmpi::model

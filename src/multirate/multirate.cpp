@@ -1,0 +1,266 @@
+#include "fairmpi/multirate/multirate.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/timing.hpp"
+#include "fairmpi/core/universe.hpp"
+
+namespace fairmpi::multirate {
+
+namespace {
+
+struct PairEndpoints {
+  Rank* sender = nullptr;
+  Rank* receiver = nullptr;
+  int sender_rank_id = 0;  ///< rank id the receiver matches against
+  CommId comm = kWorldComm;
+  int tag = 0;
+};
+
+}  // namespace
+
+MultirateResult run_pairwise(const MultirateConfig& cfg) {
+  FAIRMPI_CHECK(cfg.pairs >= 1);
+  FAIRMPI_CHECK(cfg.window >= 1);
+
+  Config engine = cfg.engine;
+  engine.num_ranks = cfg.process_mode ? 2 * cfg.pairs : 2;
+  if (cfg.process_mode) engine.num_instances = 1;  // one context per process
+  engine.max_communicators =
+      std::max(engine.max_communicators, cfg.pairs + 2);
+  Universe uni(engine);
+
+  std::vector<PairEndpoints> eps(static_cast<std::size_t>(cfg.pairs));
+  for (int p = 0; p < cfg.pairs; ++p) {
+    auto& ep = eps[static_cast<std::size_t>(p)];
+    if (cfg.process_mode) {
+      ep.sender = &uni.rank(2 * p);
+      ep.receiver = &uni.rank(2 * p + 1);
+      ep.sender_rank_id = 2 * p;
+      ep.tag = 0;
+    } else {
+      ep.sender = &uni.rank(0);
+      ep.receiver = &uni.rank(1);
+      ep.sender_rank_id = 0;
+      ep.tag = p;  // pairs share the communicator, distinguished by tag
+    }
+    ep.comm = (cfg.comm_per_pair && !cfg.process_mode) ? uni.create_communicator()
+                                                       : kWorldComm;
+  }
+
+  const std::size_t n = cfg.payload_bytes;
+  std::vector<std::uint8_t> payload(n ? n : 1, 0xAB);
+
+  std::atomic<bool> timing{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> receivers_done{0};
+  std::atomic<std::uint64_t> delivered{0};
+  // +1 for the coordinator thread that runs the clock.
+  std::barrier sync(cfg.pairs * 2 + 1);
+
+  // Window-credit flow control: the receiver acknowledges every consumed
+  // window with a zero-byte message; the sender keeps at most kCredit
+  // windows un-acknowledged. This bounds the unexpected-queue backlog while
+  // keeping the pipeline full (the ack is 1/window of the traffic).
+  constexpr int kCredit = 2;
+  constexpr int kAckTagBase = 1 << 20;
+
+  // Ack requests outlive the sender threads: a sender that bails out early
+  // (all receivers done) may leave acks posted in the matching engine, and
+  // another thread's progress call must not touch freed requests.
+  std::vector<std::vector<std::unique_ptr<Request>>> ack_storage(
+      static_cast<std::size_t>(cfg.pairs));
+
+  auto sender_fn = [&](int p) {
+    const PairEndpoints& ep = eps[static_cast<std::size_t>(p)];
+    const int dst = cfg.process_mode ? 2 * p + 1 : 1;
+    const int ack_tag = kAckTagBase + ep.tag;
+    sync.arrive_and_wait();  // start together
+    Request req;
+    auto& acks = ack_storage[static_cast<std::size_t>(p)];
+    std::size_t next_wait = 0;
+    auto all_receivers_done = [&] {
+      return receivers_done.load(std::memory_order_acquire) >= cfg.pairs;
+    };
+    while (!all_receivers_done()) {
+      for (int i = 0; i < cfg.window && !all_receivers_done(); ++i) {
+        ep.sender->isend(ep.comm, dst, ep.tag, payload.data(), n, req);
+      }
+      acks.push_back(std::make_unique<Request>());
+      ep.sender->irecv(ep.comm, dst, ack_tag, nullptr, 0, *acks.back());
+      if (acks.size() - next_wait >= kCredit) {
+        Request& pending = *acks[next_wait];
+        // The receiver stops acknowledging once stopped; bail out then.
+        while (!pending.done() && !all_receivers_done()) {
+          ep.sender->progress();
+        }
+        ++next_wait;
+      }
+    }
+  };
+
+  auto receiver_fn = [&](int p) {
+    const PairEndpoints& ep = eps[static_cast<std::size_t>(p)];
+    const int src = ep.sender_rank_id;
+    const int tag = cfg.any_tag ? kAnyTag : ep.tag;
+    const int ack_tag = kAckTagBase + ep.tag;
+    std::vector<Request> reqs(static_cast<std::size_t>(cfg.window));
+    std::vector<Request*> ptrs;
+    ptrs.reserve(reqs.size());
+    for (auto& r : reqs) ptrs.push_back(&r);
+    std::vector<std::uint8_t> buf((n ? n : 1) * static_cast<std::size_t>(cfg.window));
+
+    sync.arrive_and_wait();
+    std::uint64_t my_count = 0;
+    Request ack;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < cfg.window; ++i) {
+        ep.receiver->irecv(ep.comm, src, tag,
+                           buf.data() + static_cast<std::size_t>(i) * (n ? n : 1), n,
+                           reqs[static_cast<std::size_t>(i)]);
+      }
+      ep.receiver->wait_all(ptrs.data(), ptrs.size());
+      ep.receiver->isend(ep.comm, src, ack_tag, nullptr, 0, ack);
+      if (timing.load(std::memory_order_acquire)) {
+        my_count += static_cast<std::uint64_t>(cfg.window);
+      }
+    }
+    delivered.fetch_add(my_count, std::memory_order_relaxed);
+    receivers_done.fetch_add(1, std::memory_order_release);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.pairs) * 2);
+  for (int p = 0; p < cfg.pairs; ++p) threads.emplace_back(receiver_fn, p);
+  for (int p = 0; p < cfg.pairs; ++p) threads.emplace_back(sender_fn, p);
+
+  sync.arrive_and_wait();  // release everyone
+  // Warmup: let windows cycle before timing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  spc::Snapshot spc_before;
+  for (int p = 0; p < cfg.pairs; ++p) {
+    if (!cfg.process_mode && p > 0) break;  // thread mode: one receiver rank
+    spc_before.merge(eps[static_cast<std::size_t>(p)].receiver->counters().snapshot());
+  }
+
+  const Stopwatch clock;
+  timing.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(cfg.duration_s * 1e6)));
+  timing.store(false, std::memory_order_release);
+  const double elapsed = clock.elapsed_s();
+  stop.store(true, std::memory_order_release);
+
+  for (auto& t : threads) t.join();
+
+  spc::Snapshot spc_after;
+  for (int p = 0; p < cfg.pairs; ++p) {
+    if (!cfg.process_mode && p > 0) break;
+    spc_after.merge(eps[static_cast<std::size_t>(p)].receiver->counters().snapshot());
+  }
+
+  MultirateResult res;
+  res.delivered = delivered.load();
+  res.duration_s = elapsed;
+  res.msg_rate = static_cast<double>(res.delivered) / elapsed;
+  res.receiver_spc = spc_after.delta_since(spc_before);
+  return res;
+}
+
+MultirateResult run_incast(const MultirateConfig& cfg) {
+  FAIRMPI_CHECK(cfg.pairs >= 1);
+  FAIRMPI_CHECK(cfg.window >= 1);
+
+  Config engine = cfg.engine;
+  engine.num_ranks = 2;
+  Universe uni(engine);
+  Rank& sender_rank = uni.rank(0);
+  Rank& receiver_rank = uni.rank(1);
+  constexpr int kTag = 3;
+
+  const std::size_t n = cfg.payload_bytes;
+  std::vector<std::uint8_t> payload(n ? n : 1, 0xCD);
+
+  std::atomic<bool> timing{false};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> receiver_done{false};
+  std::atomic<std::uint64_t> delivered{0};
+  // Aggregate flow control: senders stay at most kMaxInFlight messages
+  // ahead of the receiver's consumption, bounding the unexpected-queue
+  // backlog (the eager-buffer-limit analog; N free-running senders would
+  // otherwise outrun the single receiver without bound).
+  std::atomic<std::uint64_t> injected{0};
+  std::atomic<std::uint64_t> consumed{0};
+  const std::uint64_t kMaxInFlight = static_cast<std::uint64_t>(cfg.window) * 8 + 1024;
+  std::barrier sync(cfg.pairs + 2);  // senders + receiver + coordinator
+
+  auto sender_fn = [&] {
+    sync.arrive_and_wait();
+    Request req;
+    while (!receiver_done.load(std::memory_order_acquire)) {
+      if (injected.load(std::memory_order_relaxed) -
+              consumed.load(std::memory_order_acquire) >=
+          kMaxInFlight) {
+        detail::cpu_relax();
+        continue;
+      }
+      sender_rank.isend(kWorldComm, 1, kTag, payload.data(), n, req);
+      injected.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  auto receiver_fn = [&] {
+    std::vector<Request> reqs(static_cast<std::size_t>(cfg.window));
+    std::vector<Request*> ptrs;
+    for (auto& r : reqs) ptrs.push_back(&r);
+    std::vector<std::uint8_t> buf((n ? n : 1) * static_cast<std::size_t>(cfg.window));
+    sync.arrive_and_wait();
+    std::uint64_t my_count = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < cfg.window; ++i) {
+        receiver_rank.irecv(kWorldComm, 0, kTag,
+                            buf.data() + static_cast<std::size_t>(i) * (n ? n : 1), n,
+                            reqs[static_cast<std::size_t>(i)]);
+      }
+      receiver_rank.wait_all(ptrs.data(), ptrs.size());
+      consumed.fetch_add(static_cast<std::uint64_t>(cfg.window), std::memory_order_release);
+      if (timing.load(std::memory_order_acquire)) {
+        my_count += static_cast<std::uint64_t>(cfg.window);
+      }
+    }
+    delivered.store(my_count, std::memory_order_relaxed);
+    receiver_done.store(true, std::memory_order_release);
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(receiver_fn);
+  for (int s = 0; s < cfg.pairs; ++s) threads.emplace_back(sender_fn);
+
+  sync.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const spc::Snapshot before = receiver_rank.counters().snapshot();
+  const Stopwatch clock;
+  timing.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(cfg.duration_s * 1e6)));
+  timing.store(false, std::memory_order_release);
+  const double elapsed = clock.elapsed_s();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  MultirateResult res;
+  res.delivered = delivered.load();
+  res.duration_s = elapsed;
+  res.msg_rate = static_cast<double>(res.delivered) / elapsed;
+  res.receiver_spc = receiver_rank.counters().snapshot().delta_since(before);
+  return res;
+}
+
+}  // namespace fairmpi::multirate

@@ -1,0 +1,86 @@
+#include "fairmpi/offload/offload.hpp"
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi::offload {
+
+OffloadDriver::OffloadDriver(Rank& rank, std::size_t queue_entries)
+    : rank_(rank), queue_(queue_entries), worker_([this] { run(); }) {}
+
+OffloadDriver::~OffloadDriver() {
+  stop_.store(true, std::memory_order_release);
+  worker_.join();
+}
+
+void OffloadDriver::submit(Command&& cmd) {
+  FAIRMPI_CHECK_MSG(!stop_.load(std::memory_order_relaxed),
+                    "submit after driver shutdown");
+  while (!queue_.try_push(std::move(cmd))) {
+    // Command-queue backpressure: the comm thread is saturated; the
+    // application thread politely spins (it has nothing else to do for
+    // this operation anyway).
+    detail::cpu_relax();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OffloadDriver::submit_isend(CommId comm, int dst, int tag, const void* buf,
+                                 std::size_t n, Request& req) {
+  req.init_send();  // visible as incomplete until the comm thread injects
+  Command cmd;
+  cmd.kind = Command::Kind::kSend;
+  cmd.comm = comm;
+  cmd.peer = dst;
+  cmd.tag = tag;
+  cmd.buffer = const_cast<void*>(buf);
+  cmd.bytes = n;
+  cmd.request = &req;
+  submit(std::move(cmd));
+}
+
+void OffloadDriver::submit_irecv(CommId comm, int src, int tag, void* buf,
+                                 std::size_t capacity, Request& req) {
+  // init_recv happens on the comm thread (it owns the matching post); mark
+  // the request pending here so done() reads false immediately.
+  req.init_recv(buf, capacity, src, tag);
+  Command cmd;
+  cmd.kind = Command::Kind::kRecv;
+  cmd.comm = comm;
+  cmd.peer = src;
+  cmd.tag = tag;
+  cmd.buffer = buf;
+  cmd.bytes = capacity;
+  cmd.request = &req;
+  submit(std::move(cmd));
+}
+
+void OffloadDriver::run() {
+  // The single engine driver: drain commands, then progress. Stop only
+  // once the queue is empty so submitted operations are not lost.
+  for (;;) {
+    Command cmd;
+    bool worked = false;
+    while (queue_.try_pop(cmd)) {
+      worked = true;
+      switch (cmd.kind) {
+        case Command::Kind::kSend: {
+          // The engine completes the caller's request at injection.
+          rank_.isend(cmd.comm, cmd.peer, cmd.tag, cmd.buffer, cmd.bytes, *cmd.request);
+          break;
+        }
+        case Command::Kind::kRecv:
+          rank_.comm_state(cmd.comm).match().post(cmd.request);
+          break;
+        case Command::Kind::kNone:
+          FAIRMPI_CHECK_MSG(false, "empty offload command");
+      }
+    }
+    if (rank_.progress() != 0) worked = true;
+    if (!worked) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      detail::cpu_relax();
+    }
+  }
+}
+
+}  // namespace fairmpi::offload

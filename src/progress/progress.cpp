@@ -1,0 +1,103 @@
+#include "fairmpi/progress/progress.hpp"
+
+#include <mutex>
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi::progress {
+
+using spc::Counter;
+
+const char* progress_mode_name(ProgressMode m) noexcept {
+  switch (m) {
+    case ProgressMode::kSerial: return "serial";
+    case ProgressMode::kConcurrent: return "concurrent";
+  }
+  return "unknown";
+}
+
+ProgressEngine::ProgressEngine(cri::CriPool& pool, PacketSink& sink, ProgressMode mode,
+                               spc::CounterSet& counters, int batch)
+    : pool_(pool), sink_(sink), mode_(mode), spc_(counters), batch_(batch) {
+  FAIRMPI_CHECK(batch >= 1);
+}
+
+std::size_t ProgressEngine::progress_instance_locked(cri::CommResourceInstance& inst) {
+  std::size_t completions = 0;
+
+  // Completion queue first: completions release resources (RMA pending
+  // counts, send credits) that the packet path may be waiting on.
+  fabric::Completion comp;
+  while (inst.context().cq().try_pop(comp)) {
+    completions += sink_.handle_completion(comp);
+  }
+
+  // RX ring: extract up to `batch_` envelopes and hand them to matching.
+  fabric::Packet pkt;
+  for (int i = 0; i < batch_ && inst.context().rx().try_pop(pkt); ++i) {
+    completions += sink_.handle_packet(std::move(pkt));
+  }
+  return completions;
+}
+
+std::size_t ProgressEngine::progress_serial() {
+  // Traditional design: one thread in the engine; others return at once.
+  if (!serial_gate_.try_lock()) {
+    spc_.add(Counter::kInstanceTrylockFail);
+    return 0;
+  }
+  std::scoped_lock adopt(std::adopt_lock, serial_gate_);
+
+  std::size_t completions = 0;
+  for (int i = 0; i < pool_.size(); ++i) {
+    cri::CommResourceInstance& inst = pool_.instance(i);
+    // The gate already excludes other progress threads, but send paths also
+    // take instance locks, so each instance is still locked individually.
+    std::scoped_lock guard(inst.lock());
+    completions += progress_instance_locked(inst);
+  }
+  return completions;
+}
+
+std::size_t ProgressEngine::progress_concurrent() {
+  // Algorithm 2. Own instance first...
+  std::size_t completions = 0;
+  const int own = pool_.id_for_thread();
+  {
+    cri::CommResourceInstance& inst = pool_.instance(own);
+    if (inst.lock().try_lock()) {
+      std::scoped_lock adopt(std::adopt_lock, inst.lock());
+      completions = progress_instance_locked(inst);
+    } else {
+      spc_.add(Counter::kInstanceTrylockFail);
+    }
+  }
+  // ... and only if it yielded nothing, sweep the others (guaranteeing
+  // every instance is progressed eventually — orphaned-CRI liveness).
+  if (completions == 0) {
+    for (int i = 0; i < pool_.size(); ++i) {
+      const int k = pool_.next_round_robin();
+      cri::CommResourceInstance& inst = pool_.instance(k);
+      if (!inst.lock().try_lock()) {
+        spc_.add(Counter::kInstanceTrylockFail);
+        continue;
+      }
+      {
+        std::scoped_lock adopt(std::adopt_lock, inst.lock());
+        completions = progress_instance_locked(inst);
+      }
+      if (completions > 0) break;
+    }
+  }
+  return completions;
+}
+
+std::size_t ProgressEngine::progress() {
+  spc_.add(Counter::kProgressCalls);
+  const std::size_t completions =
+      mode_ == ProgressMode::kSerial ? progress_serial() : progress_concurrent();
+  if (completions != 0) spc_.add(Counter::kProgressCompletions, completions);
+  return completions;
+}
+
+}  // namespace fairmpi::progress

@@ -1,0 +1,259 @@
+#include "fairmpi/rma/window.hpp"
+
+#include <cstring>
+#include <mutex>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/timing.hpp"
+
+namespace fairmpi::rma {
+
+using spc::Counter;
+
+namespace {
+std::atomic<std::uint64_t> g_next_window_key{0};
+}  // namespace
+
+Window::Window(WindowGroup& group, Rank& rank, void* base, std::size_t bytes)
+    : group_(&group), rank_(&rank), base_(base), bytes_(bytes),
+      window_key_(g_next_window_key.fetch_add(1, std::memory_order_relaxed)) {}
+
+Window::PendingSlot& Window::thread_slot() {
+  // Sticky per-thread binding keyed by the window's global id (same
+  // pattern as CriPool::dedicated_id); keys are never reused, so stale
+  // entries from destroyed windows are simply dead weight.
+  thread_local std::vector<PendingSlot*> bindings;
+  if (bindings.size() <= window_key_) bindings.resize(window_key_ + 1, nullptr);
+  PendingSlot*& slot = bindings[window_key_];
+  if (slot == nullptr) {
+    std::scoped_lock guard(slots_lock_);
+    slots_.push_back(std::make_unique<PendingSlot>());
+    slot = slots_.back().get();
+  }
+  return *slot;
+}
+
+std::uint64_t Window::pending() const {
+  std::scoped_lock guard(slots_lock_);
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->count->load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+WindowGroup::WindowGroup(Universe& universe, const std::vector<Region>& regions) {
+  FAIRMPI_CHECK_MSG(static_cast<int>(regions.size()) == universe.num_ranks(),
+                    "one region per rank required");
+  windows_.reserve(regions.size());
+  for (int r = 0; r < universe.num_ranks(); ++r) {
+    const Region& reg = regions[static_cast<std::size_t>(r)];
+    FAIRMPI_CHECK_MSG(reg.base != nullptr || reg.bytes == 0, "null region with nonzero size");
+    windows_.emplace_back(new Window(*this, universe.rank(r), reg.base, reg.bytes));
+  }
+}
+
+namespace {
+/// Lock an instance, timing the wait only when contended (same accounting
+/// as the two-sided send path).
+void lock_timed(cri::CommResourceInstance& inst, spc::CounterSet& counters) {
+  if (inst.lock().try_lock()) return;
+  const std::uint64_t t0 = now_ns();
+  inst.lock().lock();
+  counters.add(Counter::kInstanceLockWaitNs, now_ns() - t0);
+}
+}  // namespace
+
+void Window::post_completion(cri::CommResourceInstance& inst) {
+  PendingSlot& slot = thread_slot();
+  slot.count->fetch_add(1, std::memory_order_relaxed);
+  const fabric::Completion done{fabric::Completion::Kind::kRmaDone, &slot.count.value};
+  while (!inst.context().cq().try_push(fabric::Completion{done})) {
+    // CQ overrun: harvest one event inline (the NIC analog is a CQ poll
+    // forced by the driver before more work can be posted).
+    fabric::Completion drained;
+    if (inst.context().cq().try_pop(drained)) {
+      rank_->handle_completion(drained);
+    }
+  }
+}
+
+void Window::put(int target, std::size_t disp, const void* src, std::size_t n) {
+  Window& tw = group_->window(target);
+  FAIRMPI_CHECK_MSG(disp + n <= tw.bytes_, "put out of window bounds");
+
+  cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
+  lock_timed(inst, rank_->counters());
+  {
+    std::scoped_lock adopt(std::adopt_lock, inst.lock());
+    if (n != 0) {
+      std::memcpy(static_cast<std::byte*>(tw.base_) + disp, src, n);
+    }
+    post_completion(inst);
+  }
+  rank_->counters().add(Counter::kRmaPuts);
+  rank_->counters().add(Counter::kBytesSent, n);
+  rank_->tracer().record(trace::Event::kRmaPut, static_cast<std::uint32_t>(target),
+                         static_cast<std::uint32_t>(n));
+}
+
+void Window::get(int target, std::size_t disp, void* dst, std::size_t n) {
+  Window& tw = group_->window(target);
+  FAIRMPI_CHECK_MSG(disp + n <= tw.bytes_, "get out of window bounds");
+
+  cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
+  lock_timed(inst, rank_->counters());
+  {
+    std::scoped_lock adopt(std::adopt_lock, inst.lock());
+    if (n != 0) {
+      std::memcpy(dst, static_cast<const std::byte*>(tw.base_) + disp, n);
+    }
+    post_completion(inst);
+  }
+  rank_->counters().add(Counter::kRmaGets);
+  rank_->counters().add(Counter::kBytesReceived, n);
+  rank_->tracer().record(trace::Event::kRmaGet, static_cast<std::uint32_t>(target),
+                         static_cast<std::uint32_t>(n));
+}
+
+void Window::accumulate_add_u64(int target, std::size_t disp, std::uint64_t operand) {
+  (void)fetch_add_u64(target, disp, operand);
+}
+
+std::uint64_t Window::fetch_add_u64(int target, std::size_t disp, std::uint64_t operand) {
+  Window& tw = group_->window(target);
+  FAIRMPI_CHECK_MSG(disp % alignof(std::uint64_t) == 0, "accumulate needs aligned disp");
+  FAIRMPI_CHECK_MSG(disp + sizeof(std::uint64_t) <= tw.bytes_,
+                    "accumulate out of window bounds");
+
+  cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
+  lock_timed(inst, rank_->counters());
+  std::uint64_t old = 0;
+  {
+    std::scoped_lock adopt(std::adopt_lock, inst.lock());
+    {
+      // Target-side atomicity: accumulates to one location serialize on the
+      // target window's stripe lock, regardless of initiating rank/thread.
+      std::scoped_lock atomic_guard(tw.accumulate_lock(disp));
+      auto* cell = reinterpret_cast<std::uint64_t*>(static_cast<std::byte*>(tw.base_) + disp);
+      old = *cell;
+      *cell = old + operand;
+    }
+    post_completion(inst);
+  }
+  rank_->counters().add(Counter::kRmaAccumulates);
+  return old;
+}
+
+template <typename DonePredicate>
+void Window::drain_until(DonePredicate done) {
+  cri::CriPool& pool = rank_->pool();
+  while (!done()) {
+    // Own instance first (Alg. 2's affinity), then sweep: a thread's
+    // completions usually sit on the instance it injected through.
+    const int own = pool.id_for_thread();
+    for (int i = 0; i < pool.size(); ++i) {
+      const int k = (own + i) % pool.size();
+      cri::CommResourceInstance& inst = pool.instance(k);
+      if (!inst.lock().try_lock()) {
+        rank_->counters().add(Counter::kInstanceTrylockFail);
+        continue;
+      }
+      {
+        std::scoped_lock adopt(std::adopt_lock, inst.lock());
+        rank_->engine().progress_instance_locked(inst);
+      }
+      if (done()) break;
+    }
+  }
+}
+
+void Window::flush(int target) {
+  (void)target;  // pending ops are tracked per thread, not per target
+  flush_all();
+}
+
+void Window::flush_all() {
+  rank_->counters().add(Counter::kRmaFlushes);
+  PendingSlot& slot = thread_slot();
+  rank_->tracer().record(
+      trace::Event::kRmaFlush,
+      static_cast<std::uint32_t>(slot.count->load(std::memory_order_relaxed)));
+  drain_until([&slot] { return slot.count->load(std::memory_order_acquire) == 0; });
+}
+
+void Window::flush_process() {
+  rank_->counters().add(Counter::kRmaFlushes);
+  drain_until([this] { return pending() == 0; });
+}
+
+void Window::lock_all() noexcept {
+  epoch_open_.store(true, std::memory_order_relaxed);
+}
+
+void Window::unlock_all() {
+  flush_process();
+  epoch_open_.store(false, std::memory_order_relaxed);
+}
+
+void Window::lock(LockKind kind, int target) {
+  std::atomic<int>& state = group_->window(target).target_lock_;
+  if (kind == LockKind::kExclusive) {
+    int expected = 0;
+    while (!state.compare_exchange_weak(expected, -1, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      expected = 0;
+      detail::cpu_relax();
+    }
+    return;
+  }
+  // Shared: increment unless an exclusive holder (-1) is present.
+  int cur = state.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur < 0) {
+      detail::cpu_relax();
+      cur = state.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (state.compare_exchange_weak(cur, cur + 1, std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void Window::unlock(int target) {
+  // MPI_Win_unlock completes all operations to the target first.
+  flush(target);
+  std::atomic<int>& state = group_->window(target).target_lock_;
+  const int cur = state.load(std::memory_order_relaxed);
+  FAIRMPI_CHECK_MSG(cur != 0, "unlock without a held target lock");
+  if (cur < 0) {
+    state.store(0, std::memory_order_release);
+  } else {
+    state.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void WindowGroup::fence_arrive() {
+  const int n = num_ranks();
+  const int gen = fence_generation_.load(std::memory_order_acquire);
+  if (fence_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    fence_arrived_.store(0, std::memory_order_relaxed);
+    fence_generation_.store(gen + 1, std::memory_order_release);
+  } else {
+    while (fence_generation_.load(std::memory_order_acquire) == gen) {
+      detail::cpu_relax();
+    }
+  }
+}
+
+void Window::fence() {
+  // Complete our outbound operations (all threads of this rank), then
+  // rendezvous with every rank so all inbound operations are complete too
+  // before anyone proceeds.
+  flush_process();
+  group_->fence_arrive();
+}
+
+}  // namespace fairmpi::rma

@@ -1,0 +1,78 @@
+#include "fairmpi/rmamt/rmamt.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/timing.hpp"
+#include "fairmpi/rma/window.hpp"
+
+namespace fairmpi::rmamt {
+
+RmamtResult run_put_flush(const RmamtConfig& cfg) {
+  FAIRMPI_CHECK(cfg.threads >= 1);
+  FAIRMPI_CHECK(cfg.ops_per_round >= 1);
+  FAIRMPI_CHECK(cfg.message_size >= 1);
+
+  Config engine = cfg.engine;
+  engine.num_ranks = 2;
+  Universe uni(engine);
+
+  // Each thread puts into its own disjoint slot of the target region so
+  // rounds are data-race-free by construction.
+  const std::size_t slot = cfg.message_size;
+  std::vector<std::byte> target_region(slot * static_cast<std::size_t>(cfg.threads));
+  std::vector<std::byte> initiator_region(1);
+  rma::WindowGroup group(
+      uni, {{initiator_region.data(), initiator_region.size()},
+            {target_region.data(), target_region.size()}});
+
+  std::atomic<bool> timing{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::barrier sync(cfg.threads + 1);
+
+  auto worker = [&](int t) {
+    std::vector<std::byte> src(cfg.message_size, std::byte{0x5A});
+    rma::Window& win = group.window(0);
+    const std::size_t disp = static_cast<std::size_t>(t) * slot;
+    sync.arrive_and_wait();
+    std::uint64_t my_ops = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < cfg.ops_per_round; ++i) {
+        win.put(/*target=*/1, disp, src.data(), cfg.message_size);
+      }
+      win.flush(1);
+      if (timing.load(std::memory_order_acquire)) {
+        my_ops += static_cast<std::uint64_t>(cfg.ops_per_round);
+      }
+    }
+    total_ops.fetch_add(my_ops, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.threads));
+  for (int t = 0; t < cfg.threads; ++t) threads.emplace_back(worker, t);
+
+  sync.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // warmup
+  const Stopwatch clock;
+  timing.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(cfg.duration_s * 1e6)));
+  timing.store(false, std::memory_order_release);
+  const double elapsed = clock.elapsed_s();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  RmamtResult res;
+  res.ops = total_ops.load();
+  res.duration_s = elapsed;
+  res.msg_rate = static_cast<double>(res.ops) / elapsed;
+  return res;
+}
+
+}  // namespace fairmpi::rmamt

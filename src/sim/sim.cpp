@@ -1,0 +1,71 @@
+#include "fairmpi/sim/sim.hpp"
+
+#include <algorithm>
+
+namespace fairmpi::sim {
+
+Simulation::~Simulation() {
+  // Destroy anything still queued (suspended actors that never finished),
+  // then the root frames. Queue handles may include roots; destroy roots
+  // exactly once via the roots_ list and skip queued handles that belong to
+  // roots. Non-root queued handles (awaited children) are owned by their
+  // parent Task objects, which live in a root's frame, so destroying the
+  // root frame releases them — destroying them here too would double-free.
+  // Hence: only roots are destroyed explicitly.
+  while (!queue_.empty()) queue_.pop();
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Simulation::spawn(Task task) {
+  auto h = task.release();
+  FAIRMPI_CHECK_MSG(h, "spawn of an empty task");
+  roots_.push_back(h);
+  schedule(now_, h);
+}
+
+void Simulation::schedule(Time at, std::coroutine_handle<> h) {
+  FAIRMPI_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, h});
+}
+
+void Simulation::reap_done_roots() {
+  for (auto& h : roots_) {
+    if (h && h.done()) {
+      h.destroy();
+      h = nullptr;
+    }
+  }
+  roots_.erase(std::remove(roots_.begin(), roots_.end(),
+                           std::coroutine_handle<Task::promise_type>{}),
+               roots_.end());
+}
+
+Time Simulation::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++events_;
+    ev.handle.resume();
+  }
+  reap_done_roots();
+  return now_;
+}
+
+bool Simulation::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++events_;
+    ev.handle.resume();
+  }
+  if (now_ < deadline) now_ = deadline;
+  // Periodic reap keeps long simulations from accumulating dead frames.
+  reap_done_roots();
+  return !queue_.empty();
+}
+
+}  // namespace fairmpi::sim

@@ -1,0 +1,69 @@
+#include "fairmpi/spc/spc.hpp"
+
+#include <sstream>
+
+namespace fairmpi::spc {
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kMessagesSent: return "MessagesSent";
+    case Counter::kMessagesReceived: return "MessagesReceived";
+    case Counter::kBytesSent: return "BytesSent";
+    case Counter::kBytesReceived: return "BytesReceived";
+    case Counter::kUnexpectedMessages: return "UnexpectedMessages";
+    case Counter::kOutOfSequence: return "OutOfSequence";
+    case Counter::kMatchTimeNs: return "MatchTimeNs";
+    case Counter::kMatchAttempts: return "MatchAttempts";
+    case Counter::kPostedQueueDepth: return "PostedQueueDepth";
+    case Counter::kUnexpectedQueueDepth: return "UnexpectedQueueDepth";
+    case Counter::kOosBufferPeak: return "OosBufferPeak";
+    case Counter::kSendBackpressure: return "SendBackpressure";
+    case Counter::kProgressCalls: return "ProgressCalls";
+    case Counter::kProgressCompletions: return "ProgressCompletions";
+    case Counter::kInstanceTrylockFail: return "InstanceTrylockFail";
+    case Counter::kInstanceLockWaitNs: return "InstanceLockWaitNs";
+    case Counter::kRmaPuts: return "RmaPuts";
+    case Counter::kRmaGets: return "RmaGets";
+    case Counter::kRmaAccumulates: return "RmaAccumulates";
+    case Counter::kRmaFlushes: return "RmaFlushes";
+    case Counter::kCount: break;
+  }
+  return "Unknown";
+}
+
+namespace {
+bool is_high_water(Counter c) noexcept { return c == Counter::kOosBufferPeak; }
+}  // namespace
+
+Snapshot Snapshot::delta_since(const Snapshot& earlier) const noexcept {
+  Snapshot out;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const auto idx = static_cast<std::size_t>(i);
+    out.values[idx] = is_high_water(c) ? values[idx] : values[idx] - earlier.values[idx];
+  }
+  return out;
+}
+
+void Snapshot::merge(const Snapshot& other) noexcept {
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const auto idx = static_cast<std::size_t>(i);
+    if (is_high_water(c)) {
+      values[idx] = values[idx] > other.values[idx] ? values[idx] : other.values[idx];
+    } else {
+      values[idx] += other.values[idx];
+    }
+  }
+}
+
+std::string Snapshot::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    os << counter_name(c) << " = " << values[static_cast<std::size_t>(i)] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fairmpi::spc

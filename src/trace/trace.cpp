@@ -1,0 +1,74 @@
+#include "fairmpi/trace/trace.hpp"
+
+#include <algorithm>
+
+#include "fairmpi/common/timing.hpp"
+
+namespace fairmpi::trace {
+
+const char* event_name(Event e) noexcept {
+  switch (e) {
+    case Event::kNone: return "None";
+    case Event::kSend: return "Send";
+    case Event::kRecvPost: return "RecvPost";
+    case Event::kRecvDone: return "RecvDone";
+    case Event::kProgress: return "Progress";
+    case Event::kRmaPut: return "RmaPut";
+    case Event::kRmaGet: return "RmaGet";
+    case Event::kRmaFlush: return "RmaFlush";
+    case Event::kRndvRts: return "RndvRts";
+    case Event::kRndvDone: return "RndvDone";
+  }
+  return "Unknown";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 0 : next_pow2(capacity)),
+      mask_(capacity_ == 0 ? 0 : capacity_ - 1),
+      slots_(capacity_) {}
+
+void Tracer::record(Event event, std::uint32_t a, std::uint32_t b) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(idx) & mask_];
+  // Seqlock-style write: odd sequence marks the slot as in flux so
+  // snapshot() can skip torn entries.
+  const std::uint64_t seq = slot.sequence.load(std::memory_order_relaxed);
+  slot.sequence.store(seq + 1, std::memory_order_release);
+  slot.entry.timestamp_ns = now_ns();
+  slot.entry.event = event;
+  slot.entry.a = a;
+  slot.entry.b = b;
+  slot.sequence.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<Entry> Tracer::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(capacity_);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.sequence.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
+    Entry copy = slot.entry;
+    const std::uint64_t after = slot.sequence.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while copying
+    out.push_back(copy);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& x, const Entry& y) { return x.timestamp_ns < y.timestamp_ns; });
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  const std::vector<Entry> entries = snapshot();
+  if (entries.empty()) {
+    os << "(trace empty)\n";
+    return;
+  }
+  const std::uint64_t t0 = entries.front().timestamp_ns;
+  for (const Entry& e : entries) {
+    os << "+" << (e.timestamp_ns - t0) << "ns\t" << event_name(e.event) << "\ta=" << e.a
+       << "\tb=" << e.b << '\n';
+  }
+}
+
+}  // namespace fairmpi::trace

@@ -1,0 +1,92 @@
+#include "fairmpi/benchsupport/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fairmpi::benchsupport {
+namespace {
+
+TEST(Repeat, AggregatesAcrossSeeds) {
+  std::vector<std::uint64_t> seeds;
+  const RunningStats stats = repeat(3, 100, [&](std::uint64_t seed) {
+    seeds.push_back(seed);
+    return static_cast<double>(seed);
+  });
+  EXPECT_EQ(stats.count(), 3u);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], 100u);
+  EXPECT_NE(seeds[1], seeds[0]);  // distinct seeds per repetition
+  EXPECT_NE(seeds[2], seeds[1]);
+}
+
+TEST(FigureReport, RenderContainsSeriesAndValues) {
+  FigureReport report("figX", "Test figure", "threads", "msg/s");
+  report.add_point("alpha", 1, 1e6, 5e4);
+  report.add_point("alpha", 2, 2e6, 5e4);
+  report.add_point("beta", 1, 0.5e6);
+  const std::string out = report.render();
+  EXPECT_NE(out.find("figX"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("2.00 M"), std::string::npos);
+}
+
+TEST(FigureReport, ValueAtAndHasPoint) {
+  FigureReport report("f", "t", "x", "y");
+  report.add_point("s", 4, 42.0);
+  EXPECT_TRUE(report.has_point("s", 4));
+  EXPECT_FALSE(report.has_point("s", 5));
+  EXPECT_FALSE(report.has_point("other", 4));
+  EXPECT_EQ(report.value_at("s", 4), 42.0);
+  EXPECT_DEATH(report.value_at("other", 4), "unknown series");
+  EXPECT_DEATH(report.value_at("s", 99), "no point");
+}
+
+TEST(FigureReport, CsvRoundTrip) {
+  const std::string dir = ::testing::TempDir() + "fairmpi_report_test";
+  FigureReport report("fig_csv", "t", "x", "y");
+  report.add_point("s1", 1, 10.5, 0.25);
+  report.add_point("s2", 2, 20.0);
+  report.write_csv(dir);
+  std::ifstream in(dir + "/fig_csv.csv");
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "series,x,mean,stddev\ns1,1,10.5,0.25\ns2,2,20,0\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckList, PassAndFailCounting) {
+  CheckList checks;
+  checks.expect(true, "always passes");
+  checks.expect(false, "always fails", "detail here");
+  EXPECT_EQ(checks.total(), 2);
+  EXPECT_EQ(checks.failures(), 1);
+  const std::string out = checks.render();
+  EXPECT_NE(out.find("[PASS] always passes"), std::string::npos);
+  EXPECT_NE(out.find("[FAIL] always fails"), std::string::npos);
+  EXPECT_NE(out.find("detail here"), std::string::npos);
+  EXPECT_NE(out.find("1/2 checks passed"), std::string::npos);
+}
+
+TEST(CheckList, RatioCheck) {
+  CheckList checks;
+  checks.expect_ratio_at_least(10.0, 5.0, 1.5, "10 vs 5 at 1.5x");
+  checks.expect_ratio_at_least(6.0, 5.0, 1.5, "6 vs 5 at 1.5x");
+  EXPECT_EQ(checks.failures(), 1);
+}
+
+TEST(CheckList, CloseCheck) {
+  CheckList checks;
+  checks.expect_close(100.0, 109.0, 0.10, "within 10%");
+  checks.expect_close(100.0, 150.0, 0.10, "not within 10%");
+  checks.expect_close(0.0, 0.0, 0.10, "zeros are close");
+  EXPECT_EQ(checks.failures(), 1);
+}
+
+}  // namespace
+}  // namespace fairmpi::benchsupport

@@ -1,0 +1,61 @@
+#include "fairmpi/common/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fairmpi {
+namespace {
+
+TEST(Align, PaddedOccupiesFullCacheLines) {
+  EXPECT_EQ(sizeof(Padded<char>) % kCacheLine, 0u);
+  EXPECT_EQ(sizeof(Padded<std::uint64_t>) % kCacheLine, 0u);
+  struct Big {
+    char data[200];
+  };
+  EXPECT_GE(sizeof(Padded<Big>), sizeof(Big));
+  EXPECT_EQ(sizeof(Padded<Big>) % kCacheLine, 0u);
+}
+
+TEST(Align, PaddedArrayElementsOnDistinctLines) {
+  std::vector<Padded<int>> values(4);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const auto prev = reinterpret_cast<std::uintptr_t>(&values[i - 1].value);
+    const auto cur = reinterpret_cast<std::uintptr_t>(&values[i].value);
+    EXPECT_GE(cur - prev, kCacheLine);
+  }
+}
+
+TEST(Align, PaddedAccessors) {
+  Padded<int> p(42);
+  EXPECT_EQ(*p, 42);
+  *p = 7;
+  EXPECT_EQ(p.value, 7);
+}
+
+TEST(Align, RoundUp) {
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+}
+
+TEST(Align, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Align, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(4097), 8192u);
+}
+
+}  // namespace
+}  // namespace fairmpi

@@ -1,0 +1,76 @@
+#include "fairmpi/common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairmpi {
+namespace {
+
+TEST(Cli, DefaultsWhenUnspecified) {
+  Cli cli("prog", "test");
+  auto& n = cli.opt_int("n", 42, "count");
+  auto& s = cli.opt_str("name", "abc", "label");
+  auto& f = cli.opt_flag("fast", "go fast");
+  EXPECT_EQ(cli.parse_for_test({}), "");
+  EXPECT_EQ(*n, 42);
+  EXPECT_EQ(*s, "abc");
+  EXPECT_FALSE(*f);
+}
+
+TEST(Cli, ParsesValues) {
+  Cli cli("prog", "test");
+  auto& n = cli.opt_int("n", 0, "count");
+  auto& d = cli.opt_double("ratio", 1.0, "ratio");
+  auto& s = cli.opt_str("name", "", "label");
+  auto& f = cli.opt_flag("fast", "go fast");
+  EXPECT_EQ(cli.parse_for_test({"--n", "7", "--ratio", "2.5", "--name", "x", "--fast"}), "");
+  EXPECT_EQ(*n, 7);
+  EXPECT_DOUBLE_EQ(*d, 2.5);
+  EXPECT_EQ(*s, "x");
+  EXPECT_TRUE(*f);
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli("prog", "test");
+  auto& n = cli.opt_int("n", 0, "count");
+  EXPECT_EQ(cli.parse_for_test({"--n=19"}), "");
+  EXPECT_EQ(*n, 19);
+}
+
+TEST(Cli, IntList) {
+  Cli cli("prog", "test");
+  auto& sizes = cli.opt_int_list("sizes", {1, 2}, "sizes");
+  EXPECT_EQ(cli.parse_for_test({"--sizes", "1,128,1024"}), "");
+  ASSERT_EQ((*sizes).size(), 3u);
+  EXPECT_EQ((*sizes)[2], 1024);
+}
+
+TEST(Cli, Errors) {
+  Cli cli("prog", "test");
+  cli.opt_int("n", 0, "count");
+  cli.opt_flag("fast", "go fast");
+  EXPECT_NE(cli.parse_for_test({"--bogus"}), "");
+  EXPECT_NE(cli.parse_for_test({"--n"}), "");
+  EXPECT_NE(cli.parse_for_test({"--n", "xyz"}), "");
+  EXPECT_NE(cli.parse_for_test({"--fast=1"}), "");
+  EXPECT_NE(cli.parse_for_test({"positional"}), "");
+  EXPECT_EQ(cli.parse_for_test({"--help"}), "help");
+}
+
+TEST(Cli, UsageMentionsOptions) {
+  Cli cli("prog", "does things");
+  cli.opt_int("threads", 4, "thread count");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--threads"), std::string::npos);
+  EXPECT_NE(u.find("thread count"), std::string::npos);
+  EXPECT_NE(u.find("does things"), std::string::npos);
+}
+
+TEST(Cli, NegativeNumbers) {
+  Cli cli("prog", "test");
+  auto& n = cli.opt_int("n", 0, "count");
+  EXPECT_EQ(cli.parse_for_test({"--n", "-3"}), "");
+  EXPECT_EQ(*n, -3);
+}
+
+}  // namespace
+}  // namespace fairmpi

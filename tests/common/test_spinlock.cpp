@@ -1,0 +1,145 @@
+#include "fairmpi/common/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fairmpi {
+namespace {
+
+template <typename Lock>
+class LockTest : public ::testing::Test {};
+
+using LockTypes = ::testing::Types<Spinlock, TicketLock>;
+TYPED_TEST_SUITE(LockTest, LockTypes);
+
+TYPED_TEST(LockTest, BasicLockUnlock) {
+  TypeParam lock;
+  lock.lock();
+  lock.unlock();
+  lock.lock();
+  lock.unlock();
+}
+
+TYPED_TEST(LockTest, TryLockSucceedsWhenFree) {
+  TypeParam lock;
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TYPED_TEST(LockTest, TryLockFailsWhenHeld) {
+  TypeParam lock;
+  lock.lock();
+  std::atomic<bool> result{true};
+  std::thread other([&] { result = lock.try_lock(); });
+  other.join();
+  EXPECT_FALSE(result.load());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TYPED_TEST(LockTest, MutualExclusionUnderContention) {
+  TypeParam lock;
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 20000;
+  // Non-atomic counter: any mutual-exclusion violation shows up as a lost
+  // update (and as a race under TSan).
+  long counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kItersPerThread);
+}
+
+TYPED_TEST(LockTest, TryLockMixedWithLock) {
+  TypeParam lock;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  long counter = 0;
+  std::atomic<long> attempts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          std::scoped_lock guard(lock);
+          ++counter;
+        } else if (lock.try_lock()) {
+          ++counter;
+          lock.unlock();
+        } else {
+          attempts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every try_lock either incremented or was counted as a failed attempt.
+  EXPECT_EQ(counter + attempts.load(), static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Spinlock, IsLockedReflectsState) {
+  Spinlock lock;
+  EXPECT_FALSE(lock.is_locked());
+  lock.lock();
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST(TicketLock, FifoHandoffOrder) {
+  // One holder, two queued waiters that enqueued in a known order must be
+  // served in that order.
+  TicketLock lock;
+  lock.lock();
+  std::atomic<int> stage{0};
+  std::vector<int> order;
+  std::mutex order_mu;
+
+  std::thread first([&] {
+    stage = 1;
+    lock.lock();
+    {
+      std::scoped_lock g(order_mu);
+      order.push_back(1);
+    }
+    lock.unlock();
+  });
+  while (stage.load() != 1) {
+  }
+  // Give `first` time to actually take its ticket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread second([&] {
+    stage = 2;
+    lock.lock();
+    {
+      std::scoped_lock g(order_mu);
+      order.push_back(2);
+    }
+    lock.unlock();
+  });
+  while (stage.load() != 2) {
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  lock.unlock();
+  first.join();
+  second.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+}  // namespace
+}  // namespace fairmpi

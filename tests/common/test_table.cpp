@@ -1,0 +1,90 @@
+#include "fairmpi/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fairmpi {
+namespace {
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "123456"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  // All lines equal width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(FormatSi, Scales) {
+  EXPECT_EQ(format_si(950, 0), "950");
+  EXPECT_EQ(format_si(1500, 1), "1.5 K");
+  EXPECT_EQ(format_si(2.5e6), "2.50 M");
+  EXPECT_EQ(format_si(3e9, 0), "3 G");
+}
+
+TEST(FormatNs, Scales) {
+  EXPECT_EQ(format_ns(500), "500 ns");
+  EXPECT_EQ(format_ns(2500), "2.50 us");
+  EXPECT_EQ(format_ns(3.2e6), "3.20 ms");
+  EXPECT_EQ(format_ns(1.5e9), "1.50 s");
+}
+
+TEST(SeriesChart, RendersAllSeriesMarkersAndLegend) {
+  SeriesChart chart("Test", "x", "y");
+  chart.add_series("one", {{0, 1}, {1, 2}, {2, 3}});
+  chart.add_series("two", {{0, 3}, {1, 2}, {2, 1}});
+  const std::string out = chart.render(40, 10);
+  EXPECT_NE(out.find("=== Test ==="), std::string::npos);
+  EXPECT_NE(out.find("[*] one"), std::string::npos);
+  EXPECT_NE(out.find("[o] two"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(SeriesChart, LogScaleHandlesWideRange) {
+  SeriesChart chart("Log", "x", "y");
+  chart.set_log_y(true);
+  chart.add_series("s", {{1, 1e5}, {2, 1e6}, {3, 1e7}});
+  const std::string out = chart.render(40, 10);
+  EXPECT_NE(out.find("log-scale"), std::string::npos);
+}
+
+TEST(SeriesChart, EmptyChartDoesNotCrash) {
+  SeriesChart chart("Empty", "x", "y");
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(SeriesChart, CsvLongFormat) {
+  SeriesChart chart("T", "x", "y");
+  chart.add_series("s1", {{1, 10}, {2, 20}});
+  std::ostringstream os;
+  chart.write_csv(os);
+  EXPECT_EQ(os.str(), "series,x,y\ns1,1,10\ns1,2,20\n");
+}
+
+}  // namespace
+}  // namespace fairmpi

@@ -1,0 +1,119 @@
+// Control-variable (cvar / environment hint) tests.
+#include "fairmpi/core/cvar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fairmpi {
+namespace {
+
+TEST(Cvar, NumInstances) {
+  Config cfg;
+  EXPECT_TRUE(apply_cvar(cfg, "num_instances", "16"));
+  EXPECT_EQ(cfg.num_instances, 16);
+  EXPECT_FALSE(apply_cvar(cfg, "num_instances", "0"));
+  EXPECT_FALSE(apply_cvar(cfg, "num_instances", "many"));
+  EXPECT_EQ(cfg.num_instances, 16);  // untouched on failure
+}
+
+TEST(Cvar, AssignmentNames) {
+  Config cfg;
+  EXPECT_TRUE(apply_cvar(cfg, "assignment", "rr"));
+  EXPECT_EQ(cfg.assignment, cri::Assignment::kRoundRobin);
+  EXPECT_TRUE(apply_cvar(cfg, "assignment", "dedicated"));
+  EXPECT_EQ(cfg.assignment, cri::Assignment::kDedicated);
+  EXPECT_TRUE(apply_cvar(cfg, "assignment", "round-robin"));
+  EXPECT_EQ(cfg.assignment, cri::Assignment::kRoundRobin);
+  EXPECT_FALSE(apply_cvar(cfg, "assignment", "magic"));
+}
+
+TEST(Cvar, ProgressMode) {
+  Config cfg;
+  EXPECT_TRUE(apply_cvar(cfg, "progress", "concurrent"));
+  EXPECT_EQ(cfg.progress_mode, progress::ProgressMode::kConcurrent);
+  EXPECT_TRUE(apply_cvar(cfg, "progress", "serial"));
+  EXPECT_EQ(cfg.progress_mode, progress::ProgressMode::kSerial);
+  EXPECT_FALSE(apply_cvar(cfg, "progress", "psychic"));
+}
+
+TEST(Cvar, Booleans) {
+  Config cfg;
+  for (const char* yes : {"1", "true", "on"}) {
+    cfg.allow_overtaking = false;
+    EXPECT_TRUE(apply_cvar(cfg, "allow_overtaking", yes));
+    EXPECT_TRUE(cfg.allow_overtaking);
+  }
+  for (const char* no : {"0", "false", "off"}) {
+    cfg.allow_overtaking = true;
+    EXPECT_TRUE(apply_cvar(cfg, "allow_overtaking", no));
+    EXPECT_FALSE(cfg.allow_overtaking);
+  }
+  EXPECT_FALSE(apply_cvar(cfg, "allow_overtaking", "maybe"));
+}
+
+TEST(Cvar, SizesAndLimits) {
+  Config cfg;
+  EXPECT_TRUE(apply_cvar(cfg, "eager_limit", "4096"));
+  EXPECT_EQ(cfg.eager_limit, 4096u);
+  EXPECT_TRUE(apply_cvar(cfg, "rndv_frag_bytes", "8192"));
+  EXPECT_EQ(cfg.rndv_frag_bytes, 8192u);
+  EXPECT_TRUE(apply_cvar(cfg, "rx_ring_entries", "128"));
+  EXPECT_EQ(cfg.fabric.rx_ring_entries, 128u);
+  EXPECT_TRUE(apply_cvar(cfg, "cq_entries", "64"));
+  EXPECT_EQ(cfg.fabric.cq_entries, 64u);
+  EXPECT_TRUE(apply_cvar(cfg, "progress_batch", "8"));
+  EXPECT_EQ(cfg.progress_batch, 8);
+  EXPECT_TRUE(apply_cvar(cfg, "max_communicators", "7"));
+  EXPECT_EQ(cfg.max_communicators, 7);
+}
+
+TEST(Cvar, UnknownNameRejected) {
+  Config cfg;
+  EXPECT_FALSE(apply_cvar(cfg, "warp_speed", "9"));
+}
+
+TEST(Cvar, ConfigFromEnv) {
+  ::setenv("FAIRMPI_NUM_INSTANCES", "12", 1);
+  ::setenv("FAIRMPI_ASSIGNMENT", "dedicated", 1);
+  ::setenv("FAIRMPI_PROGRESS", "concurrent", 1);
+  ::setenv("FAIRMPI_ALLOW_OVERTAKING", "1", 1);
+  const Config cfg = config_from_env();
+  EXPECT_EQ(cfg.num_instances, 12);
+  EXPECT_EQ(cfg.assignment, cri::Assignment::kDedicated);
+  EXPECT_EQ(cfg.progress_mode, progress::ProgressMode::kConcurrent);
+  EXPECT_TRUE(cfg.allow_overtaking);
+  ::unsetenv("FAIRMPI_NUM_INSTANCES");
+  ::unsetenv("FAIRMPI_ASSIGNMENT");
+  ::unsetenv("FAIRMPI_PROGRESS");
+  ::unsetenv("FAIRMPI_ALLOW_OVERTAKING");
+}
+
+TEST(Cvar, ConfigFromEnvKeepsBaseWhenUnset) {
+  Config base;
+  base.num_instances = 5;
+  const Config cfg = config_from_env(base);
+  EXPECT_EQ(cfg.num_instances, 5);
+}
+
+TEST(Cvar, MalformedEnvAborts) {
+  ::setenv("FAIRMPI_NUM_INSTANCES", "banana", 1);
+  EXPECT_DEATH(config_from_env(), "malformed");
+  ::unsetenv("FAIRMPI_NUM_INSTANCES");
+}
+
+TEST(Cvar, ListContainsEveryKnob) {
+  Config cfg;
+  cfg.num_instances = 42;
+  const std::string listing = list_cvars(cfg);
+  for (const char* name :
+       {"num_instances", "assignment", "progress", "allow_overtaking", "progress_batch",
+        "eager_limit", "rndv_frag_bytes", "rx_ring_entries", "cq_entries",
+        "max_communicators"}) {
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(listing.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairmpi

@@ -1,0 +1,318 @@
+// Integration tests: the full two-sided engine across ranks and threads,
+// for every combination of the paper's design axes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fairmpi/core/universe.hpp"
+
+namespace fairmpi {
+namespace {
+
+using spc::Counter;
+
+TEST(P2p, BlockingSendRecvSingleThreaded) {
+  Universe uni(Config{});
+  std::thread receiver([&] {
+    char buf[16] = {};
+    const Status st = uni.rank(1).world().recv(0, 7, buf, sizeof buf);
+    EXPECT_EQ(st.source, 0);
+    EXPECT_EQ(st.tag, 7);
+    EXPECT_EQ(st.size, 5u);
+    EXPECT_EQ(std::string(buf, 5), "hello");
+  });
+  uni.rank(0).world().send(1, 7, "hello", 5);
+  receiver.join();
+}
+
+TEST(P2p, NonblockingRoundTrip) {
+  Universe uni(Config{});
+  Request sreq, rreq;
+  int payload = 1234, got = 0;
+  uni.rank(1).irecv(kWorldComm, 0, 1, &got, sizeof got, rreq);
+  uni.rank(0).isend(kWorldComm, 1, 1, &payload, sizeof payload, sreq);
+  uni.rank(0).wait(sreq);
+  uni.rank(1).wait(rreq);
+  EXPECT_EQ(got, 1234);
+}
+
+TEST(P2p, SelfSend) {
+  Config cfg;
+  cfg.num_ranks = 1;
+  Universe uni(cfg);
+  Request rreq;
+  int got = 0, payload = 55;
+  uni.rank(0).irecv(kWorldComm, 0, 3, &got, sizeof got, rreq);
+  uni.rank(0).send(kWorldComm, 0, 3, &payload, sizeof payload);
+  uni.rank(0).wait(rreq);
+  EXPECT_EQ(got, 55);
+}
+
+TEST(P2p, ZeroByteMessageCarriesEnvelopeOnly) {
+  Universe uni(Config{});
+  Request rreq;
+  uni.rank(1).irecv(kWorldComm, 0, 9, nullptr, 0, rreq);
+  uni.rank(0).send(kWorldComm, 1, 9, nullptr, 0);
+  uni.rank(1).wait(rreq);
+  EXPECT_EQ(rreq.status().size, 0u);
+  EXPECT_FALSE(rreq.status().truncated);
+}
+
+TEST(P2p, LargePayloadHeapPath) {
+  Universe uni(Config{});
+  const std::string big(1 << 20, 'x');
+  std::vector<char> got(big.size());
+  std::thread receiver([&] {
+    uni.rank(1).recv(kWorldComm, 0, 2, got.data(), got.size());
+  });
+  uni.rank(0).send(kWorldComm, 1, 2, big.data(), big.size());
+  receiver.join();
+  EXPECT_EQ(std::memcmp(got.data(), big.data(), big.size()), 0);
+}
+
+TEST(P2p, FifoOrderSingleSenderThread) {
+  Universe uni(Config{});
+  constexpr int kN = 500;
+  std::thread receiver([&] {
+    for (int i = 0; i < kN; ++i) {
+      int got = -1;
+      uni.rank(1).recv(kWorldComm, 0, 1, &got, sizeof got);
+      ASSERT_EQ(got, i) << "non-overtaking FIFO violated";
+    }
+  });
+  for (int i = 0; i < kN; ++i) uni.rank(0).send(kWorldComm, 1, 1, &i, sizeof i);
+  receiver.join();
+}
+
+TEST(P2p, WaitAll) {
+  Universe uni(Config{});
+  constexpr int kN = 64;
+  std::vector<Request> rreqs(kN), sreqs(kN);
+  std::vector<int> in(kN, -1), out(kN);
+  std::iota(out.begin(), out.end(), 0);
+  std::vector<Request*> rptrs, sptrs;
+  for (int i = 0; i < kN; ++i) {
+    uni.rank(1).irecv(kWorldComm, 0, i, &in[i], sizeof(int), rreqs[i]);
+    rptrs.push_back(&rreqs[i]);
+  }
+  for (int i = 0; i < kN; ++i) {
+    uni.rank(0).isend(kWorldComm, 1, i, &out[i], sizeof(int), sreqs[i]);
+    sptrs.push_back(&sreqs[i]);
+  }
+  uni.rank(0).wait_all(sptrs.data(), sptrs.size());
+  uni.rank(1).wait_all(rptrs.data(), rptrs.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST(P2p, TestReturnsFalseThenTrue) {
+  Universe uni(Config{});
+  Request rreq;
+  int got = 0;
+  uni.rank(1).irecv(kWorldComm, 0, 4, &got, sizeof got, rreq);
+  EXPECT_FALSE(uni.rank(1).test(rreq));
+  uni.rank(0).send(kWorldComm, 1, 4, &got, sizeof got);
+  while (!uni.rank(1).test(rreq)) {
+  }
+  EXPECT_TRUE(rreq.done());
+}
+
+TEST(P2p, CommunicatorsIsolateTraffic) {
+  Universe uni(Config{});
+  const CommId extra = uni.create_communicator();
+  // Same (src, dst, tag) on two communicators must not cross-match.
+  Request r_world, r_extra;
+  int got_world = 0, got_extra = 0;
+  uni.rank(1).irecv(kWorldComm, 0, 5, &got_world, sizeof(int), r_world);
+  uni.rank(1).irecv(extra, 0, 5, &got_extra, sizeof(int), r_extra);
+  const int a = 111, b = 222;
+  uni.rank(0).send(extra, 1, 5, &b, sizeof b);
+  uni.rank(1).wait(r_extra);
+  EXPECT_EQ(got_extra, 222);
+  EXPECT_FALSE(r_world.done());
+  uni.rank(0).send(kWorldComm, 1, 5, &a, sizeof a);
+  uni.rank(1).wait(r_world);
+  EXPECT_EQ(got_world, 111);
+}
+
+TEST(P2p, BarrierSynchronizesAllRanks) {
+  Config cfg;
+  cfg.num_ranks = 4;
+  Universe uni(cfg);
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&, r] {
+      for (int round = 0; round < 10; ++round) {
+        arrived.fetch_add(1);
+        uni.rank(r).world().barrier();
+        // After the barrier, every rank must have arrived in this round.
+        EXPECT_GE(arrived.load(), (round + 1) * 4);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arrived.load(), 40);
+}
+
+TEST(P2p, SpcSentReceivedAgree) {
+  Universe uni(Config{});
+  constexpr int kN = 100;
+  std::thread receiver([&] {
+    char buf[8];
+    for (int i = 0; i < kN; ++i) uni.rank(1).recv(kWorldComm, 0, 1, buf, sizeof buf);
+  });
+  for (int i = 0; i < kN; ++i) uni.rank(0).send(kWorldComm, 1, 1, "x", 1);
+  receiver.join();
+  EXPECT_EQ(uni.rank(0).counters().get(Counter::kMessagesSent), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(uni.rank(1).counters().get(Counter::kMessagesReceived),
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(P2p, BidirectionalFloodOnTinyRingsDoesNotDeadlock) {
+  // Both ranks flood each other while their RX rings hold only 8 packets:
+  // the backpressure path (release CRI, progress own resources, retry) must
+  // keep both sides live.
+  Config cfg;
+  cfg.fabric.rx_ring_entries = 8;
+  Universe uni(cfg);
+  constexpr int kN = 5000;
+  auto worker = [&](int me, int peer) {
+    std::vector<Request> rreqs(kN);
+    std::vector<char> sink(kN);
+    for (int i = 0; i < kN; ++i) {
+      uni.rank(me).irecv(kWorldComm, peer, 1, &sink[i], 1, rreqs[i]);
+    }
+    for (int i = 0; i < kN; ++i) {
+      uni.rank(me).send(kWorldComm, peer, 1, "z", 1);
+    }
+    for (int i = 0; i < kN; ++i) uni.rank(me).wait(rreqs[i]);
+  };
+  std::thread t0(worker, 0, 1), t1(worker, 1, 0);
+  t0.join();
+  t1.join();
+  const auto agg = uni.aggregate_counters();
+  EXPECT_EQ(agg.get(Counter::kMessagesSent), 2u * kN);
+  EXPECT_EQ(agg.get(Counter::kMessagesReceived), 2u * kN);
+}
+
+// The full design matrix: {instances 1,4} x {RR, dedicated} x {serial,
+// concurrent} x {overtaking on/off}, with 4 sender threads and 4 receiver
+// threads hammering one communicator. Checks: no loss, no corruption.
+struct MatrixParam {
+  int instances;
+  cri::Assignment assign;
+  progress::ProgressMode mode;
+  bool overtaking;
+};
+
+class P2pMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(P2pMatrix, MultithreadedFloodDeliversEverything) {
+  const MatrixParam& p = GetParam();
+  Config cfg;
+  cfg.num_instances = p.instances;
+  cfg.assignment = p.assign;
+  cfg.progress_mode = p.mode;
+  cfg.allow_overtaking = p.overtaking;
+  Universe uni(cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<std::uint64_t> checksum_sent{0}, checksum_recv{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {  // senders on rank 0
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint32_t value = static_cast<std::uint32_t>(t * kPerThread + i);
+        uni.rank(0).send(kWorldComm, 1, /*tag=*/7, &value, sizeof value);
+        checksum_sent.fetch_add(value, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {  // receivers on rank 1
+      for (int i = 0; i < kPerThread; ++i) {
+        std::uint32_t value = 0;
+        const Status st = uni.rank(1).recv(kWorldComm, 0, 7, &value, sizeof value);
+        ASSERT_EQ(st.size, sizeof value);
+        checksum_recv.fetch_add(value, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(checksum_sent.load(), checksum_recv.load());
+  EXPECT_EQ(uni.rank(1).counters().get(Counter::kMessagesReceived),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const MatrixParam& p = info.param;
+  std::string name = std::to_string(p.instances) + "cri_";
+  name += p.assign == cri::Assignment::kDedicated ? "ded_" : "rr_";
+  name += p.mode == progress::ProgressMode::kSerial ? "serial" : "conc";
+  if (p.overtaking) name += "_ovt";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignMatrix, P2pMatrix,
+    ::testing::Values(
+        MatrixParam{1, cri::Assignment::kRoundRobin, progress::ProgressMode::kSerial, false},
+        MatrixParam{1, cri::Assignment::kDedicated, progress::ProgressMode::kSerial, false},
+        MatrixParam{4, cri::Assignment::kRoundRobin, progress::ProgressMode::kSerial, false},
+        MatrixParam{4, cri::Assignment::kDedicated, progress::ProgressMode::kSerial, false},
+        MatrixParam{4, cri::Assignment::kRoundRobin, progress::ProgressMode::kConcurrent,
+                    false},
+        MatrixParam{4, cri::Assignment::kDedicated, progress::ProgressMode::kConcurrent,
+                    false},
+        MatrixParam{4, cri::Assignment::kDedicated, progress::ProgressMode::kConcurrent, true},
+        MatrixParam{4, cri::Assignment::kRoundRobin, progress::ProgressMode::kConcurrent,
+                    true}),
+    matrix_name);
+
+TEST(P2p, OutOfSequenceCounterRisesWithConcurrentSenders) {
+  // Several sender threads sharing one communicator and several instances
+  // should produce out-of-sequence arrivals (the §II-C effect); a single
+  // sender thread should produce none.
+  Config cfg;
+  cfg.num_instances = 4;
+  cfg.assignment = cri::Assignment::kRoundRobin;
+  Universe uni(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uni.rank(0).send(kWorldComm, 1, 1, nullptr, 0);
+      }
+    });
+  }
+  std::thread receiver([&] {
+    for (int i = 0; i < kThreads * kPerThread; ++i) {
+      uni.rank(1).recv(kWorldComm, 0, 1, nullptr, 0);
+    }
+  });
+  for (auto& t : threads) t.join();
+  receiver.join();
+  EXPECT_GT(uni.rank(1).counters().get(Counter::kOutOfSequence), 0u);
+}
+
+TEST(P2p, InvalidArgumentsAbort) {
+  Universe uni(Config{});
+  Request req;
+  EXPECT_DEATH(uni.rank(0).isend(kWorldComm, 99, 1, nullptr, 0, req), "destination");
+  EXPECT_DEATH(uni.rank(0).isend(kWorldComm, 1, -5, nullptr, 0, req), "tag");
+  EXPECT_DEATH(uni.rank(0).irecv(kWorldComm, 42, 1, nullptr, 0, req), "source");
+  EXPECT_DEATH(uni.rank(0).comm_state(777), "not created");
+}
+
+}  // namespace
+}  // namespace fairmpi

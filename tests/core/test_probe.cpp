@@ -1,0 +1,114 @@
+// probe / iprobe / wait_any tests.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fairmpi/core/universe.hpp"
+
+namespace fairmpi {
+namespace {
+
+TEST(Probe, IprobeFalseWhenNothingPending) {
+  Universe uni(Config{});
+  EXPECT_FALSE(uni.rank(1).iprobe(kWorldComm, 0, 1));
+  EXPECT_FALSE(uni.rank(1).iprobe(kWorldComm, kAnySource, kAnyTag));
+}
+
+TEST(Probe, IprobeSeesUnexpectedMessage) {
+  Universe uni(Config{});
+  const int payload = 99;
+  uni.rank(0).send(kWorldComm, 1, 5, &payload, sizeof payload);
+  Status st;
+  // iprobe progresses internally; a few attempts cover ring latency.
+  bool found = false;
+  for (int i = 0; i < 100 && !found; ++i) found = uni.rank(1).iprobe(kWorldComm, 0, 5, &st);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 5);
+  EXPECT_EQ(st.size, sizeof payload);
+  // Probing is non-destructive: the message is still receivable.
+  int got = 0;
+  uni.rank(1).recv(kWorldComm, 0, 5, &got, sizeof got);
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Probe, BlockingProbeThenRecvSizedBuffer) {
+  Universe uni(Config{});
+  std::thread sender([&] {
+    const std::vector<char> data(300, 'x');
+    uni.rank(0).send(kWorldComm, 1, 2, data.data(), data.size());
+  });
+  const Status st = uni.rank(1).probe(kWorldComm, 0, 2);
+  ASSERT_EQ(st.size, 300u);
+  std::vector<char> buf(st.size);  // the classic probe-then-allocate pattern
+  const Status recv_st = uni.rank(1).recv(kWorldComm, 0, 2, buf.data(), buf.size());
+  EXPECT_FALSE(recv_st.truncated);
+  EXPECT_EQ(buf[299], 'x');
+  sender.join();
+}
+
+TEST(Probe, ProbeReportsRendezvousTotalSize) {
+  Config cfg;
+  cfg.eager_limit = 256;
+  Universe uni(cfg);
+  Request sreq;
+  const std::vector<char> big(100'000, 'r');
+  uni.rank(0).isend(kWorldComm, 1, 3, big.data(), big.size(), sreq);
+  const Status st = uni.rank(1).probe(kWorldComm, 0, 3);
+  EXPECT_EQ(st.size, big.size());  // RTS announces the full size
+  std::vector<char> buf(st.size);
+  Request rreq;
+  uni.rank(1).irecv(kWorldComm, 0, 3, buf.data(), buf.size(), rreq);
+  while (!rreq.done() || !sreq.done()) {
+    uni.rank(0).progress();
+    uni.rank(1).progress();
+  }
+  EXPECT_EQ(buf[99'999], 'r');
+}
+
+TEST(Probe, WildcardProbe) {
+  Universe uni(Config{});
+  const int payload = 1;
+  uni.rank(0).send(kWorldComm, 1, 77, &payload, sizeof payload);
+  const Status st = uni.rank(1).probe(kWorldComm, kAnySource, kAnyTag);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 77);
+}
+
+TEST(Probe, TagFilterSkipsNonMatching) {
+  Universe uni(Config{});
+  const int payload = 1;
+  uni.rank(0).send(kWorldComm, 1, 10, &payload, sizeof payload);
+  for (int i = 0; i < 50; ++i) uni.rank(1).progress();
+  EXPECT_FALSE(uni.rank(1).iprobe(kWorldComm, 0, 11));
+  EXPECT_TRUE(uni.rank(1).iprobe(kWorldComm, 0, 10));
+}
+
+TEST(WaitAny, ReturnsFirstCompletedIndex) {
+  Universe uni(Config{});
+  Request reqs[3];
+  int bufs[3] = {};
+  uni.rank(1).irecv(kWorldComm, 0, 0, &bufs[0], sizeof(int), reqs[0]);
+  uni.rank(1).irecv(kWorldComm, 0, 1, &bufs[1], sizeof(int), reqs[1]);
+  uni.rank(1).irecv(kWorldComm, 0, 2, &bufs[2], sizeof(int), reqs[2]);
+  const int payload = 5;
+  uni.rank(0).send(kWorldComm, 1, 1, &payload, sizeof payload);  // completes index 1
+  Request* ptrs[3] = {&reqs[0], &reqs[1], &reqs[2]};
+  const std::size_t idx = uni.rank(1).wait_any(ptrs, 3);
+  EXPECT_EQ(idx, 1u);
+  EXPECT_EQ(bufs[1], 5);
+  // Complete the rest so no posted receives dangle at teardown.
+  uni.rank(0).send(kWorldComm, 1, 0, &payload, sizeof payload);
+  uni.rank(0).send(kWorldComm, 1, 2, &payload, sizeof payload);
+  uni.rank(1).wait(reqs[0]);
+  uni.rank(1).wait(reqs[2]);
+}
+
+TEST(WaitAny, EmptySetAborts) {
+  Universe uni(Config{});
+  EXPECT_DEATH(uni.rank(0).wait_any(nullptr, 0), "at least one");
+}
+
+}  // namespace
+}  // namespace fairmpi

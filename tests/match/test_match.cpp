@@ -1,0 +1,282 @@
+#include "fairmpi/match/match_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "fairmpi/common/rng.hpp"
+
+namespace fairmpi::match {
+namespace {
+
+using p2p::kAnySource;
+using p2p::kAnyTag;
+using p2p::Request;
+using spc::Counter;
+
+fabric::Packet make_eager(int src, std::uint32_t seq, int tag,
+                          const std::string& payload = {}, std::uint32_t comm = 0) {
+  fabric::Packet pkt;
+  pkt.hdr.opcode = fabric::Opcode::kEager;
+  pkt.hdr.src_rank = static_cast<std::uint16_t>(src);
+  pkt.hdr.comm_id = comm;
+  pkt.hdr.tag = tag;
+  pkt.hdr.seq = seq;
+  pkt.set_payload(payload.data(), payload.size());
+  return pkt;
+}
+
+class MatchTest : public ::testing::Test {
+ protected:
+  spc::CounterSet spc_;
+};
+
+TEST_F(MatchTest, PostedThenIncomingDelivers) {
+  MatchEngine eng(2, false, spc_);
+  char buf[16] = {};
+  Request req;
+  req.init_recv(buf, sizeof buf, /*src=*/1, /*tag=*/7);
+  EXPECT_FALSE(eng.post(&req));
+  EXPECT_EQ(eng.incoming(make_eager(1, 0, 7, "hi")), 1u);
+  ASSERT_TRUE(req.done());
+  EXPECT_EQ(req.status().source, 1);
+  EXPECT_EQ(req.status().tag, 7);
+  EXPECT_EQ(req.status().size, 2u);
+  EXPECT_FALSE(req.status().truncated);
+  EXPECT_EQ(std::memcmp(buf, "hi", 2), 0);
+}
+
+TEST_F(MatchTest, IncomingThenPostedMatchesUnexpected) {
+  MatchEngine eng(2, false, spc_);
+  EXPECT_EQ(eng.incoming(make_eager(1, 0, 7, "yo")), 0u);
+  EXPECT_EQ(eng.unexpected_count(), 1u);
+  EXPECT_EQ(spc_.get(Counter::kUnexpectedMessages), 1u);
+  char buf[16] = {};
+  Request req;
+  req.init_recv(buf, sizeof buf, 1, 7);
+  EXPECT_TRUE(eng.post(&req));
+  EXPECT_TRUE(req.done());
+  EXPECT_EQ(eng.unexpected_count(), 0u);
+  EXPECT_EQ(std::memcmp(buf, "yo", 2), 0);
+}
+
+TEST_F(MatchTest, TagFilterKeepsNonMatchingUnexpected) {
+  MatchEngine eng(2, false, spc_);
+  eng.incoming(make_eager(1, 0, 1));
+  char buf[4];
+  Request req;
+  req.init_recv(buf, sizeof buf, 1, /*tag=*/2);
+  EXPECT_FALSE(eng.post(&req));
+  // Next in-sequence message with tag 2 matches the posted request even
+  // though an older tag-1 message is still queued.
+  EXPECT_EQ(eng.incoming(make_eager(1, 1, 2)), 1u);
+  EXPECT_TRUE(req.done());
+  EXPECT_EQ(eng.unexpected_count(), 1u);
+}
+
+TEST_F(MatchTest, OutOfSequenceIsBufferedUntilGapFills) {
+  MatchEngine eng(2, false, spc_);
+  char b1[4], b2[4], b3[4];
+  Request r1, r2, r3;
+  r1.init_recv(b1, 4, 1, 5);
+  r2.init_recv(b2, 4, 1, 5);
+  r3.init_recv(b3, 4, 1, 5);
+  eng.post(&r1);
+  eng.post(&r2);
+  eng.post(&r3);
+
+  // Arrive 2, 1, 0 — nothing can match until seq 0 shows up.
+  EXPECT_EQ(eng.incoming(make_eager(1, 2, 5, "c")), 0u);
+  EXPECT_EQ(eng.incoming(make_eager(1, 1, 5, "b")), 0u);
+  EXPECT_EQ(eng.reorder_buffered(), 2u);
+  EXPECT_EQ(spc_.get(Counter::kOutOfSequence), 2u);
+  EXPECT_FALSE(r1.done());
+
+  // Seq 0 arrives: all three drain in one call, in seq order.
+  EXPECT_EQ(eng.incoming(make_eager(1, 0, 5, "a")), 3u);
+  EXPECT_EQ(eng.reorder_buffered(), 0u);
+  EXPECT_EQ(b1[0], 'a');
+  EXPECT_EQ(b2[0], 'b');
+  EXPECT_EQ(b3[0], 'c');
+  EXPECT_EQ(spc_.get(Counter::kOosBufferPeak), 2u);
+}
+
+TEST_F(MatchTest, FifoMatchOrderWithinSeqStream) {
+  MatchEngine eng(2, false, spc_);
+  // Two receives posted with same filters: earlier post matches earlier seq.
+  char b1[4] = {}, b2[4] = {};
+  Request r1, r2;
+  r1.init_recv(b1, 4, 1, 9);
+  r2.init_recv(b2, 4, 1, 9);
+  eng.post(&r1);
+  eng.post(&r2);
+  eng.incoming(make_eager(1, 0, 9, "1"));
+  eng.incoming(make_eager(1, 1, 9, "2"));
+  EXPECT_EQ(b1[0], '1');
+  EXPECT_EQ(b2[0], '2');
+}
+
+TEST_F(MatchTest, AnyTagMatchesFirstAvailable) {
+  MatchEngine eng(2, false, spc_);
+  char buf[4] = {};
+  Request req;
+  req.init_recv(buf, 4, 1, kAnyTag);
+  eng.post(&req);
+  EXPECT_EQ(eng.incoming(make_eager(1, 0, 1234)), 1u);
+  EXPECT_EQ(req.status().tag, 1234);
+}
+
+TEST_F(MatchTest, AnySourceMatchesAcrossPeers) {
+  MatchEngine eng(4, false, spc_);
+  char buf[4] = {};
+  Request req;
+  req.init_recv(buf, 4, kAnySource, 3);
+  eng.post(&req);
+  EXPECT_EQ(eng.incoming(make_eager(2, 0, 3, "x")), 1u);
+  EXPECT_EQ(req.status().source, 2);
+}
+
+TEST_F(MatchTest, AnySourcePicksEarliestArrivalAmongUnexpected) {
+  MatchEngine eng(4, false, spc_);
+  eng.incoming(make_eager(3, 0, 8, "late-peer-first"));
+  eng.incoming(make_eager(1, 0, 8, "second"));
+  char buf[32] = {};
+  Request req;
+  req.init_recv(buf, sizeof buf, kAnySource, 8);
+  EXPECT_TRUE(eng.post(&req));
+  EXPECT_EQ(req.status().source, 3);  // earliest arrival wins
+}
+
+TEST_F(MatchTest, PostOrderRespectedBetweenSpecificAndWildcardQueues) {
+  MatchEngine eng(2, false, spc_);
+  char b1[4] = {}, b2[4] = {};
+  Request wildcard, specific;
+  wildcard.init_recv(b1, 4, kAnySource, 5);
+  specific.init_recv(b2, 4, 1, 5);
+  eng.post(&wildcard);  // posted first
+  eng.post(&specific);
+  eng.incoming(make_eager(1, 0, 5, "A"));
+  EXPECT_TRUE(wildcard.done());
+  EXPECT_FALSE(specific.done());
+
+  // And the reverse order.
+  MatchEngine eng2(2, false, spc_);
+  Request wildcard2, specific2;
+  wildcard2.init_recv(b1, 4, kAnySource, 5);
+  specific2.init_recv(b2, 4, 1, 5);
+  eng2.post(&specific2);  // posted first
+  eng2.post(&wildcard2);
+  eng2.incoming(make_eager(1, 0, 5, "B"));
+  EXPECT_TRUE(specific2.done());
+  EXPECT_FALSE(wildcard2.done());
+}
+
+TEST_F(MatchTest, TruncationFlaggedAndClamped) {
+  MatchEngine eng(2, false, spc_);
+  char small[3] = {};
+  Request req;
+  req.init_recv(small, sizeof small, 1, 1);
+  eng.post(&req);
+  eng.incoming(make_eager(1, 0, 1, "abcdefgh"));
+  ASSERT_TRUE(req.done());
+  EXPECT_TRUE(req.status().truncated);
+  EXPECT_EQ(req.status().size, 8u);  // sent size reported
+  EXPECT_EQ(std::memcmp(small, "abc", 3), 0);
+}
+
+TEST_F(MatchTest, LargePayloadThroughHeapPath) {
+  MatchEngine eng(2, false, spc_);
+  const std::string big(8192, 'm');
+  std::vector<char> buf(8192);
+  Request req;
+  req.init_recv(buf.data(), buf.size(), 1, 1);
+  eng.post(&req);
+  eng.incoming(make_eager(1, 0, 1, big));
+  ASSERT_TRUE(req.done());
+  EXPECT_EQ(std::memcmp(buf.data(), big.data(), big.size()), 0);
+}
+
+TEST_F(MatchTest, OvertakingSkipsSequenceValidation) {
+  MatchEngine eng(2, true, spc_);
+  char b1[4] = {}, b2[4] = {};
+  Request r1, r2;
+  r1.init_recv(b1, 4, 1, 5);
+  r2.init_recv(b2, 4, 1, 5);
+  eng.post(&r1);
+  eng.post(&r2);
+  // Reverse seq order: with overtaking both match immediately, in arrival
+  // order, and nothing is buffered.
+  EXPECT_EQ(eng.incoming(make_eager(1, 1, 5, "X")), 1u);
+  EXPECT_EQ(eng.incoming(make_eager(1, 0, 5, "Y")), 1u);
+  EXPECT_EQ(b1[0], 'X');
+  EXPECT_EQ(b2[0], 'Y');
+  EXPECT_EQ(spc_.get(Counter::kOutOfSequence), 0u);
+  EXPECT_EQ(eng.reorder_buffered(), 0u);
+}
+
+TEST_F(MatchTest, SeparateSeqStreamsPerPeer) {
+  MatchEngine eng(3, false, spc_);
+  // Peer 1 and peer 2 each start at seq 0; interleaving is fine.
+  EXPECT_EQ(eng.incoming(make_eager(1, 0, 1, "a")), 0u);
+  EXPECT_EQ(eng.incoming(make_eager(2, 0, 1, "b")), 0u);
+  EXPECT_EQ(spc_.get(Counter::kOutOfSequence), 0u);
+  EXPECT_EQ(eng.unexpected_count(), 2u);
+}
+
+TEST_F(MatchTest, MatchTimeAccumulates) {
+  MatchEngine eng(2, false, spc_);
+  for (std::uint32_t i = 0; i < 100; ++i) eng.incoming(make_eager(1, i, 1));
+  EXPECT_GT(spc_.get(Counter::kMatchTimeNs), 0u);
+  EXPECT_EQ(spc_.get(Counter::kMatchAttempts), 100u);
+}
+
+// Property test: random arrival permutation + random wildcard mix still
+// delivers every message exactly once, and (without overtaking) the i-th
+// posted identical-filter receive gets the i-th sequence number.
+class MatchPermutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchPermutation, RandomArrivalOrderAlwaysDeliversAll) {
+  spc::CounterSet spc;
+  MatchEngine eng(2, false, spc);
+  Xoshiro256 rng(GetParam());
+  constexpr int kMessages = 200;
+
+  std::vector<Request> reqs(kMessages);
+  std::vector<std::uint32_t> bufs(kMessages, 0);
+  for (int i = 0; i < kMessages; ++i) {
+    const bool wildcard_tag = rng.bounded(4) == 0;
+    reqs[i].init_recv(&bufs[i], sizeof(std::uint32_t), 1,
+                      wildcard_tag ? kAnyTag : 42);
+    eng.post(&reqs[i]);
+  }
+
+  std::vector<std::uint32_t> seqs(kMessages);
+  std::iota(seqs.begin(), seqs.end(), 0);
+  for (std::size_t i = seqs.size(); i > 1; --i) {
+    std::swap(seqs[i - 1], seqs[rng.bounded(i)]);
+  }
+  std::size_t delivered = 0;
+  for (const std::uint32_t seq : seqs) {
+    std::uint32_t payload = seq;
+    delivered += eng.incoming(
+        make_eager(1, seq, 42, std::string(reinterpret_cast<char*>(&payload), 4)));
+  }
+  EXPECT_EQ(delivered, static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(eng.reorder_buffered(), 0u);
+  EXPECT_EQ(eng.unexpected_count(), 0u);
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(reqs[i].done());
+    // Non-overtaking: matching order == seq order == post order.
+    EXPECT_EQ(bufs[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchPermutation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace fairmpi::match

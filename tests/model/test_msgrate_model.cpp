@@ -1,0 +1,208 @@
+// Tests of the two-sided performance model. Beyond mechanical correctness
+// (determinism, conservation), these encode the *paper's qualitative
+// findings* as assertions, so a regression in the model is a regression in
+// the reproduction:
+//   Fig 3a — more instances help the send path (~2x), single instance
+//            degrades with threads;
+//   Fig 3b — concurrent progress without concurrent matching hurts;
+//   Fig 3c — comm-per-pair matching scales; dedicated best at mid counts;
+//   Tab II — OOS% high on a shared communicator, ~0 with comm-per-pair +
+//            dedicated; matching time inflates under concurrent progress;
+//   Fig 4  — overtaking removes OOS and serial progress flattens;
+//   Fig 5  — process mode is an order of magnitude above any thread mode.
+#include "fairmpi/model/msgrate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairmpi::model {
+namespace {
+
+using cri::Assignment;
+using progress::ProgressMode;
+
+MsgRateConfig base_cfg(int pairs, int instances) {
+  MsgRateConfig cfg;
+  cfg.pairs = pairs;
+  cfg.instances = instances;
+  cfg.assignment = Assignment::kDedicated;
+  cfg.progress = ProgressMode::kSerial;
+  return cfg;
+}
+
+TEST(MsgRateModel, DeterministicForSameSeed) {
+  MsgRateConfig cfg = base_cfg(6, 4);
+  const MsgRateResult a = run_msgrate(cfg);
+  const MsgRateResult b = run_msgrate(cfg);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.out_of_sequence, b.out_of_sequence);
+  EXPECT_EQ(a.match_time_ns, b.match_time_ns);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(MsgRateModel, DifferentSeedsCloseButNotIdentical) {
+  MsgRateConfig cfg = base_cfg(6, 4);
+  const MsgRateResult a = run_msgrate(cfg);
+  cfg.seed = 99;
+  const MsgRateResult b = run_msgrate(cfg);
+  EXPECT_NE(a.events, b.events);
+  // The paper reports consistently small standard deviations.
+  EXPECT_NEAR(a.msg_rate, b.msg_rate, 0.15 * a.msg_rate);
+}
+
+TEST(MsgRateModel, SinglePairAnchorRate) {
+  // Calibration anchor: ~0.35-0.45 M msg/s for one pair on Alembert.
+  const MsgRateResult r = run_msgrate(base_cfg(1, 1));
+  EXPECT_GT(r.msg_rate, 0.30e6);
+  EXPECT_LT(r.msg_rate, 0.50e6);
+  EXPECT_EQ(r.out_of_sequence, 0u);  // single sender thread: in order
+}
+
+TEST(MsgRateModel, Fig3a_SingleInstanceDegradesWithThreads) {
+  const double rate1 = run_msgrate(base_cfg(1, 1)).msg_rate;
+  const double rate20 = run_msgrate(base_cfg(20, 1)).msg_rate;
+  EXPECT_LT(rate20, 0.75 * rate1);  // red line falls
+}
+
+TEST(MsgRateModel, Fig3a_MoreInstancesRoughlyDouble) {
+  const double single = run_msgrate(base_cfg(20, 1)).msg_rate;
+  const double many = run_msgrate(base_cfg(20, 20)).msg_rate;
+  EXPECT_GT(many, 1.5 * single);  // "performance gain of up to 100%"
+  EXPECT_LT(many, 4.0 * single);
+}
+
+TEST(MsgRateModel, Fig3a_OosFractionHighOnSharedComm) {
+  const MsgRateResult r = run_msgrate(base_cfg(20, 20));
+  EXPECT_GT(r.oos_fraction, 0.6);  // paper: 83-90 %
+}
+
+TEST(MsgRateModel, Fig3b_ConcurrentProgressHurtsWithoutConcurrentMatching) {
+  MsgRateConfig serial = base_cfg(20, 20);
+  MsgRateConfig conc = serial;
+  conc.progress = ProgressMode::kConcurrent;
+  const MsgRateResult rs = run_msgrate(serial);
+  const MsgRateResult rc = run_msgrate(conc);
+  EXPECT_LT(rc.msg_rate, 0.85 * rs.msg_rate);
+  // Per-message matching time inflates (paper: ~3x).
+  const double per_msg_serial =
+      static_cast<double>(rs.match_time_ns) / static_cast<double>(rs.delivered);
+  const double per_msg_conc =
+      static_cast<double>(rc.match_time_ns) / static_cast<double>(rc.delivered);
+  EXPECT_GT(per_msg_conc, 1.7 * per_msg_serial);
+}
+
+TEST(MsgRateModel, Fig3c_ConcurrentMatchingScales) {
+  MsgRateConfig cfg = base_cfg(14, 20);
+  cfg.progress = ProgressMode::kConcurrent;
+  cfg.comm_per_pair = true;
+  const MsgRateResult r = run_msgrate(cfg);
+  // Major increase over serial shared-comm matching (paper: ~10x base).
+  const double base = run_msgrate(base_cfg(14, 1)).msg_rate;
+  EXPECT_GT(r.msg_rate, 4.0 * base);
+  // Dedicated + comm-per-pair: no out-of-sequence at all (Table II).
+  EXPECT_EQ(r.out_of_sequence, 0u);
+}
+
+TEST(MsgRateModel, Fig3c_DedicatedBeatsRoundRobinAtMidThreadCounts) {
+  MsgRateConfig ded = base_cfg(10, 20);
+  ded.progress = ProgressMode::kConcurrent;
+  ded.comm_per_pair = true;
+  MsgRateConfig rr = ded;
+  rr.assignment = Assignment::kRoundRobin;
+  EXPECT_GT(run_msgrate(ded).msg_rate, 1.2 * run_msgrate(rr).msg_rate);
+}
+
+TEST(MsgRateModel, Fig4_OvertakingEliminatesOos) {
+  MsgRateConfig cfg = base_cfg(10, 20);
+  cfg.overtaking = true;
+  cfg.any_tag = true;
+  const MsgRateResult r = run_msgrate(cfg);
+  EXPECT_EQ(r.out_of_sequence, 0u);
+}
+
+TEST(MsgRateModel, Fig4_OvertakingReducesMatchTime) {
+  MsgRateConfig normal = base_cfg(10, 20);
+  MsgRateConfig ovt = normal;
+  ovt.overtaking = true;
+  ovt.any_tag = true;
+  const MsgRateResult rn = run_msgrate(normal);
+  const MsgRateResult ro = run_msgrate(ovt);
+  const double per_msg_normal =
+      static_cast<double>(rn.match_time_ns) / static_cast<double>(rn.delivered);
+  const double per_msg_ovt =
+      static_cast<double>(ro.match_time_ns) / static_cast<double>(ro.delivered);
+  EXPECT_LT(per_msg_ovt, 0.5 * per_msg_normal);
+  EXPECT_GE(ro.msg_rate, 0.9 * rn.msg_rate);
+}
+
+TEST(MsgRateModel, Fig4_SerialProgressFlattens) {
+  MsgRateConfig a = base_cfg(10, 20);
+  a.overtaking = true;
+  a.any_tag = true;
+  MsgRateConfig b = base_cfg(20, 20);
+  b.overtaking = true;
+  b.any_tag = true;
+  const double r10 = run_msgrate(a).msg_rate;
+  const double r20 = run_msgrate(b).msg_rate;
+  // Flat: serial extraction is the cap regardless of thread count.
+  EXPECT_NEAR(r20, r10, 0.25 * r10);
+}
+
+TEST(MsgRateModel, Fig5_ProcessModeFarAboveThreadMode) {
+  MsgRateConfig process = base_cfg(20, 1);
+  process.process_mode = true;
+  const double p = run_msgrate(process).msg_rate;
+  const double t = run_msgrate(base_cfg(20, 1)).msg_rate;
+  EXPECT_GT(p, 10.0 * t);  // the paper's "abysmal performance gap"
+}
+
+TEST(MsgRateModel, Fig5_ProcessModeScalesNearLinearly) {
+  MsgRateConfig one = base_cfg(1, 1);
+  one.process_mode = true;
+  MsgRateConfig twenty = base_cfg(20, 1);
+  twenty.process_mode = true;
+  const double r1 = run_msgrate(one).msg_rate;
+  const double r20 = run_msgrate(twenty).msg_rate;
+  EXPECT_GT(r20, 12.0 * r1);
+}
+
+TEST(MsgRateModel, Fig5_GlobalLockBaselineIsPoorAndFlat) {
+  MsgRateConfig g1 = base_cfg(1, 1);
+  g1.global_lock = true;
+  MsgRateConfig g20 = base_cfg(20, 1);
+  g20.global_lock = true;
+  const double r1 = run_msgrate(g1).msg_rate;
+  const double r20 = run_msgrate(g20).msg_rate;
+  EXPECT_LT(r20, r1);  // degrades, like every stock threaded MPI in Fig. 5
+  // And no better than the fairmpi base design.
+  EXPECT_LT(r20, 1.2 * run_msgrate(base_cfg(20, 1)).msg_rate);
+}
+
+TEST(MsgRateModel, Fig5_BestThreadedStillBelowProcessMode) {
+  MsgRateConfig best = base_cfg(20, 20);
+  best.progress = ProgressMode::kConcurrent;
+  best.comm_per_pair = true;
+  MsgRateConfig process = base_cfg(20, 1);
+  process.process_mode = true;
+  EXPECT_LT(run_msgrate(best).msg_rate, run_msgrate(process).msg_rate);
+}
+
+TEST(MsgRateModel, SentAndDeliveredBalanceUnderBackpressure) {
+  // With small RX rings the sender is paced by extraction, so deliveries
+  // track sends within the bounded in-flight backlog.
+  MsgRateConfig cfg = base_cfg(4, 4);
+  cfg.ring_entries = 128;
+  const MsgRateResult r = run_msgrate(cfg);
+  EXPECT_NEAR(static_cast<double>(r.delivered), static_cast<double>(r.sent),
+              0.2 * static_cast<double>(r.sent));
+  EXPECT_GT(r.delivered, 0u);
+}
+
+TEST(MsgRateModel, InvalidConfigAborts) {
+  MsgRateConfig cfg = base_cfg(1, 1);
+  cfg.process_mode = true;
+  cfg.global_lock = true;
+  EXPECT_DEATH(run_msgrate(cfg), "exclusive");
+}
+
+}  // namespace
+}  // namespace fairmpi::model

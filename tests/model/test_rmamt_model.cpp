@@ -1,0 +1,125 @@
+// Tests of the one-sided (RMA-MT) performance model, encoding the paper's
+// Figure 6/7 findings: dedicated instances scale almost perfectly with
+// threads toward the wire peak; a single instance degrades; round-robin
+// sits in between; serial vs concurrent progress barely matters; large
+// messages pin every configuration at the bandwidth-limited peak.
+#include "fairmpi/model/rmamt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fairmpi::model {
+namespace {
+
+using cri::Assignment;
+using progress::ProgressMode;
+
+RmaModelConfig cfg_haswell(int threads, int instances = 32) {
+  RmaModelConfig cfg;
+  cfg.threads = threads;
+  cfg.instances = instances;
+  return cfg;
+}
+
+TEST(RmaModel, Deterministic) {
+  const RmaModelConfig cfg = cfg_haswell(8);
+  const RmaModelResult a = run_rma_model(cfg);
+  const RmaModelResult b = run_rma_model(cfg);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(RmaModel, SingleThreadAnchorRate) {
+  // Calibration anchor: ~1 M put/s for one thread, 1-byte puts, Haswell.
+  const RmaModelResult r = run_rma_model(cfg_haswell(1));
+  EXPECT_GT(r.msg_rate, 0.7e6);
+  EXPECT_LT(r.msg_rate, 1.4e6);
+}
+
+TEST(RmaModel, Fig6_DedicatedScalesNearPerfectly) {
+  const double r1 = run_rma_model(cfg_haswell(1)).msg_rate;
+  const double r8 = run_rma_model(cfg_haswell(8)).msg_rate;
+  const double r32 = run_rma_model(cfg_haswell(32)).msg_rate;
+  EXPECT_GT(r8, 6.0 * r1);   // "scales almost perfectly"
+  EXPECT_GT(r32, 20.0 * r1);
+}
+
+TEST(RmaModel, Fig6_DedicatedApproachesWirePeakAt32Threads) {
+  const RmaModelResult r = run_rma_model(cfg_haswell(32));
+  EXPECT_GT(r.msg_rate, 0.8 * r.peak_rate);
+  EXPECT_LE(r.msg_rate, 1.02 * r.peak_rate);
+}
+
+TEST(RmaModel, Fig6_SingleInstanceDegradesWithThreads) {
+  const double r1 = run_rma_model(cfg_haswell(1, 1)).msg_rate;
+  const double r32 = run_rma_model(cfg_haswell(32, 1)).msg_rate;
+  EXPECT_LT(r32, 0.5 * r1);  // lock contention collapse
+}
+
+TEST(RmaModel, Fig6_RoundRobinBelowDedicated) {
+  for (const int threads : {2, 8, 32}) {
+    RmaModelConfig rr = cfg_haswell(threads);
+    rr.assignment = Assignment::kRoundRobin;
+    const double ded = run_rma_model(cfg_haswell(threads)).msg_rate;
+    const double rrr = run_rma_model(rr).msg_rate;
+    EXPECT_LT(rrr, 0.95 * ded) << threads << " threads";
+    // ... but far above the single-instance collapse.
+    RmaModelConfig single = cfg_haswell(threads, 1);
+    EXPECT_GT(rrr, run_rma_model(single).msg_rate) << threads << " threads";
+  }
+}
+
+TEST(RmaModel, Fig6_SerialVsConcurrentProgressBarelyDiffer) {
+  // §IV-F: "little benefit from concurrent progress in this configuration".
+  RmaModelConfig serial = cfg_haswell(16);
+  serial.progress = ProgressMode::kSerial;
+  RmaModelConfig conc = serial;
+  conc.progress = ProgressMode::kConcurrent;
+  const double rs = run_rma_model(serial).msg_rate;
+  const double rc = run_rma_model(conc).msg_rate;
+  EXPECT_NEAR(rs, rc, 0.1 * rs);
+}
+
+TEST(RmaModel, Fig6_LargeMessagesPinnedAtBandwidthPeak) {
+  for (const int threads : {1, 8, 32}) {
+    RmaModelConfig cfg = cfg_haswell(threads);
+    cfg.message_size = 16384;
+    const RmaModelResult r = run_rma_model(cfg);
+    EXPECT_GT(r.msg_rate, 0.85 * r.peak_rate) << threads << " threads";
+    EXPECT_LE(r.msg_rate, 1.05 * r.peak_rate) << threads << " threads";
+  }
+}
+
+TEST(RmaModel, PeakRateFollowsWireModel) {
+  const CostModel C = trinitite_haswell();
+  // Small messages: message-gap limited.
+  EXPECT_NEAR(C.wire_peak_rate(1), 1e9 / C.wire_msg_gap_ns, 1.0);
+  // 16 KiB: bandwidth limited.
+  EXPECT_NEAR(C.wire_peak_rate(16384), 1e9 / (16384 * C.wire_byte_ns), 1.0);
+  // Crossover is monotone non-increasing.
+  EXPECT_GE(C.wire_peak_rate(128), C.wire_peak_rate(1024));
+}
+
+TEST(RmaModel, Fig7_KnlSlowerPerThreadButScalesFurther) {
+  RmaModelConfig knl1 = cfg_haswell(1, 72);
+  knl1.costs = trinitite_knl();
+  const double k1 = run_rma_model(knl1).msg_rate;
+  // KNL single-thread rate ~3x below Haswell.
+  const double h1 = run_rma_model(cfg_haswell(1)).msg_rate;
+  EXPECT_LT(k1, 0.5 * h1);
+  // 64 threads on 72 instances: still scaling (dedicated, no sharing).
+  RmaModelConfig knl64 = cfg_haswell(64, 72);
+  knl64.costs = trinitite_knl();
+  const double k64 = run_rma_model(knl64).msg_rate;
+  EXPECT_GT(k64, 40.0 * k1);
+}
+
+TEST(RmaModel, OpsCountMatchesRateDefinition) {
+  const RmaModelConfig cfg = cfg_haswell(4);
+  const RmaModelResult r = run_rma_model(cfg);
+  EXPECT_NEAR(r.msg_rate,
+              static_cast<double>(r.ops) * 1e9 / static_cast<double>(cfg.measure_ns),
+              1.0);
+}
+
+}  // namespace
+}  // namespace fairmpi::model

@@ -1,0 +1,203 @@
+#include "fairmpi/progress/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fairmpi::progress {
+namespace {
+
+using spc::Counter;
+
+fabric::Packet make_pkt(std::uint32_t seq) {
+  fabric::Packet pkt;
+  pkt.hdr.opcode = fabric::Opcode::kEager;
+  pkt.hdr.seq = seq;
+  return pkt;
+}
+
+/// Counts extractions; optionally blocks inside handle_packet to probe
+/// mutual-exclusion properties of the engine designs.
+class CountingSink : public PacketSink {
+ public:
+  std::size_t handle_packet(fabric::Packet&&) override {
+    packets.fetch_add(1, std::memory_order_relaxed);
+    if (hold_ns > 0) {
+      const auto start = std::chrono::steady_clock::now();
+      concurrent_now.fetch_add(1);
+      while (std::chrono::steady_clock::now() - start < std::chrono::nanoseconds(hold_ns)) {
+      }
+      max_concurrent.store(std::max(max_concurrent.load(), concurrent_now.load()));
+      concurrent_now.fetch_sub(1);
+    }
+    return 1;
+  }
+  std::size_t handle_completion(const fabric::Completion&) override {
+    completions.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+
+  std::atomic<std::size_t> packets{0};
+  std::atomic<std::size_t> completions{0};
+  long hold_ns = 0;
+  std::atomic<int> concurrent_now{0};
+  std::atomic<int> max_concurrent{0};
+};
+
+class ProgressTest : public ::testing::Test {
+ protected:
+  void build(int instances, cri::Assignment assign, ProgressMode mode, int batch = 64) {
+    fabric_ = std::make_unique<fabric::Fabric>(std::vector<int>{instances});
+    pool_ = std::make_unique<cri::CriPool>(*fabric_, 0, assign);
+    engine_ = std::make_unique<ProgressEngine>(*pool_, sink_, mode, spc_, batch);
+  }
+
+  void inject(int ctx, int count) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(fabric_->nic(0).context(ctx).rx().try_push(make_pkt(0)));
+    }
+  }
+
+  spc::CounterSet spc_;
+  CountingSink sink_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<cri::CriPool> pool_;
+  std::unique_ptr<ProgressEngine> engine_;
+};
+
+TEST_F(ProgressTest, SerialDrainsAllInstances) {
+  build(4, cri::Assignment::kRoundRobin, ProgressMode::kSerial);
+  inject(0, 3);
+  inject(2, 2);
+  inject(3, 1);
+  EXPECT_EQ(engine_->progress(), 6u);
+  EXPECT_EQ(sink_.packets.load(), 6u);
+  EXPECT_EQ(engine_->progress(), 0u);
+}
+
+TEST_F(ProgressTest, SerialRespectsBatchLimitPerInstance) {
+  build(1, cri::Assignment::kRoundRobin, ProgressMode::kSerial, /*batch=*/4);
+  inject(0, 10);
+  EXPECT_EQ(engine_->progress(), 4u);
+  EXPECT_EQ(engine_->progress(), 4u);
+  EXPECT_EQ(engine_->progress(), 2u);
+}
+
+TEST_F(ProgressTest, SerialGateExcludesSecondThread) {
+  // batch=1 so the holder's call consumes exactly one packet.
+  build(1, cri::Assignment::kRoundRobin, ProgressMode::kSerial, /*batch=*/1);
+  sink_.hold_ns = 50'000'000;  // 50 ms inside the sink
+  inject(0, 1);
+  std::thread holder([&] { engine_->progress(); });
+  // Wait until the holder is inside the sink, then try to progress.
+  while (sink_.concurrent_now.load() == 0) {
+  }
+  inject(0, 1);
+  EXPECT_EQ(engine_->progress(), 0u);  // gate busy -> immediate return
+  EXPECT_GE(spc_.get(Counter::kInstanceTrylockFail), 1u);
+  holder.join();
+  sink_.hold_ns = 0;
+  EXPECT_EQ(engine_->progress(), 1u);  // second packet still there
+}
+
+TEST_F(ProgressTest, ConcurrentAllowsParallelExtraction) {
+  build(2, cri::Assignment::kDedicated, ProgressMode::kConcurrent);
+  sink_.hold_ns = 20'000'000;  // 20 ms
+  inject(0, 1);
+  inject(1, 1);
+  std::thread a([&] { engine_->progress(); });
+  std::thread b([&] { engine_->progress(); });
+  a.join();
+  b.join();
+  EXPECT_EQ(sink_.packets.load(), 2u);
+  // Both threads should have been inside the sink simultaneously (each on
+  // its own dedicated instance).
+  EXPECT_EQ(sink_.max_concurrent.load(), 2);
+}
+
+TEST_F(ProgressTest, ConcurrentOwnInstanceFirst) {
+  build(4, cri::Assignment::kDedicated, ProgressMode::kConcurrent);
+  const int own = pool_->dedicated_id();
+  inject(own, 1);
+  EXPECT_EQ(engine_->progress(), 1u);
+  // Fallback sweep not needed: only own instance was touched.
+}
+
+TEST_F(ProgressTest, ConcurrentFallbackSweepFindsOrphanedInstances) {
+  // Alg. 2 liveness: a completion sitting on an instance no thread owns is
+  // still harvested by any progressing thread once its own instance is dry.
+  build(4, cri::Assignment::kDedicated, ProgressMode::kConcurrent);
+  const int own = pool_->dedicated_id();
+  const int orphan = (own + 2) % 4;
+  inject(orphan, 5);
+  std::size_t total = 0;
+  for (int i = 0; i < 10 && total < 5; ++i) total += engine_->progress();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST_F(ProgressTest, ConcurrentSkipsLockedInstanceAndMovesOn) {
+  build(2, cri::Assignment::kDedicated, ProgressMode::kConcurrent);
+  const int own = pool_->dedicated_id();
+  const int other = 1 - own;
+  inject(other, 1);
+  // Hold our own instance's lock from another thread: progress must skip it
+  // (try-lock) and still find the other instance's packet via the sweep.
+  pool_->instance(own).lock().lock();
+  EXPECT_EQ(engine_->progress(), 1u);
+  pool_->instance(own).lock().unlock();
+  EXPECT_GE(spc_.get(Counter::kInstanceTrylockFail), 1u);
+}
+
+TEST_F(ProgressTest, CompletionQueueDrainedBeforePackets) {
+  build(1, cri::Assignment::kRoundRobin, ProgressMode::kSerial);
+  std::atomic<std::uint64_t> pending{1};
+  fabric::Completion comp{fabric::Completion::Kind::kRmaDone, &pending};
+  // CountingSink ignores the cookie; use the real kind routing only.
+  ASSERT_TRUE(fabric_->nic(0).context(0).cq().try_push(comp));
+  inject(0, 2);
+  EXPECT_EQ(engine_->progress(), 3u);
+  EXPECT_EQ(sink_.completions.load(), 1u);
+  EXPECT_EQ(sink_.packets.load(), 2u);
+}
+
+TEST_F(ProgressTest, SpcCountsCallsAndCompletions) {
+  build(1, cri::Assignment::kRoundRobin, ProgressMode::kSerial);
+  inject(0, 2);
+  engine_->progress();
+  engine_->progress();
+  EXPECT_EQ(spc_.get(Counter::kProgressCalls), 2u);
+  EXPECT_EQ(spc_.get(Counter::kProgressCompletions), 2u);
+}
+
+TEST_F(ProgressTest, ManyThreadsManyInstancesNoLoss) {
+  build(4, cri::Assignment::kDedicated, ProgressMode::kConcurrent);
+  constexpr int kTotal = 20000;
+  // Producer floods all 4 rings while 3 consumers progress concurrently.
+  std::thread producer([&] {
+    int sent = 0;
+    while (sent < kTotal) {
+      if (fabric_->nic(0).context(sent % 4).rx().try_push(make_pkt(0))) ++sent;
+    }
+  });
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 3; ++t) {
+    consumers.emplace_back([&] {
+      while (sink_.packets.load(std::memory_order_relaxed) < kTotal) {
+        engine_->progress();
+      }
+    });
+  }
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(sink_.packets.load(), static_cast<std::size_t>(kTotal));
+}
+
+TEST(ProgressModeNames, Names) {
+  EXPECT_STREQ(progress_mode_name(ProgressMode::kSerial), "serial");
+  EXPECT_STREQ(progress_mode_name(ProgressMode::kConcurrent), "concurrent");
+}
+
+}  // namespace
+}  // namespace fairmpi::progress

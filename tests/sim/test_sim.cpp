@@ -1,0 +1,257 @@
+#include "fairmpi/sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fairmpi::sim {
+namespace {
+
+TEST(Sim, DelayAdvancesVirtualTime) {
+  Simulation sim;
+  std::vector<Time> stamps;
+  sim.spawn([](Simulation& s, std::vector<Time>& out) -> Task {
+    out.push_back(s.now());
+    co_await s.delay(100);
+    out.push_back(s.now());
+    co_await s.delay(250);
+    out.push_back(s.now());
+  }(sim, stamps));
+  const Time end = sim.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 0u);
+  EXPECT_EQ(stamps[1], 100u);
+  EXPECT_EQ(stamps[2], 350u);
+  EXPECT_EQ(end, 350u);
+}
+
+TEST(Sim, ActorsInterleaveByTime) {
+  Simulation sim;
+  std::vector<std::string> trace;
+  auto actor = [](Simulation& s, std::vector<std::string>& out, std::string name,
+                  Time step) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(step);
+      out.push_back(name + std::to_string(i));
+    }
+  };
+  sim.spawn(actor(sim, trace, "a", 100));
+  sim.spawn(actor(sim, trace, "b", 70));
+  sim.run();
+  // b: 70,140,210  a: 100,200,300
+  const std::vector<std::string> expect{"b0", "a0", "b1", "a1", "b2", "a2"};
+  EXPECT_EQ(trace, expect);
+}
+
+TEST(Sim, TieBreakIsSpawnOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  auto actor = [](Simulation& s, std::vector<int>& out, int id) -> Task {
+    co_await s.delay(50);
+    out.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(actor(sim, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sim, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<Time> stamps;
+    auto actor = [](Simulation& s, std::vector<Time>& out, Time d) -> Task {
+      for (int i = 0; i < 10; ++i) {
+        co_await s.delay(d);
+        out.push_back(s.now());
+      }
+    };
+    sim.spawn(actor(sim, stamps, 13));
+    sim.spawn(actor(sim, stamps, 7));
+    sim.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Sim, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int ticks = 0;
+  sim.spawn([](Simulation& s, int& n) -> Task {
+    for (;;) {
+      co_await s.delay(10);
+      ++n;
+    }
+  }(sim, ticks));
+  EXPECT_TRUE(sim.run_until(100));
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_TRUE(sim.run_until(205));
+  EXPECT_EQ(ticks, 20);
+}
+
+TEST(Sim, AwaitedChildRunsInline) {
+  Simulation sim;
+  std::vector<std::string> trace;
+  auto child = [](Simulation& s, std::vector<std::string>& out) -> Task {
+    out.push_back("child-start@" + std::to_string(s.now()));
+    co_await s.delay(40);
+    out.push_back("child-end@" + std::to_string(s.now()));
+  };
+  sim.spawn([](Simulation& s, std::vector<std::string>& out, auto make_child) -> Task {
+    out.push_back("parent-start");
+    co_await make_child(s, out);
+    out.push_back("parent-resumed@" + std::to_string(s.now()));
+  }(sim, trace, child));
+  sim.run();
+  const std::vector<std::string> expect{"parent-start", "child-start@0", "child-end@40",
+                                        "parent-resumed@40"};
+  EXPECT_EQ(trace, expect);
+}
+
+TEST(SimMutex, UncontendedAcquireIsImmediate) {
+  Simulation sim;
+  Time acquired_at = 999;
+  sim.spawn([](Simulation& s, Time& at) -> Task {
+    SimMutex mu(s);
+    co_await mu.acquire();
+    at = s.now();
+    mu.release();
+  }(sim, acquired_at));
+  sim.run();
+  EXPECT_EQ(acquired_at, 0u);
+}
+
+TEST(SimMutex, MutualExclusionAndFifo) {
+  Simulation sim;
+  SimMutex mu(sim);
+  std::vector<int> order;
+  auto actor = [](Simulation& s, SimMutex& m, std::vector<int>& out, int id,
+                  Time arrive) -> Task {
+    co_await s.delay(arrive);
+    co_await m.acquire();
+    out.push_back(id);
+    co_await s.delay(100);  // hold
+    m.release();
+  };
+  sim.spawn(actor(sim, mu, order, 0, 0));
+  sim.spawn(actor(sim, mu, order, 1, 10));
+  sim.spawn(actor(sim, mu, order, 2, 5));
+  sim.run();
+  // Arrival order 0, 2, 1 -> FIFO service order.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(SimMutex, TryAcquire) {
+  Simulation sim;
+  SimMutex mu(sim);
+  std::vector<bool> results;
+  sim.spawn([](Simulation& s, SimMutex& m, std::vector<bool>& out) -> Task {
+    out.push_back(m.try_acquire());  // true
+    out.push_back(m.try_acquire());  // false: already held
+    m.release();
+    out.push_back(m.try_acquire());  // true again
+    m.release();
+    co_await s.delay(0);
+  }(sim, mu, results));
+  sim.run();
+  EXPECT_EQ(results, (std::vector<bool>{true, false, true}));
+}
+
+TEST(SimMutex, HandoffPenaltyScalesWithWaiters) {
+  // 1 holder + 3 waiters; handoff = 100 + 50*waiters_remaining.
+  Simulation sim;
+  SimMutex mu(sim, /*handoff_base=*/100, /*handoff_per_waiter=*/50);
+  std::vector<Time> grant_times;
+  auto actor = [](Simulation& s, SimMutex& m, std::vector<Time>& out, Time arrive) -> Task {
+    co_await s.delay(arrive);
+    co_await m.acquire();
+    out.push_back(s.now());
+    co_await s.delay(10);
+    m.release();
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(actor(sim, mu, grant_times, static_cast<Time>(i)));
+  sim.run();
+  ASSERT_EQ(grant_times.size(), 4u);
+  EXPECT_EQ(grant_times[0], 0u);
+  // Release at t=10 with 2 remaining waiters: handoff 100+100 -> t=210.
+  EXPECT_EQ(grant_times[1], 10u + 100 + 2 * 50);
+  // Next release at 220, 1 waiter left: +150 -> 370.
+  EXPECT_EQ(grant_times[2], grant_times[1] + 10 + 100 + 50);
+  EXPECT_EQ(grant_times[3], grant_times[2] + 10 + 100);
+}
+
+TEST(SimMutex, ReleaseWithoutHoldAborts) {
+  Simulation sim;
+  SimMutex mu(sim);
+  EXPECT_DEATH(mu.release(), "unlocked");
+}
+
+TEST(SimBarrier, ReleasesAllAtLastArrival) {
+  Simulation sim;
+  SimBarrier bar(sim, 3);
+  std::vector<Time> out_times;
+  auto actor = [](Simulation& s, SimBarrier& b, std::vector<Time>& out, Time arrive) -> Task {
+    co_await s.delay(arrive);
+    co_await b.arrive_and_wait();
+    out.push_back(s.now());
+  };
+  sim.spawn(actor(sim, bar, out_times, 10));
+  sim.spawn(actor(sim, bar, out_times, 200));
+  sim.spawn(actor(sim, bar, out_times, 50));
+  sim.run();
+  ASSERT_EQ(out_times.size(), 3u);
+  for (const Time t : out_times) EXPECT_EQ(t, 200u);
+}
+
+TEST(SimBarrier, ReusableAcrossPhases) {
+  Simulation sim;
+  SimBarrier bar(sim, 2);
+  int phases_done = 0;
+  auto actor = [](Simulation& s, SimBarrier& b, int& done, Time step) -> Task {
+    for (int phase = 0; phase < 5; ++phase) {
+      co_await s.delay(step);
+      co_await b.arrive_and_wait();
+    }
+    ++done;
+  };
+  sim.spawn(actor(sim, bar, phases_done, 10));
+  sim.spawn(actor(sim, bar, phases_done, 25));
+  sim.run();
+  EXPECT_EQ(phases_done, 2);
+  EXPECT_EQ(sim.now(), 125u);
+}
+
+TEST(Sim, DestructorCleansUpUnfinishedActors) {
+  // An actor parked forever must not leak or crash at teardown (ASan-clean).
+  auto sim = std::make_unique<Simulation>();
+  SimMutex* mu = new SimMutex(*sim);
+  mu->try_acquire();  // held forever
+  sim->spawn([](Simulation& s, SimMutex& m) -> Task {
+    co_await s.delay(5);
+    co_await m.acquire();  // never granted
+  }(*sim, *mu));
+  sim->run_until(100);
+  sim.reset();  // must destroy the suspended frame
+  delete mu;
+}
+
+TEST(Sim, ManyActorsStress) {
+  Simulation sim;
+  constexpr int kActors = 1000;
+  std::uint64_t total = 0;
+  auto actor = [](Simulation& s, std::uint64_t& sum, Time step) -> Task {
+    for (int i = 0; i < 100; ++i) {
+      co_await s.delay(step);
+      ++sum;
+    }
+  };
+  for (int i = 0; i < kActors; ++i) sim.spawn(actor(sim, total, 1 + (i % 17)));
+  sim.run();
+  EXPECT_EQ(total, kActors * 100u);
+  EXPECT_EQ(sim.events_processed(), kActors * 100u + kActors);
+}
+
+}  // namespace
+}  // namespace fairmpi::sim

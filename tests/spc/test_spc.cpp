@@ -1,0 +1,101 @@
+#include "fairmpi/spc/spc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fairmpi::spc {
+namespace {
+
+TEST(Spc, StartsAtZero) {
+  CounterSet set;
+  for (int i = 0; i < kNumCounters; ++i) {
+    EXPECT_EQ(set.get(static_cast<Counter>(i)), 0u);
+  }
+}
+
+TEST(Spc, AddAccumulates) {
+  CounterSet set;
+  set.add(Counter::kMessagesSent);
+  set.add(Counter::kMessagesSent, 9);
+  EXPECT_EQ(set.get(Counter::kMessagesSent), 10u);
+  EXPECT_EQ(set.get(Counter::kMessagesReceived), 0u);
+}
+
+TEST(Spc, UpdateMaxKeepsHighWater) {
+  CounterSet set;
+  set.update_max(Counter::kOosBufferPeak, 5);
+  set.update_max(Counter::kOosBufferPeak, 3);
+  EXPECT_EQ(set.get(Counter::kOosBufferPeak), 5u);
+  set.update_max(Counter::kOosBufferPeak, 12);
+  EXPECT_EQ(set.get(Counter::kOosBufferPeak), 12u);
+}
+
+TEST(Spc, ConcurrentAddsDoNotLoseUpdates) {
+  CounterSet set;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) set.add(Counter::kMatchAttempts);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(set.get(Counter::kMatchAttempts),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Spc, SnapshotDelta) {
+  CounterSet set;
+  set.add(Counter::kMessagesSent, 100);
+  set.update_max(Counter::kOosBufferPeak, 7);
+  const Snapshot before = set.snapshot();
+  set.add(Counter::kMessagesSent, 23);
+  set.update_max(Counter::kOosBufferPeak, 9);
+  const Snapshot delta = set.snapshot().delta_since(before);
+  EXPECT_EQ(delta.get(Counter::kMessagesSent), 23u);
+  // High-water counters keep the later absolute value.
+  EXPECT_EQ(delta.get(Counter::kOosBufferPeak), 9u);
+}
+
+TEST(Spc, MergeSumsAndMaxes) {
+  Snapshot a, b;
+  a.values[static_cast<int>(Counter::kMessagesSent)] = 10;
+  b.values[static_cast<int>(Counter::kMessagesSent)] = 5;
+  a.values[static_cast<int>(Counter::kOosBufferPeak)] = 3;
+  b.values[static_cast<int>(Counter::kOosBufferPeak)] = 8;
+  a.merge(b);
+  EXPECT_EQ(a.get(Counter::kMessagesSent), 15u);
+  EXPECT_EQ(a.get(Counter::kOosBufferPeak), 8u);
+}
+
+TEST(Spc, ResetClears) {
+  CounterSet set;
+  set.add(Counter::kRmaPuts, 3);
+  set.reset();
+  EXPECT_EQ(set.get(Counter::kRmaPuts), 0u);
+}
+
+TEST(Spc, AllCountersHaveDistinctNames) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumCounters; ++i) {
+    names.emplace_back(counter_name(static_cast<Counter>(i)));
+    EXPECT_NE(names.back(), "Unknown");
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Spc, ToStringContainsEveryCounter) {
+  CounterSet set;
+  set.add(Counter::kOutOfSequence, 42);
+  const std::string s = set.snapshot().to_string();
+  EXPECT_NE(s.find("OutOfSequence = 42"), std::string::npos);
+  EXPECT_NE(s.find("MatchTimeNs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairmpi::spc

@@ -1,0 +1,141 @@
+#include "fairmpi/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fairmpi/core/universe.hpp"
+
+namespace fairmpi::trace {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Tracer t(64);
+  EXPECT_FALSE(t.enabled());
+  t.record(Event::kSend, 1, 2);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Trace, ZeroCapacityNeverEnables) {
+  Tracer t(0);
+  t.enable(true);
+  EXPECT_FALSE(t.enabled());
+  t.record(Event::kSend);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Trace, RecordsInOrder) {
+  Tracer t(64);
+  t.enable(true);
+  t.record(Event::kSend, 1, 10);
+  t.record(Event::kRecvPost, 2, 20);
+  t.record(Event::kProgress, 3);
+  const auto entries = t.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].event, Event::kSend);
+  EXPECT_EQ(entries[0].a, 1u);
+  EXPECT_EQ(entries[0].b, 10u);
+  EXPECT_EQ(entries[1].event, Event::kRecvPost);
+  EXPECT_EQ(entries[2].event, Event::kProgress);
+  EXPECT_LE(entries[0].timestamp_ns, entries[2].timestamp_ns);
+}
+
+TEST(Trace, RingOverwritesOldest) {
+  Tracer t(8);
+  t.enable(true);
+  for (std::uint32_t i = 0; i < 20; ++i) t.record(Event::kSend, i);
+  const auto entries = t.snapshot();
+  EXPECT_EQ(entries.size(), 8u);
+  // Only the most recent 8 survive.
+  for (const auto& e : entries) EXPECT_GE(e.a, 12u);
+  EXPECT_EQ(t.recorded(), 20u);
+}
+
+TEST(Trace, ConcurrentRecordingDoesNotCorrupt) {
+  Tracer t(1024);
+  t.enable(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      for (int i = 0; i < kPerThread; ++i) {
+        t.record(Event::kSend, static_cast<std::uint32_t>(th),
+                 static_cast<std::uint32_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto entries = t.snapshot();
+  EXPECT_LE(entries.size(), 1024u);
+  for (const auto& e : entries) {
+    EXPECT_EQ(e.event, Event::kSend);
+    EXPECT_LT(e.a, static_cast<std::uint32_t>(kThreads));
+    EXPECT_LT(e.b, static_cast<std::uint32_t>(kPerThread));
+  }
+}
+
+TEST(Trace, DumpIsReadable) {
+  Tracer t(16);
+  t.enable(true);
+  t.record(Event::kRmaPut, 1, 4096);
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_NE(os.str().find("RmaPut"), std::string::npos);
+  EXPECT_NE(os.str().find("a=1"), std::string::npos);
+  EXPECT_NE(os.str().find("b=4096"), std::string::npos);
+}
+
+TEST(Trace, EventNamesDistinct) {
+  EXPECT_STREQ(event_name(Event::kSend), "Send");
+  EXPECT_STREQ(event_name(Event::kRndvDone), "RndvDone");
+  EXPECT_STREQ(event_name(Event::kRmaFlush), "RmaFlush");
+}
+
+TEST(Trace, EngineIntegrationCapturesTraffic) {
+  Config cfg;
+  cfg.trace_entries = 256;
+  Universe uni(cfg);
+  uni.rank(0).tracer().enable(true);
+  uni.rank(1).tracer().enable(true);
+
+  std::thread receiver([&] {
+    int got = 0;
+    uni.rank(1).recv(kWorldComm, 0, 9, &got, sizeof got);
+  });
+  const int payload = 1;
+  uni.rank(0).send(kWorldComm, 1, 9, &payload, sizeof payload);
+  receiver.join();
+
+  bool saw_send = false;
+  for (const auto& e : uni.rank(0).tracer().snapshot()) {
+    saw_send = saw_send || (e.event == Event::kSend && e.a == 1 && e.b == 9);
+  }
+  EXPECT_TRUE(saw_send);
+  bool saw_post = false, saw_progress = false;
+  for (const auto& e : uni.rank(1).tracer().snapshot()) {
+    saw_post = saw_post || e.event == Event::kRecvPost;
+    saw_progress = saw_progress || e.event == Event::kProgress;
+  }
+  EXPECT_TRUE(saw_post);
+  EXPECT_TRUE(saw_progress);
+}
+
+TEST(Trace, EngineTracingOffByDefaultCostsNothingVisible) {
+  Universe uni(Config{});  // trace_entries = 0
+  const int payload = 1;
+  std::thread receiver([&] {
+    int got = 0;
+    uni.rank(1).recv(kWorldComm, 0, 1, &got, sizeof got);
+  });
+  uni.rank(0).send(kWorldComm, 1, 1, &payload, sizeof payload);
+  receiver.join();
+  EXPECT_EQ(uni.rank(0).tracer().recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace fairmpi::trace
