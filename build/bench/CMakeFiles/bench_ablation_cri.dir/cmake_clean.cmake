@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cri.dir/bench_ablation_cri.cpp.o"
+  "CMakeFiles/bench_ablation_cri.dir/bench_ablation_cri.cpp.o.d"
+  "bench_ablation_cri"
+  "bench_ablation_cri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

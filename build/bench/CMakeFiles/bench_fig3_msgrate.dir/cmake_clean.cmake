@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_msgrate.dir/bench_fig3_msgrate.cpp.o"
+  "CMakeFiles/bench_fig3_msgrate.dir/bench_fig3_msgrate.cpp.o.d"
+  "bench_fig3_msgrate"
+  "bench_fig3_msgrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_msgrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_overtaking.dir/bench_fig4_overtaking.cpp.o"
+  "CMakeFiles/bench_fig4_overtaking.dir/bench_fig4_overtaking.cpp.o.d"
+  "bench_fig4_overtaking"
+  "bench_fig4_overtaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_overtaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_impls.dir/bench_fig5_impls.cpp.o"
+  "CMakeFiles/bench_fig5_impls.dir/bench_fig5_impls.cpp.o.d"
+  "bench_fig5_impls"
+  "bench_fig5_impls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_impls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rma_haswell.dir/bench_fig6_rma_haswell.cpp.o"
+  "CMakeFiles/bench_fig6_rma_haswell.dir/bench_fig6_rma_haswell.cpp.o.d"
+  "bench_fig6_rma_haswell"
+  "bench_fig6_rma_haswell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rma_haswell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rma_knl.dir/bench_fig7_rma_knl.cpp.o"
+  "CMakeFiles/bench_fig7_rma_knl.dir/bench_fig7_rma_knl.cpp.o.d"
+  "bench_fig7_rma_knl"
+  "bench_fig7_rma_knl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rma_knl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

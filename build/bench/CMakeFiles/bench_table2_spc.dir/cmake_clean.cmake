@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_spc.dir/bench_table2_spc.cpp.o"
+  "CMakeFiles/bench_table2_spc.dir/bench_table2_spc.cpp.o.d"
+  "bench_table2_spc"
+  "bench_table2_spc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_spc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

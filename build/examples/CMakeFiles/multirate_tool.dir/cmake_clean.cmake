@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multirate_tool.dir/multirate_tool.cpp.o"
+  "CMakeFiles/multirate_tool.dir/multirate_tool.cpp.o.d"
+  "multirate_tool"
+  "multirate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multirate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

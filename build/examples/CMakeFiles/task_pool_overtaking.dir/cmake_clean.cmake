@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_pool_overtaking.dir/task_pool_overtaking.cpp.o"
+  "CMakeFiles/task_pool_overtaking.dir/task_pool_overtaking.cpp.o.d"
+  "task_pool_overtaking"
+  "task_pool_overtaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_pool_overtaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsupport/report.cpp" "src/CMakeFiles/fairmpi.dir/benchsupport/report.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/benchsupport/report.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/fairmpi.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/fairmpi.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/cvar.cpp" "src/CMakeFiles/fairmpi.dir/core/cvar.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/core/cvar.cpp.o.d"
+  "/root/repo/src/core/rank.cpp" "src/CMakeFiles/fairmpi.dir/core/rank.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/core/rank.cpp.o.d"
+  "/root/repo/src/core/rendezvous.cpp" "src/CMakeFiles/fairmpi.dir/core/rendezvous.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/core/rendezvous.cpp.o.d"
+  "/root/repo/src/core/universe.cpp" "src/CMakeFiles/fairmpi.dir/core/universe.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/core/universe.cpp.o.d"
+  "/root/repo/src/cri/cri.cpp" "src/CMakeFiles/fairmpi.dir/cri/cri.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/cri/cri.cpp.o.d"
+  "/root/repo/src/match/match_engine.cpp" "src/CMakeFiles/fairmpi.dir/match/match_engine.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/match/match_engine.cpp.o.d"
+  "/root/repo/src/model/costs.cpp" "src/CMakeFiles/fairmpi.dir/model/costs.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/model/costs.cpp.o.d"
+  "/root/repo/src/model/msgrate.cpp" "src/CMakeFiles/fairmpi.dir/model/msgrate.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/model/msgrate.cpp.o.d"
+  "/root/repo/src/model/rmamt.cpp" "src/CMakeFiles/fairmpi.dir/model/rmamt.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/model/rmamt.cpp.o.d"
+  "/root/repo/src/multirate/multirate.cpp" "src/CMakeFiles/fairmpi.dir/multirate/multirate.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/multirate/multirate.cpp.o.d"
+  "/root/repo/src/offload/offload.cpp" "src/CMakeFiles/fairmpi.dir/offload/offload.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/offload/offload.cpp.o.d"
+  "/root/repo/src/p2p/sender.cpp" "src/CMakeFiles/fairmpi.dir/p2p/sender.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/p2p/sender.cpp.o.d"
+  "/root/repo/src/progress/progress.cpp" "src/CMakeFiles/fairmpi.dir/progress/progress.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/progress/progress.cpp.o.d"
+  "/root/repo/src/rma/window.cpp" "src/CMakeFiles/fairmpi.dir/rma/window.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/rma/window.cpp.o.d"
+  "/root/repo/src/rmamt/rmamt.cpp" "src/CMakeFiles/fairmpi.dir/rmamt/rmamt.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/rmamt/rmamt.cpp.o.d"
+  "/root/repo/src/sim/sim.cpp" "src/CMakeFiles/fairmpi.dir/sim/sim.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/sim/sim.cpp.o.d"
+  "/root/repo/src/spc/spc.cpp" "src/CMakeFiles/fairmpi.dir/spc/spc.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/spc/spc.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/fairmpi.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/fairmpi.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

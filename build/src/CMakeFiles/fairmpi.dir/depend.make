@@ -1,0 +1,2 @@
+# Empty dependencies file for fairmpi.
+# This may be replaced when dependencies are built.

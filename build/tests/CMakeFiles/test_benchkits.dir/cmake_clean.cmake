@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchkits.dir/multirate/test_multirate.cpp.o"
+  "CMakeFiles/test_benchkits.dir/multirate/test_multirate.cpp.o.d"
+  "test_benchkits"
+  "test_benchkits.pdb"
+  "test_benchkits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchkits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchsupport.dir/benchsupport/test_report.cpp.o"
+  "CMakeFiles/test_benchsupport.dir/benchsupport/test_report.cpp.o.d"
+  "test_benchsupport"
+  "test_benchsupport.pdb"
+  "test_benchsupport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

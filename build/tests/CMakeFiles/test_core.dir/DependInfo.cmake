@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_boundaries.cpp" "tests/CMakeFiles/test_core.dir/core/test_boundaries.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_boundaries.cpp.o.d"
+  "/root/repo/tests/core/test_cvar.cpp" "tests/CMakeFiles/test_core.dir/core/test_cvar.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cvar.cpp.o.d"
+  "/root/repo/tests/core/test_fuzz.cpp" "tests/CMakeFiles/test_core.dir/core/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_p2p.cpp" "tests/CMakeFiles/test_core.dir/core/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_p2p.cpp.o.d"
+  "/root/repo/tests/core/test_probe.cpp" "tests/CMakeFiles/test_core.dir/core/test_probe.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_probe.cpp.o.d"
+  "/root/repo/tests/core/test_rendezvous.cpp" "tests/CMakeFiles/test_core.dir/core/test_rendezvous.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rendezvous.cpp.o.d"
+  "/root/repo/tests/core/test_rma.cpp" "tests/CMakeFiles/test_core.dir/core/test_rma.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rma.cpp.o.d"
+  "/root/repo/tests/core/test_universe.cpp" "tests/CMakeFiles/test_core.dir/core/test_universe.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

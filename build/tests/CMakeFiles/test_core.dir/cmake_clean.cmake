@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_boundaries.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_boundaries.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cvar.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cvar.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fuzz.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_p2p.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_p2p.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_probe.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_probe.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rendezvous.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rendezvous.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rma.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rma.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_universe.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_universe.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

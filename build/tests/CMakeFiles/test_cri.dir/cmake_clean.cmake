@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cri.dir/cri/test_cri.cpp.o"
+  "CMakeFiles/test_cri.dir/cri/test_cri.cpp.o.d"
+  "test_cri"
+  "test_cri.pdb"
+  "test_cri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

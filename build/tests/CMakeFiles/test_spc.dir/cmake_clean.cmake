@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spc.dir/spc/test_spc.cpp.o"
+  "CMakeFiles/test_spc.dir/spc/test_spc.cpp.o.d"
+  "test_spc"
+  "test_spc.pdb"
+  "test_spc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
