@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "fairmpi/common/align.hpp"
 
@@ -26,6 +27,37 @@ inline void cpu_relax() noexcept {
 #endif
 }
 }  // namespace detail
+
+/// Bounded spin, then yield — for wait loops whose completion depends on
+/// another thread making progress (wait/wait_all, flow-control stalls,
+/// contended lock slow paths).
+///
+/// Pure cpu_relax() spinning is right when the event is microseconds away
+/// and a core is available to produce it. On an oversubscribed host (more
+/// runnable threads than cores — notably the 1-core CI container) a pure
+/// spinner burns its entire scheduler quantum (~4 ms) while the thread it
+/// waits on is runnable but not running, quantizing throughput at one
+/// wait/wakeup pair per quantum. Yielding after a short spin caps that
+/// stall at the cost of one syscall on the (rare) saturated path.
+class SpinWait {
+ public:
+  /// One fruitless iteration: spin while young, yield once saturated.
+  void pause() noexcept {
+    if (spins_ < kYieldThreshold) {
+      ++spins_;
+      detail::cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Progress was made: start the spin budget over.
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kYieldThreshold = 64;
+  std::uint32_t spins_ = 0;
+};
 
 /// Test-and-test-and-set spinlock with exponential backoff.
 ///
@@ -44,14 +76,30 @@ class alignas(kCacheLine) Spinlock {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       // Spin on a plain load first so the lock line stays shared while held.
       while (locked_.load(std::memory_order_relaxed)) {
-        for (std::uint32_t i = 0; i < backoff; ++i) detail::cpu_relax();
-        if (backoff < 1024) backoff <<= 1;
+        if (backoff < kMaxBackoff) {
+          for (std::uint32_t i = 0; i < backoff; ++i) detail::cpu_relax();
+          backoff <<= 1;
+        } else {
+          // Saturated backoff: the holder has been in for a while — likely
+          // descheduled. Yield so it can run (critical on 1-core hosts).
+          std::this_thread::yield();
+        }
       }
     }
   }
 
+  /// CONTRACT: a FAILED try_lock performs no acquire operation — the
+  /// fast-path load below is deliberately relaxed, and on failure the
+  /// exchange is never executed. Callers must not rely on a failed
+  /// try_lock for memory ordering (no happens-before edge with the lock
+  /// holder is established). Algorithm 2's sweep depends on this: a
+  /// progress thread probing a busy sibling instance must observe nothing
+  /// of that instance's in-flight critical section, and the probe must
+  /// stay a read-only cache hit rather than a bus transaction.
+  /// (Covered by Spinlock.FailedTryLockIsEffectFree in tests/common.)
   bool try_lock() noexcept {
     // Fail fast without a bus transaction if the lock is visibly held.
+    // lint: allow(relaxed-sync) gate only; the exchange below is the acquire
     if (locked_.load(std::memory_order_relaxed)) return false;
     return !locked_.exchange(true, std::memory_order_acquire);
   }
@@ -63,6 +111,8 @@ class alignas(kCacheLine) Spinlock {
 
  private:
   std::atomic<bool> locked_{false};
+
+  static constexpr std::uint32_t kMaxBackoff = 1024;
 };
 
 /// FIFO ticket lock.
@@ -78,15 +128,26 @@ class alignas(kCacheLine) TicketLock {
 
   void lock() noexcept {
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
-    while (serving_.load(std::memory_order_acquire) != my) detail::cpu_relax();
+    SpinWait waiter;
+    // FIFO hand-off: the yield in SpinWait matters doubly here — ticket
+    // holders ahead of us cannot be overtaken, so spinning while one of
+    // them is descheduled would stall the whole queue.
+    while (serving_.load(std::memory_order_acquire) != my) waiter.pause();
   }
 
   bool try_lock() noexcept {
-    std::uint32_t serving = serving_.load(std::memory_order_relaxed);
+    // The acquire below is the synchronization point: unlock() publishes
+    // the critical section with a release store to serving_, so the edge
+    // must be read from serving_ — an acquire on the next_ CAS pairs with
+    // nothing (all next_ RMWs are relaxed) and leaves the previous
+    // holder's writes unordered. TSan caught exactly that as a data race
+    // between two lock-protected sections (LockTest.TryLockMixedWithLock).
+    std::uint32_t serving = serving_.load(std::memory_order_acquire);
     std::uint32_t expected = serving;
-    // Only take a ticket if we would be served immediately.
+    // Only take a ticket if we would be served immediately. A failed probe
+    // still consumes no ticket and writes nothing (see Spinlock::try_lock).
     if (next_.load(std::memory_order_relaxed) != serving) return false;
-    return next_.compare_exchange_strong(expected, serving + 1, std::memory_order_acquire,
+    return next_.compare_exchange_strong(expected, serving + 1, std::memory_order_relaxed,
                                          std::memory_order_relaxed);
   }
 

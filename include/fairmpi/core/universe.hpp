@@ -24,6 +24,7 @@
 
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/core/config.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/p2p/comm_state.hpp"
@@ -148,12 +149,13 @@ class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
 
   // Rendezvous registries and the deferred-send queue. A plain mutex-style
   // spinlock is fine here: traffic is one entry per large message, not per
-  // fragment-byte.
-  Spinlock rndv_lock_;
+  // fragment-byte. Both rank above match: they are acquired from
+  // on_rts_matched with the match lock (and a CRI lock) held.
+  RankedLock<Spinlock> rndv_lock_{LockRank::kRndvState, "rank.rndv-state"};
   std::uint64_t next_cookie_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvSendState>> rndv_sends_;
   std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvRecvState>> rndv_recvs_;
-  Spinlock control_lock_;
+  RankedLock<Spinlock> control_lock_{LockRank::kRndvControl, "rank.rndv-control"};
   std::deque<p2p::ControlMsg> control_;
 };
 
@@ -183,7 +185,7 @@ class Universe {
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::atomic<CommId> next_comm_{kWorldComm + 1};
-  Spinlock comm_create_lock_;
+  RankedLock<Spinlock> comm_create_lock_{LockRank::kCommCreate, "universe.comm-create"};
 };
 
 }  // namespace fairmpi

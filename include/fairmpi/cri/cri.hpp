@@ -21,9 +21,14 @@
 
 #include "fairmpi/common/align.hpp"
 #include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 
 namespace fairmpi::cri {
+
+/// The per-instance lock type: a spinlock acquired through the lock-rank
+/// validator at rank kCriInstance (progress gate < CRI < match).
+using InstanceLock = RankedLock<Spinlock>;
 
 enum class Assignment {
   kRoundRobin,
@@ -47,7 +52,7 @@ class CommResourceInstance {
   CommResourceInstance& operator=(const CommResourceInstance&) = delete;
 
   int id() const noexcept { return id_; }
-  Spinlock& lock() noexcept { return lock_; }
+  InstanceLock& lock() noexcept { return lock_; }
   fabric::NetworkContext& context() noexcept { return *ctx_; }
   fabric::Endpoint& endpoint(int peer) { return endpoints_[static_cast<std::size_t>(peer)]; }
 
@@ -55,7 +60,7 @@ class CommResourceInstance {
   const int id_;
   fabric::NetworkContext* ctx_;
   std::vector<fabric::Endpoint> endpoints_;
-  Spinlock lock_;
+  InstanceLock lock_{LockRank::kCriInstance, "cri.instance"};
 };
 
 /// The pool of CRIs owned by one rank, plus the "centralized body" (§III-B)

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/fabric/wire.hpp"
 #include "fairmpi/p2p/rendezvous.hpp"
 #include "fairmpi/p2p/request.hpp"
@@ -96,7 +97,10 @@ class MatchEngine {
   spc::CounterSet& spc_;
   p2p::RendezvousHook* rndv_hook_ = nullptr;
 
-  mutable Spinlock lock_;
+  /// Acquired under the CRI instance lock on the progress path (rank
+  /// kMatch > kCriInstance); never held while acquiring engine resources —
+  /// rendezvous sends discovered under it are deferred (p2p/rendezvous.hpp).
+  mutable RankedLock<Spinlock> lock_{LockRank::kMatch, "match.engine"};
   std::vector<PeerState> peers_;
   std::deque<p2p::Request*> posted_any_;  ///< ANY_SOURCE posted receives
   std::uint64_t post_stamp_ = 0;

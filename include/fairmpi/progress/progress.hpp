@@ -22,6 +22,7 @@
 #include "fairmpi/common/align.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/cri/cri.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/spc/spc.hpp"
 
@@ -76,8 +77,9 @@ class ProgressEngine {
   spc::CounterSet& spc_;
   const int batch_;
   /// Guard for the serial design; try-lock only, FIFO irrelevant since
-  /// non-holders bail out.
-  Spinlock serial_gate_;
+  /// non-holders bail out. Lowest rank in the hierarchy: instance and
+  /// match locks are acquired under it, never the reverse.
+  RankedLock<Spinlock> serial_gate_{LockRank::kProgressGate, "progress.serial-gate"};
 };
 
 }  // namespace fairmpi::progress

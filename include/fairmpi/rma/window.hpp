@@ -24,11 +24,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "fairmpi/common/align.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/core/universe.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
 
 namespace fairmpi::rma {
 
@@ -111,22 +113,35 @@ class Window {
   /// Post one completion to `inst`'s CQ, draining inline if the CQ is full.
   void post_completion(cri::CommResourceInstance& inst);
 
-  Spinlock& accumulate_lock(std::size_t disp) noexcept {
+  RankedLock<Spinlock>& accumulate_lock(std::size_t disp) noexcept {
     return acc_locks_[(disp / kCacheLine) % acc_locks_.size()];
   }
+
+  /// Build the stripe-lock array: RankedLock is neither copyable nor
+  /// movable, so each element is constructed in place via guaranteed
+  /// elision from a prvalue.
+  template <std::size_t... I>
+  static std::array<RankedLock<Spinlock>, sizeof...(I)> make_acc_locks(
+      std::index_sequence<I...>) {
+    return {{((void)I, RankedLock<Spinlock>{LockRank::kRmaAccumulate, "rma.accumulate"})...}};
+  }
+
+  static constexpr std::size_t kAccStripes = 16;
 
   WindowGroup* group_;
   Rank* rank_;
   void* base_;
   std::size_t bytes_;
   /// Per-thread pending slots; the spinlock guards the vector only (slot
-  /// counters are accessed lock-free through stable pointers).
-  mutable Spinlock slots_lock_;
+  /// counters are accessed lock-free through stable pointers). Acquired
+  /// under the CRI instance lock on the completion path, hence the rank.
+  mutable RankedLock<Spinlock> slots_lock_{LockRank::kRmaSlots, "rma.slots"};
   std::vector<std::unique_ptr<PendingSlot>> slots_;
   const std::uint64_t window_key_;
   std::atomic<bool> epoch_open_{false};
   /// Stripe locks serializing accumulates on this (target) window.
-  std::array<Spinlock, 16> acc_locks_{};
+  std::array<RankedLock<Spinlock>, kAccStripes> acc_locks_ =
+      make_acc_locks(std::make_index_sequence<kAccStripes>{});
   /// Reader/writer state for passive-target lock/unlock *of this window as
   /// a target*: -1 = exclusive holder, 0 = free, >0 = shared holders.
   std::atomic<int> target_lock_{0};

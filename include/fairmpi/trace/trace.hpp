@@ -59,7 +59,9 @@ class Tracer {
   }
   bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Record one event (thread-safe, wait-free).
+  /// Record one event (thread-safe, wait-free). Dropped without trace if
+  /// the ring has wrapped onto a slot whose writer is still mid-flight —
+  /// the entry a full ring would have overwritten moments later anyway.
   void record(Event event, std::uint32_t a = 0, std::uint32_t b = 0) noexcept;
 
   /// Chronological copy of the surviving entries. Exact only when no

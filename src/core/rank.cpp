@@ -77,9 +77,17 @@ Status Rank::recv(CommId comm, int src, int tag, void* buf, std::size_t capacity
   return req.status();
 }
 
+// The wait loops below use SpinWait, not bare cpu_relax(): completion
+// depends on a peer thread running (to inject, progress, or ack), so on an
+// oversubscribed host a pure spinner would burn its whole scheduler quantum
+// while that peer sits runnable — quantizing throughput at one window per
+// quantum (the Multirate.SinglePairDeliversAtPlausibleRate failure mode on
+// the 1-core CI box).
+
 void Rank::wait(Request& req) {
+  SpinWait waiter;
   while (!req.done()) {
-    if (progress() == 0) detail::cpu_relax();
+    if (progress() == 0) waiter.pause(); else waiter.reset();
   }
 }
 
@@ -90,6 +98,7 @@ bool Rank::test(Request& req) {
 }
 
 void Rank::wait_all(Request* const* reqs, std::size_t n) {
+  SpinWait waiter;
   for (;;) {
     bool all_done = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -99,17 +108,18 @@ void Rank::wait_all(Request* const* reqs, std::size_t n) {
       }
     }
     if (all_done) return;
-    if (progress() == 0) detail::cpu_relax();
+    if (progress() == 0) waiter.pause(); else waiter.reset();
   }
 }
 
 std::size_t Rank::wait_any(Request* const* reqs, std::size_t n) {
   FAIRMPI_CHECK_MSG(n > 0, "wait_any needs at least one request");
+  SpinWait waiter;
   for (;;) {
     for (std::size_t i = 0; i < n; ++i) {
       if (reqs[i]->done()) return i;
     }
-    if (progress() == 0) detail::cpu_relax();
+    if (progress() == 0) waiter.pause(); else waiter.reset();
   }
 }
 
@@ -120,8 +130,9 @@ bool Rank::iprobe(CommId comm, int src, int tag, Status* status) {
 
 Status Rank::probe(CommId comm, int src, int tag) {
   Status status;
+  SpinWait waiter;
   while (!comm_state(comm).match().probe(src, tag, &status)) {
-    if (progress() == 0) detail::cpu_relax();
+    if (progress() == 0) waiter.pause(); else waiter.reset();
   }
   return status;
 }

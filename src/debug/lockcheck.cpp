@@ -1,0 +1,220 @@
+#include "fairmpi/debug/lockcheck.hpp"
+
+#if FAIRMPI_LOCKCHECK
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fairmpi::debug {
+
+namespace {
+
+// ---- class registry + acquisition-order graph (global, mutex-guarded; the
+// ---- guard is a plain std::mutex so the validator never recurses into
+// ---- itself).
+
+std::mutex g_registry_mu;
+LockClass g_classes[kMaxLockClasses];
+int g_num_classes = 0;
+
+/// order_edge[a][b] == true: a blocking acquisition of class b happened
+/// while a lock of class a was held ("a is locked before b").
+bool g_order_edge[kMaxLockClasses][kMaxLockClasses];
+
+/// The acquisition site that established edge a->b, for reports.
+struct EdgeSite {
+  const char* file = nullptr;
+  unsigned line = 0;
+};
+EdgeSite g_edge_site[kMaxLockClasses][kMaxLockClasses];
+
+/// DFS: is `to` reachable from `from` over recorded edges? Caller holds
+/// g_registry_mu.
+bool reachable(std::uint32_t from, std::uint32_t to) {
+  bool visited[kMaxLockClasses] = {};
+  std::uint32_t stack[kMaxLockClasses];
+  int depth = 0;
+  stack[depth++] = from;
+  visited[from] = true;
+  while (depth > 0) {
+    const std::uint32_t cur = stack[--depth];
+    if (cur == to) return true;
+    for (std::uint32_t next = 0; next < static_cast<std::uint32_t>(g_num_classes); ++next) {
+      if (g_order_edge[cur][next] && !visited[next]) {
+        visited[next] = true;
+        stack[depth++] = next;
+      }
+    }
+  }
+  return false;
+}
+
+// ---- per-thread held stack
+
+struct Held {
+  const LockClass* cls;
+  const void* addr;
+  const char* file;
+  unsigned line;
+};
+
+struct ThreadState {
+  Held stack[kMaxHeldLocks];
+  int depth = 0;
+};
+
+thread_local ThreadState t_state;
+
+// ---- violation reporting
+
+void default_handler(const Violation& v) {
+  std::fputs(v.report, stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+ViolationHandler g_handler = &default_handler;
+
+/// Append the calling thread's held stack to `buf` (one lock per line).
+void format_held_stack(char* buf, std::size_t cap) {
+  std::size_t used = std::strlen(buf);
+  for (int i = 0; i < t_state.depth && used < cap; ++i) {
+    const Held& h = t_state.stack[i];
+    const int n = std::snprintf(buf + used, cap - used,
+                                "    held[%d]: \"%s\" (rank %u) acquired at %s:%u\n", i,
+                                h.cls->name, static_cast<unsigned>(h.cls->rank), h.file, h.line);
+    if (n <= 0) break;
+    used += static_cast<std::size_t>(n);
+  }
+}
+
+void report(Violation::Kind kind, const LockClass* attempted, const LockClass* conflicting,
+            const std::source_location& loc, const EdgeSite* reverse_site) {
+  Violation v;
+  v.kind = kind;
+  v.attempted = attempted;
+  v.conflicting = conflicting;
+  const char* what = kind == Violation::Kind::kRankOrder ? "lock rank order violation"
+                     : kind == Violation::Kind::kCycle   ? "lock acquisition cycle"
+                                                         : "held-lock stack overflow";
+  std::snprintf(v.report, sizeof v.report,
+                "fairmpi lockcheck: %s\n"
+                "    attempting: \"%s\" (rank %u) at %s:%u\n",
+                what, attempted->name, static_cast<unsigned>(attempted->rank), loc.file_name(),
+                static_cast<unsigned>(loc.line()));
+  if (conflicting != nullptr) {
+    std::size_t used = std::strlen(v.report);
+    std::snprintf(v.report + used, sizeof v.report - used,
+                  "    conflicts with held: \"%s\" (rank %u)\n", conflicting->name,
+                  static_cast<unsigned>(conflicting->rank));
+  }
+  if (reverse_site != nullptr && reverse_site->file != nullptr) {
+    std::size_t used = std::strlen(v.report);
+    std::snprintf(v.report + used, sizeof v.report - used,
+                  "    established order \"%s\" -> \"%s\" at %s:%u\n", attempted->name,
+                  conflicting != nullptr ? conflicting->name : "?", reverse_site->file,
+                  reverse_site->line);
+  }
+  format_held_stack(v.report, sizeof v.report);
+  g_handler(v);
+}
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler handler) noexcept {
+  ViolationHandler prev = g_handler;
+  g_handler = handler != nullptr ? handler : &default_handler;
+  return prev == &default_handler ? nullptr : prev;
+}
+
+const LockClass* intern_lock_class(LockRank rank, const char* name) {
+  std::scoped_lock guard(g_registry_mu);
+  for (int i = 0; i < g_num_classes; ++i) {
+    if (g_classes[i].rank == rank && std::strcmp(g_classes[i].name, name) == 0) {
+      return &g_classes[i];
+    }
+  }
+  if (g_num_classes >= kMaxLockClasses) {
+    std::fputs("fairmpi lockcheck: lock class table full (raise kMaxLockClasses)\n", stderr);
+    std::abort();
+  }
+  LockClass& cls = g_classes[g_num_classes];
+  cls.name = name;
+  cls.rank = rank;
+  cls.id = static_cast<std::uint32_t>(g_num_classes);
+  ++g_num_classes;
+  return &cls;
+}
+
+void check_blocking_acquire(const LockClass* cls, const void* addr,
+                            const std::source_location& loc) {
+  (void)addr;
+  if (t_state.depth == 0) return;
+
+  // Rank rule: must outrank (or tie with a *different* class) everything held.
+  for (int i = 0; i < t_state.depth; ++i) {
+    const LockClass* held = t_state.stack[i].cls;
+    if (held->rank > cls->rank || (held == cls)) {
+      report(Violation::Kind::kRankOrder, cls, held, loc, nullptr);
+      return;  // handler chose not to abort; skip graph update
+    }
+  }
+
+  // Cycle rule: record held -> cls edges; closing a cycle is a violation.
+  std::scoped_lock guard(g_registry_mu);
+  for (int i = 0; i < t_state.depth; ++i) {
+    const LockClass* held = t_state.stack[i].cls;
+    if (held == cls) continue;
+    if (reachable(cls->id, held->id)) {
+      report(Violation::Kind::kCycle, cls, held, loc, &g_edge_site[cls->id][held->id]);
+      return;
+    }
+    if (!g_order_edge[held->id][cls->id]) {
+      g_order_edge[held->id][cls->id] = true;
+      g_edge_site[held->id][cls->id] = EdgeSite{loc.file_name(), loc.line()};
+    }
+  }
+}
+
+void note_acquired(const LockClass* cls, const void* addr, const std::source_location& loc) {
+  if (t_state.depth >= kMaxHeldLocks) {
+    report(Violation::Kind::kOverflow, cls, nullptr, loc, nullptr);
+    return;
+  }
+  Held& h = t_state.stack[t_state.depth++];
+  h.cls = cls;
+  h.addr = addr;
+  h.file = loc.file_name();
+  h.line = loc.line();
+}
+
+void note_released(const void* addr) noexcept {
+  // Usually LIFO (scoped_lock), but search from the top so out-of-order
+  // release is handled too.
+  for (int i = t_state.depth - 1; i >= 0; --i) {
+    if (t_state.stack[i].addr == addr) {
+      for (int j = i; j + 1 < t_state.depth; ++j) t_state.stack[j] = t_state.stack[j + 1];
+      --t_state.depth;
+      return;
+    }
+  }
+  // Releasing a lock we never saw acquired: tolerated (e.g. handler
+  // continued past a skipped push after an overflow report).
+}
+
+int held_count() noexcept { return t_state.depth; }
+
+void reset_for_test() noexcept {
+  t_state.depth = 0;
+  std::scoped_lock guard(g_registry_mu);
+  std::memset(g_order_edge, 0, sizeof g_order_edge);
+  for (auto& row : g_edge_site) {
+    for (auto& site : row) site = EdgeSite{};
+  }
+}
+
+}  // namespace fairmpi::debug
+
+#endif  // FAIRMPI_LOCKCHECK

@@ -97,8 +97,9 @@ MultirateResult run_pairwise(const MultirateConfig& cfg) {
       if (acks.size() - next_wait >= kCredit) {
         Request& pending = *acks[next_wait];
         // The receiver stops acknowledging once stopped; bail out then.
+        SpinWait waiter;
         while (!pending.done() && !all_receivers_done()) {
-          ep.sender->progress();
+          if (ep.sender->progress() == 0) waiter.pause(); else waiter.reset();
         }
         ++next_wait;
       }
@@ -204,13 +205,16 @@ MultirateResult run_incast(const MultirateConfig& cfg) {
   auto sender_fn = [&] {
     sync.arrive_and_wait();
     Request req;
+    SpinWait waiter;
     while (!receiver_done.load(std::memory_order_acquire)) {
       if (injected.load(std::memory_order_relaxed) -
               consumed.load(std::memory_order_acquire) >=
           kMaxInFlight) {
-        detail::cpu_relax();
+        // Throttled: the receiver needs CPU to drain; let it run.
+        waiter.pause();
         continue;
       }
+      waiter.reset();
       sender_rank.isend(kWorldComm, 1, kTag, payload.data(), n, req);
       injected.fetch_add(1, std::memory_order_relaxed);
     }

@@ -59,6 +59,8 @@ namespace {
 void lock_timed(cri::CommResourceInstance& inst, spc::CounterSet& counters) {
   if (inst.lock().try_lock()) return;
   const std::uint64_t t0 = now_ns();
+  // lint: allow(bare-lock) timed-acquire helper; every caller immediately
+  // adopts with std::scoped_lock(std::adopt_lock, inst.lock())
   inst.lock().lock();
   counters.add(Counter::kInstanceLockWaitNs, now_ns() - t0);
 }
@@ -148,10 +150,12 @@ std::uint64_t Window::fetch_add_u64(int target, std::size_t disp, std::uint64_t 
 template <typename DonePredicate>
 void Window::drain_until(DonePredicate done) {
   cri::CriPool& pool = rank_->pool();
+  SpinWait waiter;
   while (!done()) {
     // Own instance first (Alg. 2's affinity), then sweep: a thread's
     // completions usually sit on the instance it injected through.
     const int own = pool.id_for_thread();
+    bool polled = false;
     for (int i = 0; i < pool.size(); ++i) {
       const int k = (own + i) % pool.size();
       cri::CommResourceInstance& inst = pool.instance(k);
@@ -159,12 +163,15 @@ void Window::drain_until(DonePredicate done) {
         rank_->counters().add(Counter::kInstanceTrylockFail);
         continue;
       }
+      polled = true;
       {
         std::scoped_lock adopt(std::adopt_lock, inst.lock());
         rank_->engine().progress_instance_locked(inst);
       }
       if (done()) break;
     }
+    // Every instance busy: back off so their holders can run.
+    if (polled) waiter.reset(); else waiter.pause();
   }
 }
 
@@ -198,12 +205,13 @@ void Window::unlock_all() {
 
 void Window::lock(LockKind kind, int target) {
   std::atomic<int>& state = group_->window(target).target_lock_;
+  SpinWait waiter;
   if (kind == LockKind::kExclusive) {
     int expected = 0;
     while (!state.compare_exchange_weak(expected, -1, std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
       expected = 0;
-      detail::cpu_relax();
+      waiter.pause();
     }
     return;
   }
@@ -211,7 +219,7 @@ void Window::lock(LockKind kind, int target) {
   int cur = state.load(std::memory_order_relaxed);
   for (;;) {
     if (cur < 0) {
-      detail::cpu_relax();
+      waiter.pause();
       cur = state.load(std::memory_order_relaxed);
       continue;
     }
@@ -242,8 +250,9 @@ void WindowGroup::fence_arrive() {
     fence_arrived_.store(0, std::memory_order_relaxed);
     fence_generation_.store(gen + 1, std::memory_order_release);
   } else {
+    SpinWait waiter;
     while (fence_generation_.load(std::memory_order_acquire) == gen) {
-      detail::cpu_relax();
+      waiter.pause();
     }
   }
 }

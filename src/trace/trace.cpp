@@ -32,13 +32,26 @@ void Tracer::record(Event event, std::uint32_t a, std::uint32_t b) noexcept {
   const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[static_cast<std::size_t>(idx) & mask_];
   // Seqlock-style write: odd sequence marks the slot as in flux so
-  // snapshot() can skip torn entries.
-  const std::uint64_t seq = slot.sequence.load(std::memory_order_relaxed);
-  slot.sequence.store(seq + 1, std::memory_order_release);
-  slot.entry.timestamp_ns = now_ns();
-  slot.entry.event = event;
-  slot.entry.a = a;
-  slot.entry.b = b;
+  // snapshot() can skip torn entries. The CAS *claims* the slot: when the
+  // ring wraps onto a slot whose writer is still mid-flight, ours is the
+  // record the lossy ring would have discarded anyway, so drop it. Without
+  // the claim, two writers interleave their field stores — a writer-writer
+  // race TSan caught (both sides looked like valid entries to snapshot()
+  // because they finish on the same even sequence). The CAS acquire also
+  // orders us after the previous writer's release store of seq.
+  std::uint64_t seq = slot.sequence.load(std::memory_order_relaxed);
+  if ((seq & 1) != 0 ||
+      !slot.sequence.compare_exchange_strong(seq, seq + 1, std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  // Relaxed atomic field stores: a concurrent snapshot() may read these
+  // mid-write (it detects and discards the value via the sequence recheck,
+  // but the loads themselves must not be a data race).
+  std::atomic_ref(slot.entry.timestamp_ns).store(now_ns(), std::memory_order_relaxed);
+  std::atomic_ref(slot.entry.event).store(event, std::memory_order_relaxed);
+  std::atomic_ref(slot.entry.a).store(a, std::memory_order_relaxed);
+  std::atomic_ref(slot.entry.b).store(b, std::memory_order_relaxed);
   slot.sequence.store(seq + 2, std::memory_order_release);
 }
 
@@ -48,7 +61,14 @@ std::vector<Entry> Tracer::snapshot() const {
   for (const Slot& slot : slots_) {
     const std::uint64_t before = slot.sequence.load(std::memory_order_acquire);
     if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
-    Entry copy = slot.entry;
+    // atomic_ref needs a mutable lvalue even for loads; the entry is never
+    // written through this path.
+    Entry& e = const_cast<Slot&>(slot).entry;
+    Entry copy;
+    copy.timestamp_ns = std::atomic_ref(e.timestamp_ns).load(std::memory_order_relaxed);
+    copy.event = std::atomic_ref(e.event).load(std::memory_order_relaxed);
+    copy.a = std::atomic_ref(e.a).load(std::memory_order_relaxed);
+    copy.b = std::atomic_ref(e.b).load(std::memory_order_relaxed);
     const std::uint64_t after = slot.sequence.load(std::memory_order_acquire);
     if (after != before) continue;  // overwritten while copying
     out.push_back(copy);

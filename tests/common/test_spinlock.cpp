@@ -90,6 +90,32 @@ TYPED_TEST(LockTest, TryLockMixedWithLock) {
   EXPECT_EQ(counter + attempts.load(), static_cast<long>(kThreads) * kIters);
 }
 
+TYPED_TEST(LockTest, FailedTryLockIsEffectFree) {
+  // Contract (see Spinlock::try_lock): a FAILED try_lock performs no
+  // acquire operation and leaves no trace — no state change, no memory
+  // ordering, no queue position. Algorithm 2's sweep try-locks busy
+  // sibling instances constantly; any side effect of failure would
+  // corrupt either the lock or the happens-before reasoning of the sweep.
+  TypeParam lock;
+  lock.lock();
+  std::thread prober([&] {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_FALSE(lock.try_lock());
+    }
+  });
+  prober.join();
+  // The holder's critical section was undisturbed and its unlock is the
+  // next state transition: a single try_lock now succeeds immediately.
+  // (For TicketLock this proves failed probes consumed no tickets — a
+  // consumed ticket would leave serving_ forever behind next_.)
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+  // Repeatable: the lock is back to a pristine handoff cycle.
+  lock.lock();
+  lock.unlock();
+}
+
 TEST(Spinlock, IsLockedReflectsState) {
   Spinlock lock;
   EXPECT_FALSE(lock.is_locked());

@@ -184,10 +184,13 @@ TEST_F(RmaTest, ManyThreadsScalePendingCorrectly) {
   constexpr int kIters = 5000;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&] {
+    // Distinct per-thread displacement: concurrent *conflicting* puts to
+    // one location within an epoch are erroneous MPI (and, in this
+    // shared-memory engine, racing memcpys).
+    threads.emplace_back([&, t] {
       char byte = 1;
       for (int i = 0; i < kIters; ++i) {
-        group_->window(0).put(1, 0, &byte, 1);
+        group_->window(0).put(1, static_cast<std::size_t>(t), &byte, 1);
         if (i % 100 == 99) group_->window(0).flush_all();
       }
       group_->window(0).flush_all();

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Concurrency lint for fairmpi.
+
+Style-level rules the compiler cannot express, each targeting a bug class the
+multithreaded-MPI papers report losing days to:
+
+  bare-lock      .lock()/.unlock() statements outside RAII. Every acquisition
+                 must be scoped (std::scoped_lock / unique_lock), or sit
+                 within a few lines of a std::adopt_lock guard (the timed-
+                 acquire idiom), or carry an allow annotation.
+
+  relaxed-sync   A memory_order_relaxed load gating a branch decision with no
+                 acquire operation in sight. Relaxed loads are fine as
+                 fast-path gates *when* the actual synchronization (an
+                 acquire exchange/CAS) is adjacent; a bare relaxed gate is
+                 how "works on x86" visibility bugs ship.
+
+  unranked-mutex A mutex-like member (Spinlock / TicketLock / std::mutex
+                 family) declared raw instead of through RankedLock<T>, i.e.
+                 invisible to the lock-rank validator.
+
+Suppression: add `lint: allow(<rule>) <reason>` in a comment on the offending
+line or the line above. The reason is mandatory culture, not syntax — reviews
+reject bare allows.
+
+Scope: include/ and src/. Tests and benches construct adversarial lock states
+on purpose (holding a lock to force try_lock failure, benchmarking a bare
+primitive) and are exempt.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("include", "src")
+CXX_SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx"}
+
+# Files that implement the primitives / the validator itself.
+EXEMPT_FILES = {
+    "include/fairmpi/common/spinlock.hpp",
+    "include/fairmpi/debug/lockcheck.hpp",
+    "src/debug/lockcheck.cpp",
+}
+
+ALLOW_RE = re.compile(r"lint:\s*allow\((?P<rules>[\w,\s-]+)\)")
+
+# `foo.lock();` / `foo->unlock();` / `inst.lock().lock();` as a whole
+# statement. Expression-statements only: declarations like
+# `std::scoped_lock guard(lock);` do not match.
+BARE_LOCK_RE = re.compile(r"^\s*[\w\.\->\(\)\[\]:]*(?:\.|->)(?:lock|unlock)\(\s*\)\s*;")
+ADOPT_RE = re.compile(r"std::adopt_lock")
+ADOPT_WINDOW = 4  # lines around a bare lock in which an adopting guard counts
+
+RELAXED_LOAD_RE = re.compile(r"\.load\(std::memory_order_relaxed\)")
+BRANCH_RE = re.compile(r"^\s*(?:\}?\s*else\s+)?(?:if|while)\s*\(|\breturn\b.*\?")
+ACQUIRE_RE = re.compile(r"memory_order_acq|__tsan_acquire|std::atomic_thread_fence")
+ACQUIRE_WINDOW = 4  # lines around a relaxed gate in which an acquire counts
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:fairmpi::)?"
+    r"(?:Spinlock|TicketLock|std::(?:recursive_|shared_|timed_)?mutex)\s+"
+    r"\w+\s*(?:;|\{|=)"
+)
+MUTEX_ARRAY_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::array<\s*(?:fairmpi::)?(?:Spinlock|TicketLock)\b"
+)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def allows(line: str, prev_line: str, rule: str) -> bool:
+    for text in (line, prev_line):
+        m = ALLOW_RE.search(text)
+        if m and rule in {r.strip() for r in m.group("rules").split(",")}:
+            return True
+    return False
+
+
+def window(lines: list[str], idx: int, radius: int) -> str:
+    lo = max(0, idx - radius)
+    hi = min(len(lines), idx + radius + 1)
+    return "\n".join(lines[lo:hi])
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[Finding]:
+    findings: list[Finding] = []
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    for i, line in enumerate(lines):
+        prev = lines[i - 1] if i > 0 else ""
+        code = line.split("//", 1)[0] if not line.lstrip().startswith("//") else ""
+
+        if BARE_LOCK_RE.match(code):
+            if not allows(line, prev, "bare-lock") and not ADOPT_RE.search(
+                window(lines, i, ADOPT_WINDOW)
+            ):
+                findings.append(
+                    Finding(
+                        path, i + 1, "bare-lock",
+                        "bare lock()/unlock() statement: use std::scoped_lock "
+                        "(or adopt within {} lines, or annotate)".format(ADOPT_WINDOW),
+                    )
+                )
+
+        if RELAXED_LOAD_RE.search(code) and BRANCH_RE.match(code):
+            if not allows(line, prev, "relaxed-sync") and not ACQUIRE_RE.search(
+                window(lines, i, ACQUIRE_WINDOW)
+            ):
+                findings.append(
+                    Finding(
+                        path, i + 1, "relaxed-sync",
+                        "relaxed load gates a branch with no adjacent acquire: "
+                        "pair with an acquire or annotate with the reason it is safe",
+                    )
+                )
+
+        if rel.endswith((".hpp", ".h")) and (
+            MUTEX_MEMBER_RE.match(code) or MUTEX_ARRAY_RE.match(code)
+        ):
+            if not allows(line, prev, "unranked-mutex"):
+                findings.append(
+                    Finding(
+                        path, i + 1, "unranked-mutex",
+                        "raw mutex member is invisible to the lock-rank validator: "
+                        "declare it as RankedLock<T> with a LockRank",
+                    )
+                )
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("paths", nargs="*", help="restrict to these files")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"lint_concurrency: no such root: {root}", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        files = [pathlib.Path(p).resolve() for p in args.paths]
+    else:
+        files = [
+            f
+            for d in SCAN_DIRS
+            for f in sorted((root / d).rglob("*"))
+            if f.suffix in CXX_SUFFIXES
+        ]
+
+    findings: list[Finding] = []
+    for f in files:
+        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) else f.as_posix()
+        if rel in EXEMPT_FILES:
+            continue
+        findings.extend(lint_file(f, rel))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_concurrency: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_concurrency: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
