@@ -3,6 +3,7 @@
 // injection path through an endpoint.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 
 #include "fairmpi/common/mpsc_ring.hpp"
@@ -29,6 +30,42 @@ void BM_RingPushPopSingleThread(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RingPushPopSingleThread);
+
+/// The progress engine's drain pattern: a burst of packets lands and the
+/// consumer extracts it. Manual timing covers only the drain phase (the
+/// fill is the producers' cost, measured elsewhere). Two variants: one
+/// try_pop per item vs one try_pop_n batch — the batch amortizes the head
+/// update and is what progress.cpp does under the CRI lock.
+template <bool kBatch>
+void ring_drain_bench(benchmark::State& state) {
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+  MpscRing<std::uint64_t> ring(4096);
+  std::uint64_t out[64];
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < burst; ++i) ring.try_push(std::uint64_t{v++});
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t drained = 0;
+    if constexpr (kBatch) {
+      while (drained < burst) {
+        const std::size_t n = ring.try_pop_n(out, 64);
+        if (n == 0) break;
+        drained += n;
+      }
+    } else {
+      while (drained < burst && ring.try_pop(out[0])) ++drained;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(drained);
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(burst));
+}
+
+void BM_RingDrainSingle(benchmark::State& state) { ring_drain_bench<false>(state); }
+void BM_RingDrainBatch(benchmark::State& state) { ring_drain_bench<true>(state); }
+BENCHMARK(BM_RingDrainSingle)->Arg(64)->UseManualTime();
+BENCHMARK(BM_RingDrainBatch)->Arg(64)->UseManualTime();
 
 void BM_RingMultiProducer(benchmark::State& state) {
   static MpscRing<std::uint64_t>* ring = nullptr;

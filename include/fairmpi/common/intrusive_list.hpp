@@ -1,0 +1,75 @@
+// Intrusive doubly-linked list.
+//
+// The matching engine's posted/unexpected queues used to be std::deque:
+// every post/match cycle touched the deque's block map and erase() shuffled
+// elements. Threading the links through the nodes themselves (p2p::Request,
+// the pooled unexpected node) makes push_back/erase pointer writes only —
+// zero allocations, O(1) unlink from the middle, which is the common case
+// for tag-filtered matching.
+//
+// Not thread-safe; fairmpi lists are always owned by a lock (the match
+// engine's). A node may be on at most one list per hook pair.
+#pragma once
+
+#include <cstddef>
+
+namespace fairmpi::common {
+
+template <typename T, T* T::*Prev, T* T::*Next>
+class IntrusiveList {
+ public:
+  IntrusiveList() = default;
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const noexcept { return head_ == nullptr; }
+  std::size_t size() const noexcept { return size_; }
+  T* front() const noexcept { return head_; }
+
+  static T* next(const T* n) noexcept { return n->*Next; }
+
+  void push_back(T* n) noexcept {
+    n->*Prev = tail_;
+    n->*Next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->*Next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++size_;
+  }
+
+  /// Unlink `n` (must be on this list). Links are nulled so a double erase
+  /// or use-after-unlink trips fast in debug builds.
+  void erase(T* n) noexcept {
+    T* p = n->*Prev;
+    T* x = n->*Next;
+    if (p != nullptr) {
+      p->*Next = x;
+    } else {
+      head_ = x;
+    }
+    if (x != nullptr) {
+      x->*Prev = p;
+    } else {
+      tail_ = p;
+    }
+    n->*Prev = nullptr;
+    n->*Next = nullptr;
+    --size_;
+  }
+
+  T* pop_front() noexcept {
+    T* n = head_;
+    if (n != nullptr) erase(n);
+    return n;
+  }
+
+ private:
+  T* head_ = nullptr;
+  T* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fairmpi::common

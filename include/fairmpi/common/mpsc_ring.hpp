@@ -1,9 +1,13 @@
-// Bounded lock-free ring buffer (Vyukov-style bounded MPMC queue).
+// Bounded lock-free ring buffer (Vyukov-style bounded queue), multi-producer
+// single-consumer.
 //
 // This is the RX ring of a simulated network context: remote sender threads
-// are the producers, the (single, lock-protected) progressing thread is the
-// consumer. The queue is actually MPMC-safe, which keeps it robust if a
-// progress design ever allows concurrent drains of one context.
+// are the producers, the progressing thread is the consumer. The engine
+// serializes consumers externally — every drain happens under the owning
+// CRI's lock (progress.cpp) — so the pop side exploits single-consumer
+// ownership: head_ is advanced with a plain store instead of a CAS, and
+// try_pop_n() amortizes the head update over a whole batch. The push side
+// stays fully MPMC-safe.
 //
 // A full ring is the fabric's backpressure signal: try_push() returns false
 // and the sender must progress its own resources before retrying — exactly
@@ -28,7 +32,7 @@ class MpscRing {
   explicit MpscRing(std::size_t capacity)
       : capacity_(next_pow2(capacity < 2 ? 2 : capacity)),
         mask_(capacity_ - 1),
-        cells_(std::make_unique<Cell[]>(capacity_)) {
+        cells_(std::make_unique<Cell[]>(capacity_)) {  // lint: allow(hotpath-alloc) ctor
     for (std::size_t i = 0; i < capacity_; ++i) {
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
@@ -66,27 +70,36 @@ class MpscRing {
   }
 
   /// Attempt to dequeue into `out`. Returns false when empty.
-  /// Safe for concurrent consumers (MPMC), though fairmpi uses one consumer
-  /// at a time under the owning CRI's lock.
+  /// Single consumer at a time: callers must hold the owning CRI's lock (or
+  /// otherwise own the ring exclusively). head_ is written with a plain
+  /// store — no CAS — which is what makes the drain path allocation- and
+  /// rmw-free.
   bool try_pop(T& out) noexcept {
-    std::uint64_t pos = head_.load(std::memory_order_relaxed);
-    for (;;) {
-      Cell& cell = cells_[pos & mask_];
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != pos + 1) return false;  // empty (or producer mid-publish)
+    out = std::move(cell.value);
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Dequeue up to `max_n` items into `out[0..)`, returning the count.
+  /// Same single-consumer contract as try_pop. One head_ store per batch.
+  std::size_t try_pop_n(T* out, std::size_t max_n) noexcept {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    std::size_t n = 0;
+    while (n < max_n) {
+      Cell& cell = cells_[(pos + n) & mask_];
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
-      const std::int64_t dif =
-          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
-      if (dif == 0) {
-        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
-          out = std::move(cell.value);
-          cell.seq.store(pos + capacity_, std::memory_order_release);
-          return true;
-        }
-      } else if (dif < 0) {
-        return false;  // empty
-      } else {
-        pos = head_.load(std::memory_order_relaxed);
-      }
+      if (seq != pos + n + 1) break;  // drained up to the publish frontier
+      out[n] = std::move(cell.value);
+      cell.seq.store(pos + n + capacity_, std::memory_order_release);
+      ++n;
     }
+    if (n != 0) head_.store(pos + n, std::memory_order_relaxed);
+    return n;
   }
 
   /// Approximate occupancy; exact only when quiescent.

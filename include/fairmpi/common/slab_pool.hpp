@@ -1,0 +1,210 @@
+// Slab allocator with per-thread freelist caches.
+//
+// The paper's hot-path discipline (§II-C: "a real allocation on the critical
+// path") demands that steady-state injection/extraction/matching never call
+// the general-purpose allocator. SlabArena provides the mechanism: slots are
+// carved from slabs in batches, recycled through a per-thread cache (no
+// synchronization at all on the common path), and rebalanced through a
+// spinlock-protected global freelist when a cache runs dry or overflows —
+// which is also the TSan-clean cross-thread return path (objects may be
+// acquired on one thread and released on another; the global lock's
+// release/acquire edge orders the handoff).
+//
+// Slots are rounded up to a whole number of cache lines so objects handed to
+// different threads never share a line (the same false-sharing rule as
+// common/align.hpp).
+//
+// SlabPool<T> is the typed veneer used directly by engines (unexpected-match
+// nodes); fabric::PayloadPool (fabric/wire.hpp) builds size-classed payload
+// recycling for packets and rendezvous fragments on the same arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/common/thread_slot.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
+
+namespace fairmpi::common {
+
+/// Untyped slab arena: fixed slot size, per-thread caches, global spillover.
+class SlabArena {
+ public:
+  /// @param slot_bytes    payload bytes per slot (rounded up to cache lines)
+  /// @param slab_slots    slots carved per slab allocation
+  explicit SlabArena(std::size_t slot_bytes, std::size_t slab_slots = 64)
+      : slot_bytes_(round_up(slot_bytes < sizeof(void*) ? sizeof(void*) : slot_bytes,
+                             kCacheLine)),
+        slab_slots_(slab_slots) {
+    FAIRMPI_CHECK(slab_slots >= 1);
+  }
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Frees the slabs wholesale. All objects must already be released (or be
+  /// trivially destructible): the arena does not track live slots.
+  ~SlabArena() = default;
+
+  /// Pop a raw slot. Allocation-free whenever the thread cache or the global
+  /// freelist has a slot; grows a new slab (the only malloc) otherwise.
+  void* acquire() {
+    const int slot = this_thread_slot();
+    if (slot != kNoThreadSlot) {
+      Cache& c = *caches_[static_cast<std::size_t>(slot)];
+      if (c.head != nullptr) {
+        FreeNode* n = c.head;
+        c.head = n->next;
+        --c.count;
+        return n;
+      }
+      refill(c);
+      FreeNode* n = c.head;
+      c.head = n->next;
+      --c.count;
+      return n;
+    }
+    // Registry exhausted (> kMaxThreadSlots live threads): contended path.
+    std::scoped_lock guard(global_lock_);
+    if (global_head_ == nullptr) grow_locked();
+    FreeNode* n = global_head_;
+    global_head_ = n->next;
+    global_count_ -= 1;
+    return n;
+  }
+
+  /// Return a slot, possibly from a different thread than acquired it.
+  void release(void* p) noexcept {
+    auto* n = static_cast<FreeNode*>(p);
+    const int slot = this_thread_slot();
+    if (slot != kNoThreadSlot) {
+      Cache& c = *caches_[static_cast<std::size_t>(slot)];
+      n->next = c.head;
+      c.head = n;
+      if (++c.count > kCacheHighWater) flush(c);
+      return;
+    }
+    std::scoped_lock guard(global_lock_);
+    n->next = global_head_;
+    global_head_ = n;
+    global_count_ += 1;
+  }
+
+  std::size_t slot_bytes() const noexcept { return slot_bytes_; }
+
+  /// Diagnostics (exact only when quiescent).
+  std::size_t slabs_allocated() const noexcept {
+    std::scoped_lock guard(global_lock_);
+    return slabs_.size();
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  /// One cache line per thread slot; `head`/`count` are only ever touched by
+  /// the slot's owning thread (thread_slot.hpp guarantees unique ownership
+  /// among live threads and orders handover across thread exit/reuse).
+  struct alignas(kCacheLine) Cache {
+    FreeNode* head = nullptr;
+    std::uint32_t count = 0;
+  };
+
+  static constexpr std::uint32_t kRefillBatch = 16;
+  static constexpr std::uint32_t kCacheHighWater = 2 * kRefillBatch;
+
+  /// Move up to kRefillBatch slots global -> cache, growing a slab if the
+  /// global list is empty too.
+  void refill(Cache& c) {
+    std::scoped_lock guard(global_lock_);
+    if (global_head_ == nullptr) grow_locked();
+    std::uint32_t moved = 0;
+    while (global_head_ != nullptr && moved < kRefillBatch) {
+      FreeNode* n = global_head_;
+      global_head_ = n->next;
+      n->next = c.head;
+      c.head = n;
+      ++moved;
+    }
+    global_count_ -= moved;
+    c.count += moved;
+  }
+
+  /// Move kRefillBatch slots cache -> global (keeps caches bounded so one
+  /// producer-only thread cannot strand the whole pool).
+  void flush(Cache& c) noexcept {
+    std::scoped_lock guard(global_lock_);
+    for (std::uint32_t i = 0; i < kRefillBatch && c.head != nullptr; ++i) {
+      FreeNode* n = c.head;
+      c.head = n->next;
+      n->next = global_head_;
+      global_head_ = n;
+      --c.count;
+      global_count_ += 1;
+    }
+  }
+
+  /// Carve one slab into the global freelist. global_lock_ held.
+  void grow_locked() {
+    // lint: allow(hotpath-alloc) the pool's one real allocation: carving a slab
+    auto slab = std::make_unique<std::byte[]>(slot_bytes_ * slab_slots_ + kCacheLine);
+    // Align the first slot to a cache line; slot_bytes_ is a multiple of
+    // kCacheLine so every subsequent slot stays aligned.
+    auto base = reinterpret_cast<std::uintptr_t>(slab.get());
+    base = (base + kCacheLine - 1) & ~(static_cast<std::uintptr_t>(kCacheLine) - 1);
+    for (std::size_t i = 0; i < slab_slots_; ++i) {
+      auto* n = reinterpret_cast<FreeNode*>(base + i * slot_bytes_);
+      n->next = global_head_;
+      global_head_ = n;
+    }
+    global_count_ += slab_slots_;
+    slabs_.push_back(std::move(slab));
+  }
+
+  const std::size_t slot_bytes_;
+  const std::size_t slab_slots_;
+  std::vector<Padded<Cache>> caches_{static_cast<std::size_t>(kMaxThreadSlots)};
+  /// Leaf lock: refill/flush may run under any engine lock (rank kSlabPool
+  /// sits above the whole hierarchy) and acquires nothing itself.
+  mutable RankedLock<Spinlock> global_lock_{LockRank::kSlabPool, "common.slab-pool"};
+  FreeNode* global_head_ = nullptr;
+  std::size_t global_count_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+};
+
+/// Typed pool over SlabArena: placement-constructs on acquire, destroys on
+/// release. The owner must release every live object before destroying the
+/// pool (slabs are freed wholesale without running destructors).
+template <typename T>
+class SlabPool {
+ public:
+  explicit SlabPool(std::size_t slab_objects = 64) : arena_(sizeof(T), slab_objects) {
+    static_assert(alignof(T) <= kCacheLine, "slots are cache-line aligned");
+  }
+
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    void* p = arena_.acquire();
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  void release(T* obj) noexcept {
+    obj->~T();
+    arena_.release(obj);
+  }
+
+  std::size_t slabs_allocated() const noexcept { return arena_.slabs_allocated(); }
+
+ private:
+  SlabArena arena_;
+};
+
+}  // namespace fairmpi::common

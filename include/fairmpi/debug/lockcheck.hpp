@@ -58,6 +58,9 @@ enum class LockRank : std::uint16_t {
   kRndvState = 50,      ///< core::Rank rendezvous registries (rndv_lock_)
   kRndvControl = 55,    ///< core::Rank deferred control queue (control_lock_)
   kCommCreate = 60,     ///< core::Universe communicator creation
+  kSlabPool = 70,       ///< common::SlabArena global freelist (leaf: a pool
+                        ///< refill/flush may run under any engine lock, so it
+                        ///< must rank above all of them and acquire nothing)
   kTestBase = 1000,     ///< first rank available to unit tests
 };
 

@@ -104,10 +104,12 @@ class Fabric {
   int num_ranks() const noexcept { return static_cast<int>(nics_.size()); }
   Nic& nic(int rank) { return *nics_[static_cast<std::size_t>(rank)]; }
 
-  /// RX context on `dst_rank` that sender context `src_ctx` feeds.
+  /// RX context on `dst_rank` that sender context `src_ctx` feeds. The
+  /// common case (symmetric context counts, so src_ctx < n) skips the
+  /// integer divide — ~20 cycles that showed up on the injection path.
   int route(int dst_rank, int src_ctx) const noexcept {
     const int n = nics_[static_cast<std::size_t>(dst_rank)]->num_contexts();
-    return src_ctx % n;
+    return src_ctx < n ? src_ctx : src_ctx % n;
   }
 
   /// Inject a packet from (src context `src_ctx`) toward `dst_rank`.

@@ -5,6 +5,13 @@
 // paper's zero-byte experiments measure exactly the cost of moving and
 // matching this envelope. Our header is 32 bytes and carries the same
 // information plus an opcode for RMA extensions.
+//
+// Payload buffers larger than the inline threshold are recycled through a
+// size-classed slab pool (make_payload below) rather than new[]'d per
+// packet: a real transport posts sends from a registered buffer pool, and
+// §II-C's hot-path discipline forbids general-purpose allocation per
+// message. The pool is process-global because packets (and with them buffer
+// ownership) migrate across threads through the RX rings.
 #pragma once
 
 #include <array>
@@ -41,12 +48,39 @@ static_assert(std::is_trivially_copyable_v<WireHeader>);
 /// NIC inlines small sends into the descriptor.
 inline constexpr std::size_t kInlineBytes = 64;
 
+/// Return a pooled payload buffer to its size class (wire.cpp). Called by
+/// PayloadDeleter, possibly on a different thread than acquired the buffer.
+void release_pooled_payload(std::byte* p, int size_class) noexcept;
+
+/// Deleter carrying the buffer's size class; class -1 means the buffer came
+/// from plain new[] (payloads above the largest pool class).
+struct PayloadDeleter {
+  std::int8_t size_class = -1;
+  void operator()(std::byte* p) const noexcept {
+    if (size_class < 0) {
+      delete[] p;
+    } else {
+      release_pooled_payload(p, size_class);
+    }
+  }
+};
+
+/// Owning heap payload handle; recycles to the pool on destruction.
+using PayloadBuffer = std::unique_ptr<std::byte[], PayloadDeleter>;
+
+/// Acquire an `n`-byte payload buffer from the size-classed pool
+/// (allocation-free in steady state; new[] above the largest class).
+PayloadBuffer make_payload(std::size_t n);
+
 /// One fabric packet: header + inline or heap payload. Move-only; the heap
 /// buffer's ownership rides through the RX ring to the receiver.
 struct Packet {
   WireHeader hdr{};
-  std::array<std::byte, kInlineBytes> inline_data{};
-  std::unique_ptr<std::byte[]> heap;
+  /// Deliberately NOT value-initialized: zeroing 64 bytes per packet was
+  /// measurable on the injection path, and set_payload/payload() only ever
+  /// expose the first hdr.payload_size bytes.
+  std::array<std::byte, kInlineBytes> inline_data;
+  PayloadBuffer heap;
 
   Packet() = default;
   Packet(Packet&&) noexcept = default;
@@ -54,7 +88,7 @@ struct Packet {
   Packet(const Packet&) = delete;
   Packet& operator=(const Packet&) = delete;
 
-  /// Copy `n` payload bytes in, choosing inline vs heap storage.
+  /// Copy `n` payload bytes in, choosing inline vs pooled-heap storage.
   void set_payload(const void* data, std::size_t n) {
     hdr.payload_size = static_cast<std::uint32_t>(n);
     if (n == 0) return;
@@ -62,7 +96,7 @@ struct Packet {
       std::memcpy(inline_data.data(), data, n);
       heap.reset();
     } else {
-      heap = std::make_unique<std::byte[]>(n);
+      heap = make_payload(n);
       std::memcpy(heap.get(), data, n);
     }
   }

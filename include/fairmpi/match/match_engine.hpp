@@ -7,22 +7,32 @@
 //
 // Pipeline for an incoming envelope (under the lock):
 //   1. sequence validation — per (src) expected counter; out-of-sequence
-//      arrivals are buffered in a reorder map (a real allocation on the
-//      critical path, as §II-C stresses). Skipped entirely in overtaking
-//      mode (`mpi_assert_allow_overtaking`, §IV-D).
+//      arrivals are buffered. Skipped entirely in overtaking mode
+//      (`mpi_assert_allow_overtaking`, §IV-D).
 //   2. queue search — first posted receive whose (source, tag) filter
 //      matches, honouring post order across the per-peer and ANY_SOURCE
 //      queues; unmatched messages land in the per-peer unexpected queue.
+//
+// Allocation discipline (DESIGN.md §5): the steady-state matching path
+// never calls the general-purpose allocator.
+//   * posted queues are intrusive lists threaded through p2p::Request;
+//   * unexpected messages live in pooled nodes (common::SlabPool);
+//   * the reorder buffer is a fixed power-of-two ring indexed by
+//     `seq & (kReorderWindow-1)` — a std::map spill handles the rare
+//     arrival more than kReorderWindow-1 messages ahead.
 //
 // SPCs record out-of-sequence counts, match time and queue depths — the
 // counters behind the paper's Table II.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "fairmpi/common/intrusive_list.hpp"
+#include "fairmpi/common/slab_pool.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/fabric/wire.hpp"
@@ -31,6 +41,14 @@
 #include "fairmpi/spc/spc.hpp"
 
 namespace fairmpi::match {
+
+/// Reorder window per (comm, src) stream: out-of-sequence arrivals up to
+/// this many messages ahead park in a ring slot; anything further spills to
+/// an ordered map. Power of two so the slot index is `seq & mask`. 64 covers
+/// the deepest interleave the multi-context fabric produces in the paper's
+/// configurations (<= 20 contexts) with headroom.
+inline constexpr std::uint32_t kReorderWindow = 64;
+static_assert((kReorderWindow & (kReorderWindow - 1)) == 0);
 
 class MatchEngine {
  public:
@@ -42,6 +60,7 @@ class MatchEngine {
 
   MatchEngine(const MatchEngine&) = delete;
   MatchEngine& operator=(const MatchEngine&) = delete;
+  ~MatchEngine();
 
   /// Handle one incoming eager packet (called from the progress engine).
   /// Returns the number of receive requests completed (out-of-sequence
@@ -58,7 +77,9 @@ class MatchEngine {
   /// in the reorder buffer are not yet matchable and are not reported.
   bool probe(int src, int tag, p2p::Status* status);
 
-  /// Diagnostics (approximate unless externally quiesced).
+  /// Diagnostics. Each takes lock_, so the count is internally consistent,
+  /// but may of course be stale by the time the caller reads it; exact only
+  /// when externally quiesced. Safe to call concurrently with matching.
   std::size_t unexpected_count() const noexcept;
   std::size_t reorder_buffered() const noexcept;
   std::size_t posted_count() const noexcept;
@@ -70,26 +91,54 @@ class MatchEngine {
   void set_rendezvous_hook(p2p::RendezvousHook* hook) noexcept { rndv_hook_ = hook; }
 
  private:
+  /// Pooled node parking one unexpected message. Link hooks are owned by
+  /// the match lock, like everything else in here.
   struct Unexpected {
-    std::uint64_t arrival;
+    std::uint64_t arrival = 0;
     fabric::Packet pkt;
+    Unexpected* prev = nullptr;
+    Unexpected* next = nullptr;
   };
+  using UnexpectedList =
+      common::IntrusiveList<Unexpected, &Unexpected::prev, &Unexpected::next>;
+  using PostedList =
+      common::IntrusiveList<p2p::Request, &p2p::Request::mq_prev, &p2p::Request::mq_next>;
+
+  /// Fixed-window reorder buffer; lazily allocated on a peer's first
+  /// out-of-sequence arrival so in-order streams pay nothing for it.
+  /// Invariant: every live entry has seq in (expected, expected + window),
+  /// so slot indices never collide and a set `present` bit at
+  /// `expected & mask` always belongs to `expected` itself.
+  struct ReorderRing {
+    std::uint64_t present = 0;  ///< bit i <=> slot i holds a parked packet
+    std::array<fabric::Packet, kReorderWindow> slot;
+  };
+  static_assert(kReorderWindow <= 64, "present bitmap is one word");
 
   struct PeerState {
     std::uint32_t expected_seq = 0;
-    std::map<std::uint32_t, fabric::Packet> reorder;  ///< out-of-sequence buffer
-    std::deque<Unexpected> unexpected;
-    std::deque<p2p::Request*> posted;  ///< source-specific posted receives
+    std::unique_ptr<ReorderRing> reorder;             ///< window buffer (lazy)
+    std::map<std::uint32_t, fabric::Packet> spill;    ///< beyond-window overflow
+    UnexpectedList unexpected;
+    PostedList posted;  ///< source-specific posted receives
   };
+
+  // The private pipeline below threads a spc::CounterSet::Cursor through so
+  // the per-thread counter shard is resolved once per public entry point.
 
   /// Match one in-order packet against the posted queues; deliver or store
   /// as unexpected. Returns 1 on delivery, 0 otherwise. Lock held.
-  std::size_t match_one(fabric::Packet&& pkt);
+  std::size_t match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt);
+
+  /// Park an out-of-sequence packet (ring slot or spill map). Lock held.
+  void park_out_of_sequence(spc::CounterSet::Cursor& ctr, PeerState& ps,
+                            fabric::Packet&& pkt);
 
   /// Hand a matched packet to its request: eager payloads are copied and
   /// the request completes; rendezvous RTS envelopes are reported to the
   /// hook (the request completes when the data lands). Lock held.
-  void deliver(p2p::Request* req, const fabric::Packet& pkt);
+  void deliver(spc::CounterSet::Cursor& ctr, p2p::Request* req,
+               const fabric::Packet& pkt);
 
   PeerState& peer(int rank) { return peers_[static_cast<std::size_t>(rank)]; }
 
@@ -100,12 +149,15 @@ class MatchEngine {
   /// Acquired under the CRI instance lock on the progress path (rank
   /// kMatch > kCriInstance); never held while acquiring engine resources —
   /// rendezvous sends discovered under it are deferred (p2p/rendezvous.hpp).
+  /// (The slab pool's internal lock, rank kSlabPool, is the one exception:
+  /// it is a leaf above the whole hierarchy.)
   mutable RankedLock<Spinlock> lock_{LockRank::kMatch, "match.engine"};
   std::vector<PeerState> peers_;
-  std::deque<p2p::Request*> posted_any_;  ///< ANY_SOURCE posted receives
+  PostedList posted_any_;  ///< ANY_SOURCE posted receives
+  common::SlabPool<Unexpected> unexpected_pool_;
   std::uint64_t post_stamp_ = 0;
   std::uint64_t arrival_stamp_ = 0;
-  std::uint64_t reorder_total_ = 0;  ///< current total reorder-buffer entries
+  std::uint64_t reorder_total_ = 0;  ///< current ring + spill entries
 };
 
 }  // namespace fairmpi::match

@@ -64,6 +64,13 @@ class Request {
 
   std::uint64_t post_stamp = 0;  ///< matching order among posted receives
 
+  // Intrusive hooks for the matching engine's posted queues (see
+  // common/intrusive_list.hpp). A posted receive sits on exactly one list —
+  // its peer's queue or the any-source queue — so one hook pair suffices.
+  // Owned (read and written) exclusively under the match lock.
+  Request* mq_prev = nullptr;
+  Request* mq_next = nullptr;
+
   /// Publish completion. Must be the last write touching this request.
   void complete(const Status& status) noexcept {
     status_ = status;

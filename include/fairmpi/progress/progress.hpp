@@ -14,8 +14,19 @@
 //     the other instances round-robin, which both avoids convoying and
 //     guarantees that orphaned instances (e.g. whose dedicated thread
 //     exited) are still progressed eventually.
+// Lock-scope discipline: progress drains an instance's CQ and RX ring into
+// stack buffers *while holding the CRI lock*, then releases it and hands the
+// batch to the sink (matching, completion owners) lock-free. The instance
+// lock therefore covers only ring pops — a few hundred ns for a full batch —
+// instead of the whole matching pipeline, which is where Algorithm 2's
+// try-lock sweep was previously losing its concurrency. Dispatch order
+// within a batch is preserved (completions first, packets in arrival
+// order); cross-batch interleaving with other progress threads is exactly
+// as arbitrary as the fabric already is, and the matching engine's sequence
+// validation owns ordering correctness.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
@@ -62,12 +73,32 @@ class ProgressEngine {
   /// (0 does not imply quiescence — the engine may have been busy).
   std::size_t progress();
 
-  /// Drain one instance's CQ and RX ring. The instance lock must be held by
-  /// the caller. Exposed for the RMA flush path, which polls its own
+  /// Drain one instance's CQ and RX ring and dispatch inline. The instance
+  /// lock must be held by the caller (dispatch therefore runs under it —
+  /// unavoidable here). Exposed for the RMA flush path, which polls its own
   /// instance directly (as btl-level flush does in Open MPI).
   std::size_t progress_instance_locked(cri::CommResourceInstance& inst);
 
+  /// Hard cap on one drain batch (the stack buffer size); the runtime
+  /// `batch` knob is clamped to it.
+  static constexpr std::size_t kMaxDrainBatch = 64;
+
  private:
+  /// One instance visit's haul, staged on the caller's stack so dispatch
+  /// can happen after the instance lock is dropped.
+  struct DrainBatch {
+    std::array<fabric::Completion, kMaxDrainBatch> comps;
+    std::array<fabric::Packet, kMaxDrainBatch> pkts;
+    std::size_t n_comps = 0;
+    std::size_t n_pkts = 0;
+  };
+
+  /// Pop up to a batch of completions + packets. Instance lock held.
+  void drain_locked(cri::CommResourceInstance& inst, DrainBatch& b);
+  /// Hand a drained batch to the sink; returns completions. No locks held
+  /// (the sink takes the match lock itself).
+  std::size_t dispatch(DrainBatch& b);
+
   std::size_t progress_serial();
   std::size_t progress_concurrent();
 

@@ -1,0 +1,63 @@
+#include "fairmpi/common/thread_slot.hpp"
+
+#include <mutex>
+
+#include "fairmpi/common/spinlock.hpp"
+
+namespace fairmpi::common {
+namespace {
+
+// Free-slot registry. A spinlock (not RankedLock) is deliberate: this lock
+// is taken once per thread lifetime, never while any engine lock is held
+// (the TLS holder is constructed on a thread's very first counter/pool
+// touch, which can be under the match lock — but slot acquisition nests
+// nothing and can never participate in a cycle, being leaf and one-shot).
+Spinlock registry_lock;  // lint: allow(unranked-mutex) leaf, once-per-thread-lifetime
+bool slot_used[kMaxThreadSlots];
+
+int acquire_slot() noexcept {
+  std::scoped_lock guard(registry_lock);
+  for (int i = 0; i < kMaxThreadSlots; ++i) {
+    if (!slot_used[i]) {
+      slot_used[i] = true;
+      return i;
+    }
+  }
+  return kNoThreadSlot;
+}
+
+void release_slot(int slot) noexcept {
+  if (slot == kNoThreadSlot) return;
+  std::scoped_lock guard(registry_lock);
+  slot_used[slot] = false;
+}
+
+// RAII holder: acquires on the thread's first call, releases at thread
+// exit. The release/acquire pairing on registry_lock is what lets a later
+// thread safely inherit slot-indexed caches the dead thread populated.
+// The destructor downgrades the cached id to kNoThreadSlot *before*
+// releasing the slot, so any later TLS destructor on this thread falls back
+// to shared paths instead of writing a slot a new thread may already own.
+struct SlotHolder {
+  int id;
+  SlotHolder() noexcept : id(acquire_slot()) { detail::tls_slot = id; }
+  ~SlotHolder() {
+    detail::tls_slot = kNoThreadSlot;
+    release_slot(id);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+int register_this_thread() noexcept {
+  thread_local SlotHolder holder;
+  // The holder's constructor set tls_slot; re-read it rather than holder.id
+  // so a re-entrant call during teardown sees the downgraded value.
+  return tls_slot;
+}
+
+}  // namespace detail
+
+}  // namespace fairmpi::common

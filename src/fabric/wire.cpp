@@ -1,0 +1,65 @@
+// Size-classed payload pool backing fabric::make_payload.
+//
+// Classes are powers of two from 128 B to 64 KiB (payloads <= kInlineBytes
+// never reach the heap, and the rendezvous fragmenter caps fragments well
+// under 64 KiB). Each class is a SlabArena, so steady-state traffic recycles
+// buffers through per-thread caches with zero allocator calls; the arena's
+// global-lock handoff keeps cross-thread release (packet freed by the
+// receiver's progress thread) TSan-clean.
+
+#include "fairmpi/fabric/wire.hpp"
+
+#include <bit>
+
+#include "fairmpi/common/slab_pool.hpp"
+
+namespace fairmpi::fabric {
+namespace {
+
+constexpr int kMinShift = 7;   // 128 B — smallest pooled class
+constexpr int kMaxShift = 16;  // 64 KiB — largest pooled class
+constexpr int kNumClasses = kMaxShift - kMinShift + 1;
+
+/// Size class for `n` bytes, or -1 when n exceeds the largest class.
+int class_for(std::size_t n) noexcept {
+  if (n > (std::size_t{1} << kMaxShift)) return -1;
+  if (n <= (std::size_t{1} << kMinShift)) return 0;
+  return static_cast<int>(std::bit_width(n - 1)) - kMinShift;
+}
+
+/// The per-class arenas, created on first use and deliberately immortal:
+/// a PayloadBuffer held by a static-duration object (e.g. a test fixture)
+/// may release after normal static destruction would have run.
+common::SlabArena& arena(int cls) {
+  static auto* arenas = [] {
+    // lint: allow(hotpath-alloc) one-time immortal arena table
+    auto* a = new std::array<common::SlabArena*, kNumClasses>();
+    for (int i = 0; i < kNumClasses; ++i) {
+      const std::size_t bytes = std::size_t{1} << (kMinShift + i);
+      // Bigger classes carve fewer slots per slab to bound slab size.
+      (*a)[static_cast<std::size_t>(i)] =
+          // lint: allow(hotpath-alloc) one-time immortal per-class arena
+          new common::SlabArena(bytes, bytes <= 4096 ? 64 : 8);
+    }
+    return a;
+  }();
+  return *(*arenas)[static_cast<std::size_t>(cls)];
+}
+
+}  // namespace
+
+void release_pooled_payload(std::byte* p, int size_class) noexcept {
+  arena(size_class).release(p);
+}
+
+PayloadBuffer make_payload(std::size_t n) {
+  const int cls = class_for(n);
+  if (cls < 0) {
+    // lint: allow(hotpath-alloc) >64KiB payloads exceed every pool class
+    return PayloadBuffer(new std::byte[n], PayloadDeleter{-1});
+  }
+  return PayloadBuffer(static_cast<std::byte*>(arena(cls).acquire()),
+                       PayloadDeleter{static_cast<std::int8_t>(cls)});
+}
+
+}  // namespace fairmpi::fabric

@@ -15,9 +15,24 @@ MatchEngine::MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& 
     : allow_overtaking_(allow_overtaking), spc_(counters),
       peers_(static_cast<std::size_t>(num_ranks)) {
   FAIRMPI_CHECK(num_ranks >= 1);
+  // Force the one-time TSC calibration now, off the matching path: the
+  // first to_ns() call busy-waits ~2 ms, which must not happen under lock_.
+  (void)CycleClock::to_ns(1);
 }
 
-void MatchEngine::deliver(p2p::Request* req, const fabric::Packet& pkt) {
+MatchEngine::~MatchEngine() {
+  // Return parked unexpected nodes to the pool so their packets (which may
+  // own pooled payload buffers) are destroyed; the slab pool itself frees
+  // raw memory wholesale and does not run destructors.
+  for (auto& ps : peers_) {
+    while (Unexpected* n = ps.unexpected.pop_front()) {
+      unexpected_pool_.release(n);
+    }
+  }
+}
+
+void MatchEngine::deliver(spc::CounterSet::Cursor& ctr, p2p::Request* req,
+                          const fabric::Packet& pkt) {
   if (pkt.hdr.opcode == fabric::Opcode::kRndvRts) {
     // Rendezvous: the envelope pairs with the receive here (preserving the
     // matching semantics), but the data transfer and the completion are
@@ -34,12 +49,12 @@ void MatchEngine::deliver(p2p::Request* req, const fabric::Packet& pkt) {
   const std::size_t n =
       status.truncated ? req->capacity() : static_cast<std::size_t>(pkt.hdr.payload_size);
   if (n != 0) std::memcpy(req->buffer(), pkt.payload(), n);
-  spc_.add(Counter::kMessagesReceived);
-  spc_.add(Counter::kBytesReceived, pkt.hdr.payload_size);
+  ctr.add(Counter::kMessagesReceived);
+  ctr.add(Counter::kBytesReceived, pkt.hdr.payload_size);
   req->complete(status);
 }
 
-std::size_t MatchEngine::match_one(fabric::Packet&& pkt) {
+std::size_t MatchEngine::match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt) {
   const int src = static_cast<int>(pkt.hdr.src_rank);
   const int tag = pkt.hdr.tag;
   PeerState& ps = peer(src);
@@ -51,48 +66,78 @@ std::size_t MatchEngine::match_one(fabric::Packet&& pkt) {
   };
 
   std::size_t scanned = 0;
-  std::deque<p2p::Request*>::iterator spec_it = ps.posted.end();
-  for (auto it = ps.posted.begin(); it != ps.posted.end(); ++it, ++scanned) {
-    if (accepts(*it)) {
-      spec_it = it;
+  p2p::Request* spec = nullptr;
+  for (p2p::Request* r = ps.posted.front(); r != nullptr; r = PostedList::next(r)) {
+    ++scanned;
+    if (accepts(r)) {
+      spec = r;
       break;
     }
   }
-  std::deque<p2p::Request*>::iterator any_it = posted_any_.end();
-  for (auto it = posted_any_.begin(); it != posted_any_.end(); ++it, ++scanned) {
-    if (accepts(*it)) {
-      any_it = it;
+  p2p::Request* any = nullptr;
+  for (p2p::Request* r = posted_any_.front(); r != nullptr; r = PostedList::next(r)) {
+    ++scanned;
+    if (accepts(r)) {
+      any = r;
       break;
     }
   }
-  spc_.add(Counter::kPostedQueueDepth, scanned);
+  ctr.add(Counter::kPostedQueueDepth, scanned);
 
   p2p::Request* winner = nullptr;
-  if (spec_it != ps.posted.end() && any_it != posted_any_.end()) {
+  if (spec != nullptr && any != nullptr) {
     // Both candidates match: the MPI matching order is post order.
-    if ((*spec_it)->post_stamp < (*any_it)->post_stamp) {
-      winner = *spec_it;
-      ps.posted.erase(spec_it);
+    if (spec->post_stamp < any->post_stamp) {
+      ps.posted.erase(spec);
+      winner = spec;
     } else {
-      winner = *any_it;
-      posted_any_.erase(any_it);
+      posted_any_.erase(any);
+      winner = any;
     }
-  } else if (spec_it != ps.posted.end()) {
-    winner = *spec_it;
-    ps.posted.erase(spec_it);
-  } else if (any_it != posted_any_.end()) {
-    winner = *any_it;
-    posted_any_.erase(any_it);
+  } else if (spec != nullptr) {
+    ps.posted.erase(spec);
+    winner = spec;
+  } else if (any != nullptr) {
+    posted_any_.erase(any);
+    winner = any;
   }
 
   if (winner != nullptr) {
-    deliver(winner, pkt);
+    deliver(ctr, winner, pkt);
     return 1;
   }
 
-  spc_.add(Counter::kUnexpectedMessages);
-  ps.unexpected.push_back(Unexpected{arrival_stamp_++, std::move(pkt)});
+  ctr.add(Counter::kUnexpectedMessages);
+  Unexpected* node = unexpected_pool_.acquire();
+  node->arrival = arrival_stamp_++;
+  node->pkt = std::move(pkt);
+  ps.unexpected.push_back(node);
   return 0;
+}
+
+void MatchEngine::park_out_of_sequence(spc::CounterSet::Cursor& ctr, PeerState& ps,
+                                       fabric::Packet&& pkt) {
+  const std::uint32_t seq = pkt.hdr.seq;
+  // Unsigned distance from the in-order frontier; callers validated that
+  // the packet is from the future, so delta >= 1.
+  const std::uint32_t delta = seq - ps.expected_seq;
+  if (delta < kReorderWindow) {
+    if (!ps.reorder) {
+      // First out-of-sequence arrival on this peer; one-time window setup.
+      // lint: allow(hotpath-alloc) lazy one-time ring allocation per peer
+      ps.reorder = std::make_unique<ReorderRing>();
+    }
+    const std::uint32_t idx = seq & (kReorderWindow - 1);
+    ps.reorder->slot[idx] = std::move(pkt);
+    ps.reorder->present |= std::uint64_t{1} << idx;
+  } else {
+    // More than a window ahead — possible only when >= kReorderWindow-1
+    // messages are already parked, so the map cost is already amortized.
+    // lint: allow(hotpath-alloc) beyond-window spill is the rare slow path
+    ps.spill.emplace(seq, std::move(pkt));
+  }
+  ++reorder_total_;
+  ctr.update_max(Counter::kOosBufferPeak, reorder_total_);
 }
 
 std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
@@ -101,15 +146,16 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
                     "packet from unknown rank");
 
   std::scoped_lock guard(lock_);
-  std::uint64_t elapsed = 0;
+  auto ctr = spc_.cursor();
+  std::uint64_t cycles = 0;
   std::size_t completions = 0;
   {
-    ScopedElapsed timer(elapsed);
-    spc_.add(Counter::kMatchAttempts);
+    ScopedCycles timer(cycles);
+    ctr.add(Counter::kMatchAttempts);
 
     if (allow_overtaking_) {
       // Overtaking: every message is immediately matchable (§IV-D).
-      completions = match_one(std::move(pkt));
+      completions = match_one(ctr, std::move(pkt));
     } else {
       PeerState& ps = peer(src);
       const std::uint32_t seq = pkt.hdr.seq;
@@ -120,26 +166,42 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
         FAIRMPI_CHECK_MSG(
             static_cast<std::int32_t>(seq - ps.expected_seq) > 0,
             "duplicate or stale sequence number");
-        spc_.add(Counter::kOutOfSequence);
-        ps.reorder.emplace(seq, std::move(pkt));
-        ++reorder_total_;
-        spc_.update_max(Counter::kOosBufferPeak, reorder_total_);
+        ctr.add(Counter::kOutOfSequence);
+        park_out_of_sequence(ctr, ps, std::move(pkt));
       } else {
         ++ps.expected_seq;
-        completions += match_one(std::move(pkt));
-        // Drain any buffered messages that are now in order.
-        for (auto it = ps.reorder.find(ps.expected_seq); it != ps.reorder.end();
-             it = ps.reorder.find(ps.expected_seq)) {
-          fabric::Packet next = std::move(it->second);
-          ps.reorder.erase(it);
-          --reorder_total_;
-          ++ps.expected_seq;
-          completions += match_one(std::move(next));
+        completions += match_one(ctr, std::move(pkt));
+        // Drain parked messages that are now in order: ring first (the
+        // common case — one shift+test per message), then the spill map.
+        ReorderRing* ring = ps.reorder.get();
+        for (;;) {
+          const std::uint32_t e = ps.expected_seq;
+          const std::uint32_t idx = e & (kReorderWindow - 1);
+          if (ring != nullptr && (ring->present >> idx) & 1) {
+            ring->present &= ~(std::uint64_t{1} << idx);
+            fabric::Packet next = std::move(ring->slot[idx]);
+            --reorder_total_;
+            ++ps.expected_seq;
+            completions += match_one(ctr, std::move(next));
+            continue;
+          }
+          if (!ps.spill.empty()) {
+            auto it = ps.spill.find(e);
+            if (it != ps.spill.end()) {
+              fabric::Packet next = std::move(it->second);
+              ps.spill.erase(it);
+              --reorder_total_;
+              ++ps.expected_seq;
+              completions += match_one(ctr, std::move(next));
+              continue;
+            }
+          }
+          break;
         }
       }
     }
   }
-  spc_.add(Counter::kMatchTimeNs, elapsed);
+  ctr.add(Counter::kMatchTimeNs, CycleClock::to_ns(cycles));
   return completions;
 }
 
@@ -152,29 +214,32 @@ bool MatchEngine::post(p2p::Request* req) {
                     "invalid source filter");
 
   std::scoped_lock guard(lock_);
-  std::uint64_t elapsed = 0;
+  auto ctr = spc_.cursor();
+  std::uint64_t cycles = 0;
   bool matched = false;
   {
-    ScopedElapsed timer(elapsed);
-    spc_.add(Counter::kMatchAttempts);
+    ScopedCycles timer(cycles);
+    ctr.add(Counter::kMatchAttempts);
 
-    auto accepts = [&](const Unexpected& u) {
-      return tag == p2p::kAnyTag || tag == u.pkt.hdr.tag;
+    auto accepts = [&](const Unexpected* u) {
+      return tag == p2p::kAnyTag || tag == u->pkt.hdr.tag;
     };
 
     // Search the unexpected queue(s) for the earliest-arrived match.
     PeerState* best_ps = nullptr;
-    std::deque<Unexpected>::iterator best_it;
+    Unexpected* best = nullptr;
     std::uint64_t best_arrival = std::numeric_limits<std::uint64_t>::max();
     std::size_t scanned = 0;
 
     auto scan_peer = [&](PeerState& ps) {
-      for (auto it = ps.unexpected.begin(); it != ps.unexpected.end(); ++it, ++scanned) {
-        if (accepts(*it)) {
-          if (it->arrival < best_arrival) {
-            best_arrival = it->arrival;
+      for (Unexpected* u = ps.unexpected.front(); u != nullptr;
+           u = UnexpectedList::next(u)) {
+        ++scanned;
+        if (accepts(u)) {
+          if (u->arrival < best_arrival) {
+            best_arrival = u->arrival;
             best_ps = &ps;
-            best_it = it;
+            best = u;
           }
           break;  // within one peer, earliest match is the first match
         }
@@ -186,11 +251,12 @@ bool MatchEngine::post(p2p::Request* req) {
     } else {
       scan_peer(peer(src));
     }
-    spc_.add(Counter::kUnexpectedQueueDepth, scanned);
+    ctr.add(Counter::kUnexpectedQueueDepth, scanned);
 
-    if (best_ps != nullptr) {
-      deliver(req, best_it->pkt);
-      best_ps->unexpected.erase(best_it);
+    if (best != nullptr) {
+      deliver(ctr, req, best->pkt);
+      best_ps->unexpected.erase(best);
+      unexpected_pool_.release(best);
       matched = true;
     } else {
       req->post_stamp = post_stamp_++;
@@ -201,7 +267,7 @@ bool MatchEngine::post(p2p::Request* req) {
       }
     }
   }
-  spc_.add(Counter::kMatchTimeNs, elapsed);
+  ctr.add(Counter::kMatchTimeNs, CycleClock::to_ns(cycles));
   return matched;
 }
 
@@ -211,14 +277,15 @@ bool MatchEngine::probe(int src, int tag, p2p::Status* status) {
                     "invalid source filter");
   std::scoped_lock guard(lock_);
 
-  auto accepts = [&](const Unexpected& u) {
-    return tag == p2p::kAnyTag || tag == u.pkt.hdr.tag;
+  auto accepts = [&](const Unexpected* u) {
+    return tag == p2p::kAnyTag || tag == u->pkt.hdr.tag;
   };
   const Unexpected* best = nullptr;
   auto scan_peer = [&](const PeerState& ps) {
-    for (const auto& u : ps.unexpected) {
+    for (const Unexpected* u = ps.unexpected.front(); u != nullptr;
+         u = UnexpectedList::next(u)) {
       if (accepts(u)) {
-        if (best == nullptr || u.arrival < best->arrival) best = &u;
+        if (best == nullptr || u->arrival < best->arrival) best = u;
         break;
       }
     }

@@ -22,22 +22,33 @@ ProgressEngine::ProgressEngine(cri::CriPool& pool, PacketSink& sink, ProgressMod
   FAIRMPI_CHECK(batch >= 1);
 }
 
-std::size_t ProgressEngine::progress_instance_locked(cri::CommResourceInstance& inst) {
-  std::size_t completions = 0;
-
+void ProgressEngine::drain_locked(cri::CommResourceInstance& inst, DrainBatch& b) {
+  const std::size_t cap =
+      static_cast<std::size_t>(batch_) < kMaxDrainBatch ? static_cast<std::size_t>(batch_)
+                                                        : kMaxDrainBatch;
   // Completion queue first: completions release resources (RMA pending
-  // counts, send credits) that the packet path may be waiting on.
-  fabric::Completion comp;
-  while (inst.context().cq().try_pop(comp)) {
-    completions += sink_.handle_completion(comp);
-  }
+  // counts, send credits) that the packet path may be waiting on. The
+  // per-visit cap bounds lock hold time; wait loops call progress()
+  // repeatedly, so a deep CQ still drains promptly.
+  b.n_comps = inst.context().cq().try_pop_n(b.comps.data(), cap);
+  b.n_pkts = inst.context().rx().try_pop_n(b.pkts.data(), cap);
+}
 
-  // RX ring: extract up to `batch_` envelopes and hand them to matching.
-  fabric::Packet pkt;
-  for (int i = 0; i < batch_ && inst.context().rx().try_pop(pkt); ++i) {
-    completions += sink_.handle_packet(std::move(pkt));
+std::size_t ProgressEngine::dispatch(DrainBatch& b) {
+  std::size_t completions = 0;
+  for (std::size_t i = 0; i < b.n_comps; ++i) {
+    completions += sink_.handle_completion(b.comps[i]);
+  }
+  for (std::size_t i = 0; i < b.n_pkts; ++i) {
+    completions += sink_.handle_packet(std::move(b.pkts[i]));
   }
   return completions;
+}
+
+std::size_t ProgressEngine::progress_instance_locked(cri::CommResourceInstance& inst) {
+  DrainBatch b;
+  drain_locked(inst, b);
+  return dispatch(b);
 }
 
 std::size_t ProgressEngine::progress_serial() {
@@ -51,10 +62,15 @@ std::size_t ProgressEngine::progress_serial() {
   std::size_t completions = 0;
   for (int i = 0; i < pool_.size(); ++i) {
     cri::CommResourceInstance& inst = pool_.instance(i);
-    // The gate already excludes other progress threads, but send paths also
-    // take instance locks, so each instance is still locked individually.
-    std::scoped_lock guard(inst.lock());
-    completions += progress_instance_locked(inst);
+    DrainBatch b;
+    {
+      // The gate already excludes other progress threads, but send paths
+      // also take instance locks, so each instance is still locked
+      // individually — only for the ring pops, not the dispatch.
+      std::scoped_lock guard(inst.lock());
+      drain_locked(inst, b);
+    }
+    completions += dispatch(b);
   }
   return completions;
 }
@@ -66,8 +82,12 @@ std::size_t ProgressEngine::progress_concurrent() {
   {
     cri::CommResourceInstance& inst = pool_.instance(own);
     if (inst.lock().try_lock()) {
-      std::scoped_lock adopt(std::adopt_lock, inst.lock());
-      completions = progress_instance_locked(inst);
+      DrainBatch b;
+      {
+        std::scoped_lock adopt(std::adopt_lock, inst.lock());
+        drain_locked(inst, b);
+      }
+      completions = dispatch(b);
     } else {
       spc_.add(Counter::kInstanceTrylockFail);
     }
@@ -82,10 +102,12 @@ std::size_t ProgressEngine::progress_concurrent() {
         spc_.add(Counter::kInstanceTrylockFail);
         continue;
       }
+      DrainBatch b;
       {
         std::scoped_lock adopt(std::adopt_lock, inst.lock());
-        completions = progress_instance_locked(inst);
+        drain_locked(inst, b);
       }
+      completions = dispatch(b);
       if (completions > 0) break;
     }
   }

@@ -1,0 +1,58 @@
+#include "fairmpi/common/thread_slot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace fairmpi::common {
+namespace {
+
+TEST(ThreadSlot, StableWithinAThread) {
+  const int a = this_thread_slot();
+  const int b = this_thread_slot();
+  EXPECT_EQ(a, b);
+  ASSERT_NE(a, kNoThreadSlot);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, kMaxThreadSlots);
+}
+
+TEST(ThreadSlot, DistinctAmongLiveThreads) {
+  constexpr int kThreads = 16;
+  std::vector<int> slots(kThreads, kNoThreadSlot);
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      slots[static_cast<std::size_t>(t)] = this_thread_slot();
+      // Keep every thread alive until all have registered, so the registry
+      // cannot recycle a slot mid-test and mask an aliasing bug.
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      while (arrived.load(std::memory_order_acquire) < kThreads) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<int> unique;
+  for (int s : slots) {
+    ASSERT_NE(s, kNoThreadSlot);
+    EXPECT_TRUE(unique.insert(s).second) << "two live threads shared slot " << s;
+  }
+}
+
+TEST(ThreadSlot, SlotsAreRecycledAfterThreadExit) {
+  // Far more sequential threads than slots: without recycling the registry
+  // would exhaust after kMaxThreadSlots and start returning kNoThreadSlot.
+  constexpr int kRuns = kMaxThreadSlots + 72;
+  for (int i = 0; i < kRuns; ++i) {
+    int got = kNoThreadSlot;
+    std::thread([&] { got = this_thread_slot(); }).join();
+    ASSERT_NE(got, kNoThreadSlot) << "registry leaked slots after " << i << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace fairmpi::common

@@ -234,6 +234,50 @@ TEST_F(MatchTest, MatchTimeAccumulates) {
   EXPECT_EQ(spc_.get(Counter::kMatchAttempts), 100u);
 }
 
+// Deterministic worst case for the reorder structures: deliver seq 1..N-1
+// first with seq 0 withheld, so everything parks. Deltas 1..63 land in the
+// fixed ring, deltas >= 64 take the spill-map fallback; a second epoch at
+// base 300 repeats the pattern with expected_seq no longer a multiple of
+// the window, so ring indices (seq & 63) wrap around the array. The final
+// in-order packet must drain ring and spill in one incoming() call.
+TEST_F(MatchTest, ReorderRingWraparoundAndSpillFallback) {
+  constexpr std::uint32_t kPerEpoch = 300;  // > kReorderWindow => spill used
+  constexpr int kEpochs = 2;
+  MatchEngine eng(2, false, spc_);
+
+  std::vector<Request> reqs(kPerEpoch * kEpochs);
+  std::vector<std::uint32_t> bufs(kPerEpoch * kEpochs, 0xffffffffu);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].init_recv(&bufs[i], sizeof(std::uint32_t), 1, 5);
+    eng.post(&reqs[i]);
+  }
+
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const std::uint32_t base = static_cast<std::uint32_t>(epoch) * kPerEpoch;
+    for (std::uint32_t d = 1; d < kPerEpoch; ++d) {
+      const std::uint32_t seq = base + d;
+      std::uint32_t payload = seq;
+      EXPECT_EQ(eng.incoming(make_eager(
+                    1, seq, 5, std::string(reinterpret_cast<char*>(&payload), 4))),
+                0u);
+    }
+    EXPECT_EQ(eng.reorder_buffered(), kPerEpoch - 1);
+    std::uint32_t payload = base;
+    EXPECT_EQ(eng.incoming(make_eager(
+                  1, base, 5, std::string(reinterpret_cast<char*>(&payload), 4))),
+              kPerEpoch);
+    EXPECT_EQ(eng.reorder_buffered(), 0u);
+  }
+
+  EXPECT_EQ(spc_.get(Counter::kOutOfSequence),
+            static_cast<std::uint64_t>(kEpochs) * (kPerEpoch - 1));
+  EXPECT_EQ(spc_.get(Counter::kOosBufferPeak), kPerEpoch - 1);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_TRUE(reqs[i].done());
+    EXPECT_EQ(bufs[i], static_cast<std::uint32_t>(i));
+  }
+}
+
 // Property test: random arrival permutation + random wildcard mix still
 // delivers every message exactly once, and (without overtaking) the i-th
 // posted identical-filter receive gets the i-th sequence number.

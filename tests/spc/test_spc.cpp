@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,6 +78,52 @@ TEST(Spc, ResetClears) {
   set.add(Counter::kRmaPuts, 3);
   set.reset();
   EXPECT_EQ(set.get(Counter::kRmaPuts), 0u);
+}
+
+TEST(Spc, ResetIsRebaseNotDestruction) {
+  CounterSet set;
+  set.add(Counter::kRmaPuts, 10);
+  set.update_max(Counter::kOosBufferPeak, 6);
+  set.reset();
+  // Sums restart from zero and count exactly from the reset point...
+  EXPECT_EQ(set.get(Counter::kRmaPuts), 0u);
+  set.add(Counter::kRmaPuts, 4);
+  EXPECT_EQ(set.get(Counter::kRmaPuts), 4u);
+  // ...high-water marks are lifetime maxima and survive...
+  EXPECT_EQ(set.get(Counter::kOosBufferPeak), 6u);
+  // ...and the underlying cells keep the full history: lifetime totals are
+  // reset-immune, which is what makes delta_since exact across resets.
+  EXPECT_EQ(set.lifetime_snapshot().get(Counter::kRmaPuts), 14u);
+}
+
+// Regression test for the reset()/add() lost-update bug: the old reset()
+// stored zero into the counters, so a fetch_add landing between the store
+// and a racing add simply vanished. The rebase design never writes the
+// cells, so the lifetime total must equal exactly the number of adds no
+// matter how many resets ran concurrently.
+TEST(Spc, ResetConcurrentWithAddsLosesNothing) {
+  CounterSet set;
+  constexpr int kWriters = 4;
+  constexpr int kIters = 100000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) set.add(Counter::kRmaPuts);
+    });
+  }
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_acquire)) set.reset();
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+
+  constexpr std::uint64_t kTotal = std::uint64_t{kWriters} * kIters;
+  EXPECT_EQ(set.lifetime_snapshot().get(Counter::kRmaPuts), kTotal);
+  // The rebased view shows only the adds since the last reset — at most
+  // everything, never more (and never negative / wrapped).
+  EXPECT_LE(set.get(Counter::kRmaPuts), kTotal);
 }
 
 TEST(Spc, AllCountersHaveDistinctNames) {

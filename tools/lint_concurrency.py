@@ -19,6 +19,20 @@ multithreaded-MPI papers report losing days to:
                  family) declared raw instead of through RankedLock<T>, i.e.
                  invisible to the lock-rank validator.
 
+  hotpath-alloc  An allocation (`new`, make_unique/make_shared, malloc) or a
+                 node-allocating container call (emplace / insert / resize /
+                 reserve) inside a file declared allocation-free by policy
+                 (HOTPATH_FILES — the matching engine, progress engine,
+                 sender, and the pool/ring primitives they build on). These
+                 paths run under engine locks at or below rank kMatch, where
+                 a malloc is both a latency cliff and a lock-hierarchy
+                 hazard (§II-C). Setup-time and deliberate slow-path
+                 allocations stay, annotated. push_back/emplace_back are
+                 deliberately NOT matched: the hot path's intrusive lists
+                 share those names and never allocate; growing a std
+                 container on these paths via emplace/insert/resize/reserve
+                 is still caught.
+
 Suppression: add `lint: allow(<rule>) <reason>` in a comment on the offending
 line or the line above. The reason is mandatory culture, not syntax — reviews
 reject bare allows.
@@ -69,6 +83,31 @@ MUTEX_MEMBER_RE = re.compile(
 MUTEX_ARRAY_RE = re.compile(
     r"^\s*(?:mutable\s+)?std::array<\s*(?:fairmpi::)?(?:Spinlock|TicketLock)\b"
 )
+
+# Allocation-free-by-policy files (relative to the repo root): the message
+# hot path and the primitives it runs on. Steady state must recycle through
+# SlabPool / PayloadPool / intrusive lists; every allocation in these files
+# is either setup-time or a documented slow path and carries an allow.
+HOTPATH_FILES = {
+    "src/match/match_engine.cpp",
+    "src/progress/progress.cpp",
+    "src/p2p/sender.cpp",
+    "src/fabric/wire.cpp",
+    "include/fairmpi/common/slab_pool.hpp",
+    "include/fairmpi/common/mpsc_ring.hpp",
+    "include/fairmpi/common/intrusive_list.hpp",
+}
+
+HOTPATH_ALLOC_RE = re.compile(
+    r"(?:^|[^\w.])new\b(?!\s*\()"  # `new T`, `new (place) T` handled below
+    r"|\bnew\s*\("
+    r"|\bstd::make_(?:unique|shared)\b"
+    r"|\bmalloc\s*\("
+    r"|\.(?:emplace|insert|resize|reserve)\s*\("
+)
+# Placement new recycles pool storage — it is the allocation-free idiom, not
+# an allocation. `::new (p) T(...)` / `new (p) T(...)`.
+PLACEMENT_NEW_RE = re.compile(r"(?:::)?new\s*\(\s*[a-zA-Z_]\w*\s*\)")
 
 
 class Finding:
@@ -136,6 +175,19 @@ def lint_file(path: pathlib.Path, rel: str) -> list[Finding]:
                         path, i + 1, "unranked-mutex",
                         "raw mutex member is invisible to the lock-rank validator: "
                         "declare it as RankedLock<T> with a LockRank",
+                    )
+                )
+
+        is_preproc = code.lstrip().startswith("#")  # e.g. `#include <new>`
+        if rel in HOTPATH_FILES and not is_preproc and HOTPATH_ALLOC_RE.search(code):
+            if not PLACEMENT_NEW_RE.search(code) and not allows(
+                line, prev, "hotpath-alloc"
+            ):
+                findings.append(
+                    Finding(
+                        path, i + 1, "hotpath-alloc",
+                        "allocation in an allocation-free hot-path file: recycle "
+                        "through SlabPool/PayloadPool or annotate a setup/slow path",
                     )
                 )
     return findings
