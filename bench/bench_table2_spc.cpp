@@ -5,10 +5,12 @@
 // instances).
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "fairmpi/benchsupport/report.hpp"
 #include "fairmpi/common/cli.hpp"
 #include "fairmpi/common/table.hpp"
+#include "fairmpi/core/universe.hpp"
 #include "fairmpi/model/msgrate.hpp"
 
 using namespace fairmpi;
@@ -88,6 +90,42 @@ int main(int argc, char** argv) {
   checks.expect(per_msg_match < 0.6 * per_msg_serial,
                 "concurrent matching makes match time minimal");
   std::puts(checks.render().c_str());
+
+  // Reliability-layer SPC counters (Table II extension). The simulator
+  // above runs on a perfect fabric, so these come from a short exchange on
+  // the real backend, which honours the FAIRMPI_FAULT_* environment: under
+  // the CI chaos profile this section shows the protocol at work
+  // (retransmits, dup discards, acks); on a pristine fabric the fault rows
+  // are all zero.
+  {
+    Universe uni(Config{});
+    constexpr std::uint32_t kExchanged = 2000;
+    std::thread tx([&uni] {
+      auto w0 = uni.rank(0).world();
+      for (std::uint32_t i = 0; i < kExchanged; ++i) {
+        w0.send(1, /*tag=*/0, &i, sizeof i);
+      }
+    });
+    auto w1 = uni.rank(1).world();
+    for (std::uint32_t i = 0; i < kExchanged; ++i) {
+      std::uint32_t sink = 0;
+      w1.recv(0, 0, &sink, sizeof sink);
+    }
+    tx.join();
+
+    const spc::Snapshot agg = uni.aggregate_counters();
+    Table rel({"reliability counter", "value"});
+    for (const spc::Counter c :
+         {spc::Counter::kHeaderDrops, spc::Counter::kCsumDrops,
+          spc::Counter::kDupDiscards, spc::Counter::kRetransmits,
+          spc::Counter::kAcksSent, spc::Counter::kAcksReceived,
+          spc::Counter::kReliabilityErrors, spc::Counter::kWatchdogStalls}) {
+      rel.add_row({spc::counter_name(c), std::to_string(agg.get(c))});
+    }
+    std::printf("Reliability SPCs, real backend, %u messages (faults: %s)\n%s\n",
+                kExchanged, uni.config().faults.any() ? "on" : "off",
+                rel.render().c_str());
+  }
 
   if (!(*csv_dir).empty()) {
     benchsupport::FigureReport fr("table2", "Table II raw values", "instances",

@@ -6,9 +6,54 @@
 // continue once a matching queue or ring buffer is inconsistent).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
+
+namespace fairmpi::common {
+
+/// Typed, recoverable engine errors (graceful degradation — DESIGN.md
+/// "Fault model & reliability layer"). Unlike the FAIRMPI_CHECK aborts
+/// below, these describe conditions a correctly-functioning engine can hit
+/// on a misbehaving fabric: they surface through SPC counters, the trace
+/// ring, and the rank's error sink instead of terminating the process.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kSendBudgetExhausted,   ///< EAGAIN retry budget spent without injecting
+  kRetryExhausted,        ///< retransmit limit reached without an ack
+  kStalledInstance,       ///< watchdog: CRI backlog stopped draining
+  kStalledRendezvous,     ///< watchdog: rendezvous pending past threshold
+};
+
+inline const char* error_code_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kSendBudgetExhausted: return "SendBudgetExhausted";
+    case ErrorCode::kRetryExhausted: return "RetryExhausted";
+    case ErrorCode::kStalledInstance: return "StalledInstance";
+    case ErrorCode::kStalledRendezvous: return "StalledRendezvous";
+  }
+  return "Unknown";
+}
+
+/// One reported error. `detail` is code-specific: the packet seq for
+/// retransmit exhaustion, the instance index for a stalled CRI, the state
+/// cookie for a stalled rendezvous.
+struct Error {
+  ErrorCode code = ErrorCode::kOk;
+  int rank = -1;          ///< reporting rank
+  int peer = -1;          ///< peer involved (-1 when not applicable)
+  std::uint64_t detail = 0;
+};
+
+/// Error callback: invoked synchronously on the thread that detected the
+/// condition. No CRI or matching lock is ever held at the call, but
+/// diagnostic locks (the watchdog's own state) may be — handlers must be
+/// cheap, reentrant, and must not call back into the engine.
+using ErrorSink = void (*)(const Error& err, void* user);
+
+}  // namespace fairmpi::common
 
 namespace fairmpi::detail {
 

@@ -51,6 +51,46 @@ struct Config {
 
   /// Fabric sizing (RX ring / CQ depths).
   fabric::FabricParams fabric{};
+
+  // --- fault injection & reliability (DESIGN.md "Fault model") ---
+
+  /// Per-link fault probabilities; all zero by default (pristine fabric).
+  /// Universe auto-enables `reliable` whenever any probability is nonzero.
+  fabric::FaultParams faults{};
+
+  /// Ack/retransmit reliability protocol + wire checksums. Off by default:
+  /// the pristine fabric needs neither, and the hot path stays untouched.
+  bool reliable = false;
+
+  /// Initial retransmit timeout; doubles per retry up to rto_max_ns
+  /// (the msgrate backoff idiom), then the send fails typed after
+  /// max_retries unacked attempts.
+  std::uint64_t rto_ns = 500'000;
+  std::uint64_t rto_max_ns = 16'000'000;
+  int max_retries = 12;
+
+  /// Send window: max tracked-unacked packets before an eager send blocks
+  /// (progressing) until acks drain the backlog. Bounds the retransmit
+  /// burst a sweep can emit and makes floods self-clocking; without it a
+  /// sender can park thousands of unacked packets against an 8-entry ring
+  /// and every sweep becomes a storm. 0 = unbounded.
+  std::size_t reliability_window = 64;
+
+  /// EAGAIN retry budget for one injection (eager_send / control sends):
+  /// spin-then-yield attempts before the op fails with a typed error
+  /// instead of livelocking. Generous: legitimate backpressure resolves in
+  /// a few thousand retries even on one core.
+  std::uint64_t send_retry_limit = 1'000'000;
+
+  /// Progress-engine watchdog: sweep cadence and the number of consecutive
+  /// no-drain sweeps (backlogged instance whose consumption is frozen)
+  /// before escalation. watchdog_interval_ns == 0 checks on every
+  /// progress() call (tests); UINT64_MAX disables the watchdog.
+  std::uint64_t watchdog_interval_ns = 10'000'000;
+  int watchdog_stall_sweeps = 5;
+
+  /// Age past which a pending rendezvous transfer is reported stalled.
+  std::uint64_t rndv_stall_ns = 1'000'000'000;
 };
 
 }  // namespace fairmpi

@@ -22,15 +22,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fairmpi/common/error.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/core/config.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/p2p/comm_state.hpp"
+#include "fairmpi/p2p/reliability.hpp"
 #include "fairmpi/p2p/rendezvous.hpp"
 #include "fairmpi/p2p/request.hpp"
 #include "fairmpi/progress/progress.hpp"
+#include "fairmpi/progress/watchdog.hpp"
 #include "fairmpi/spc/spc.hpp"
 #include "fairmpi/trace/trace.hpp"
 
@@ -74,7 +77,9 @@ class Communicator {
 };
 
 /// One simulated MPI process.
-class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
+class Rank final : public progress::PacketSink,
+                   public p2p::RendezvousHook,
+                   public progress::StallProbe {
  public:
   ~Rank() override;
   Rank(const Rank&) = delete;
@@ -116,12 +121,26 @@ class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
   progress::ProgressEngine& engine() noexcept { return engine_; }
   p2p::CommState& comm_state(CommId id);
 
+  /// The ack/retransmit tracker (null unless Config::reliable) and the
+  /// stall watchdog (null when watchdog_interval_ns is ~0) — test hooks.
+  p2p::ReliabilityTracker* reliability() noexcept { return tracker_.get(); }
+  progress::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+
+  /// Install the typed-error callback (retry exhaustion, send budget, stall
+  /// escalation). Not thread-safe against in-flight traffic: install before
+  /// communication starts.
+  void set_error_sink(common::ErrorSink sink, void* user) noexcept;
+
   // PacketSink
   std::size_t handle_packet(fabric::Packet&& pkt) override;
   std::size_t handle_completion(const fabric::Completion& c) override;
 
   // RendezvousHook (called by the matching engine, match lock held)
   void on_rts_matched(p2p::Request* req, const fabric::Packet& rts) override;
+
+  // StallProbe (called by the watchdog, its sweep lock held): flag
+  // rendezvous transfers pending since before `horizon_ns`.
+  std::size_t scan_stalled(std::uint64_t now_ns, std::uint64_t horizon_ns) override;
 
  private:
   friend class Universe;
@@ -136,8 +155,26 @@ class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
   /// Execute deferred protocol sends; called from progress() with no
   /// engine lock held.
   void drain_control();
-  /// Inject one protocol packet, retrying on backpressure.
+  /// Inject one protocol packet, retrying on backpressure (bounded by the
+  /// send budget when reliable; tracked for retransmit unless it is an ack).
   void inject_control(int dst, fabric::Packet&& pkt);
+
+  // --- reliability layer (see p2p/reliability.hpp) ---
+  /// One injection attempt with no tracking and no backpressure loop: used
+  /// for retransmits and acks, whose loss the protocol already absorbs.
+  bool inject_raw(int dst, fabric::Packet&& pkt);
+  /// Defer an ack echoing `hdr`'s key through the ack queue.
+  void enqueue_packet_ack(const fabric::WireHeader& hdr);
+  /// Transmit deferred acks (single injection attempt each; a full ring
+  /// stops the flush — the peer retransmits and we re-ack). Kept separate
+  /// from drain_control so every backpressure wait loop can call it: acks
+  /// must keep flowing while a sender blocks, or two flooding ranks
+  /// deadlock waiting for each other's acks.
+  void flush_acks();
+  /// Retransmit expired in-flight packets; fail retry-exhausted ones typed.
+  void reliability_sweep(std::uint64_t now);
+  /// Report a typed error through the installed sink (if any).
+  void report_error(const common::Error& err) noexcept;
 
   Universe* uni_;
   const int id_;
@@ -146,6 +183,15 @@ class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
   cri::CriPool pool_;
   progress::ProgressEngine engine_;
   std::vector<std::atomic<p2p::CommState*>> comms_;
+
+  std::unique_ptr<p2p::ReliabilityTracker> tracker_;  ///< Config::reliable only
+  std::unique_ptr<progress::Watchdog> watchdog_;
+  common::ErrorSink err_sink_ = nullptr;
+  void* err_user_ = nullptr;
+  /// Reentrancy guard: a retransmit injection can recurse into progress(),
+  /// which must not start a second sweep on the same stack (or convoy
+  /// concurrent threads into duplicate retransmit bursts).
+  std::atomic<bool> sweeping_{false};
 
   // Rendezvous registries and the deferred-send queue. A plain mutex-style
   // spinlock is fine here: traffic is one entry per large message, not per
@@ -157,6 +203,9 @@ class Rank final : public progress::PacketSink, public p2p::RendezvousHook {
   std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvRecvState>> rndv_recvs_;
   RankedLock<Spinlock> control_lock_{LockRank::kRndvControl, "rank.rndv-control"};
   std::deque<p2p::ControlMsg> control_;
+  /// Reliability acks ride their own queue (same lock) so flush_acks can
+  /// run from wait loops without reentering the full control drain.
+  std::deque<p2p::ControlMsg> acks_;
 };
 
 class Universe {
@@ -178,6 +227,14 @@ class Universe {
 
   /// Sum of all ranks' SPC counters (high-water counters take the max).
   spc::Snapshot aggregate_counters() const;
+
+  /// Retransmit sweep over EVERY rank's in-flight table, called from any
+  /// rank's progress(). Cooperative by design: a real NIC retransmits
+  /// autonomously, so recovery must not depend on the victim rank's
+  /// application threads still driving its progress loop (a sender that
+  /// fire-and-forgets eager traffic and then blocks elsewhere would
+  /// otherwise strand its own dropped packets forever).
+  void sweep_reliability(std::uint64_t now_ns) noexcept;
 
  private:
   friend class Rank;

@@ -54,10 +54,17 @@ enum class LockRank : std::uint16_t {
   kCriInstance = 20,    ///< cri::CommResourceInstance lock
   kMatch = 30,          ///< match::MatchEngine per-communicator lock
   kRmaAccumulate = 40,  ///< rma::Window accumulate stripe locks
+  kWatchdog = 42,       ///< progress::Watchdog sweep state (acquires the
+                        ///< rndv registries, rank 50, while held — so below)
   kRmaSlots = 45,       ///< rma::Window pending-slot vector lock
+  kReliability = 47,    ///< p2p::ReliabilityTracker in-flight table (taken
+                        ///< under CRI/match locks on the tracked-send path)
   kRndvState = 50,      ///< core::Rank rendezvous registries (rndv_lock_)
   kRndvControl = 55,    ///< core::Rank deferred control queue (control_lock_)
   kCommCreate = 60,     ///< core::Universe communicator creation
+  kFaultInject = 65,    ///< fabric::FaultInjector per-link state (held only
+                        ///< across one injection; acquires only the payload
+                        ///< pool, rank 70, for duplication)
   kSlabPool = 70,       ///< common::SlabArena global freelist (leaf: a pool
                         ///< refill/flush may run under any engine lock, so it
                         ///< must rank above all of them and acquire nothing)

@@ -22,6 +22,7 @@
 #include "fairmpi/common/align.hpp"
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/mpsc_ring.hpp"
+#include "fairmpi/fabric/faults.hpp"
 #include "fairmpi/fabric/wire.hpp"
 
 namespace fairmpi::fabric {
@@ -115,19 +116,61 @@ class Fabric {
   /// Inject a packet from (src context `src_ctx`) toward `dst_rank`.
   /// Returns false when the destination ring is full — the caller must
   /// back off (drop the CRI lock, progress, retry); see p2p/sender.cpp.
+  /// With checksums enabled every packet is stamped here, *before* fault
+  /// injection, so in-flight corruption is detectable at the receiver.
   bool try_deliver(int dst_rank, int src_ctx, Packet&& pkt) {
     Nic& dst = *nics_[static_cast<std::size_t>(dst_rank)];
     NetworkContext& ctx = dst.context(route(dst_rank, src_ctx));
-    if (!ctx.rx().try_push(std::move(pkt))) return false;
-    ctx.note_delivered();
-    return true;
+    if (checksums_) stamp_checksum(pkt);
+    if (injector_ == nullptr) {
+      if (!ctx.rx().try_push(std::move(pkt))) return false;
+      ctx.note_delivered();
+      return true;
+    }
+    return deliver_faulty(ctx, dst_rank, std::move(pkt));
   }
+
+  /// Enable checksum stamping and (when params.any()) fault injection.
+  /// Call before traffic flows; not thread-safe against concurrent sends.
+  void configure_reliability(const FaultParams& faults, bool checksums) {
+    checksums_ = checksums;
+    if (faults.any()) {
+      injector_ = std::make_unique<FaultInjector>(num_ranks(), faults);
+    }
+  }
+
+  FaultInjector* injector() noexcept { return injector_.get(); }
+  bool checksums() const noexcept { return checksums_; }
 
   const FabricParams& params() const noexcept { return params_; }
 
  private:
+  /// Slow path: run the packet through the link's fault model and push the
+  /// resulting batch. Only a full ring under the *primary* packet reports
+  /// backpressure; lost duplicates/releases are ordinary wire losses.
+  bool deliver_faulty(NetworkContext& ctx, int dst_rank, Packet&& pkt) {
+    const int src = static_cast<int>(pkt.hdr.src_rank);
+    FaultInjector::Batch batch;
+    injector_->process(src, dst_rank, std::move(pkt), batch);
+    bool ok = true;
+    for (std::size_t i = 0; i < batch.n; ++i) {
+      const bool is_primary = static_cast<int>(i) == batch.primary;
+      if (ctx.rx().try_push(std::move(batch.pkts[i]))) {
+        ctx.note_delivered();
+      } else if (is_primary) {
+        pkt = std::move(batch.pkts[i]);  // hand it back for the retry
+        ok = false;
+      } else {
+        injector_->stats().ring_losses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return ok;
+  }
+
   FabricParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<FaultInjector> injector_;
+  bool checksums_ = false;
 };
 
 /// A (context, peer) pairing — the sender-side handle a CRI uses to reach
@@ -141,7 +184,7 @@ class Endpoint {
 
   /// Injects; false on backpressure.
   bool try_send(Packet&& pkt) {
-    pkt.hdr.src_ctx = static_cast<std::uint32_t>(local_->index());
+    pkt.hdr.src_ctx = static_cast<std::uint16_t>(local_->index());
     return fabric_->try_deliver(dst_rank_, local_->index(), std::move(pkt));
   }
 

@@ -1,0 +1,133 @@
+// Seeded, deterministic fault injection for the simulated fabric.
+//
+// The paper's designs are exercised only on a perfectly reliable transport;
+// production multithreaded MPI stacks break precisely where transports
+// misbehave (flow-control stalls, loss, duplication — the failure modes the
+// MPI+threads "lessons learned" literature reports). The injector sits
+// inside Fabric::try_deliver and perturbs traffic per *link* — one
+// (src_rank, dst_rank) pair — with independent xoshiro256** streams forked
+// from a single seed, so a single-threaded injection sequence is
+// bit-reproducible: same seed + same per-link packet order => same fates.
+// Under concurrency the per-link decision *sequence* is still deterministic;
+// which packet draws which fate follows the (inherently racy) injection
+// interleaving, and the reliability layer makes the outcome exact either
+// way.
+//
+// Fault model:
+//   drop     packet vanishes; the sender still sees success (a lost wire
+//            packet, not backpressure).
+//   dup      a deep clone is delivered alongside the original.
+//   delay    the packet parks in a per-link holdback slot and is released
+//            after 2..5 later packets on the same link (count-based, so
+//            deterministic — no wall clock).
+//   reorder  delay with a one-packet horizon: the packet is emitted after
+//            the next one, swapping adjacent arrivals.
+//   corrupt  a random bit flips in the header or payload. payload_size is
+//            exempt — it is validated by the simulated NIC's descriptor
+//            (DMA-length) check, mirroring transports that protect lengths
+//            in hardware; corrupting it would turn a checksum test into an
+//            out-of-bounds read.
+//
+// Lock discipline: one RankedLock (kFaultInject) per link, held only across
+// a single injection's decisions; the only lock it may acquire underneath
+// is the payload pool's leaf (cloning a heap payload).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fairmpi/common/align.hpp"
+#include "fairmpi/common/rng.hpp"
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/fabric/wire.hpp"
+
+namespace fairmpi::fabric {
+
+/// Per-link fault probabilities (each in [0, 1]) and the master seed.
+struct FaultParams {
+  double drop = 0.0;
+  double dup = 0.0;
+  double delay = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+  std::uint64_t seed = 0x5eedfab51cULL;
+
+  bool any() const noexcept {
+    return drop > 0.0 || dup > 0.0 || delay > 0.0 || reorder > 0.0 || corrupt > 0.0;
+  }
+};
+
+/// Aggregate injector statistics (relaxed atomics; exact when quiescent).
+/// ring_losses counts duplicate/released packets that found the destination
+/// ring full — they become ordinary losses, recovered like any drop.
+struct FaultStats {
+  std::atomic<std::uint64_t> injected{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> duplicated{0};
+  std::atomic<std::uint64_t> delayed{0};
+  std::atomic<std::uint64_t> reordered{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> released{0};
+  std::atomic<std::uint64_t> ring_losses{0};
+};
+
+class FaultInjector {
+ public:
+  /// Holdback depth per link; a full holdback delivers its oldest entry.
+  static constexpr std::size_t kHoldback = 4;
+  /// Max packets one injection can emit: released holdbacks + original + dup.
+  static constexpr std::size_t kMaxEmit = kHoldback + 2;
+
+  /// One injection's outcome: `pkts[0..n)` must be pushed toward the
+  /// destination in order. `primary` is the index of the caller's own
+  /// packet within pkts, or -1 when it was dropped or parked (the caller
+  /// reports success to the sender in that case).
+  struct Batch {
+    std::array<Packet, kMaxEmit> pkts;
+    std::size_t n = 0;
+    int primary = -1;
+  };
+
+  FaultInjector(int num_ranks, const FaultParams& params);
+
+  /// Run one packet through the link's fault model. Consumes `pkt`; fills
+  /// `out`. If the caller later fails to push the primary packet (ring
+  /// full), it must move it back out of the batch and report backpressure.
+  void process(int src, int dst, Packet&& pkt, Batch& out);
+
+  const FaultParams& params() const noexcept { return params_; }
+  FaultStats& stats() noexcept { return stats_; }
+
+  /// Packets currently parked across all links (test/diagnostic hook).
+  std::size_t held() const noexcept;
+
+ private:
+  struct LinkState {
+    RankedLock<Spinlock> lock{debug::LockRank::kFaultInject, "fabric.fault-link"};
+    Xoshiro256 rng{0};
+    struct Held {
+      Packet pkt;
+      int release_after = 0;  ///< emit once this many later packets pass
+      bool reordered = false; ///< parked by the reorder fault (stats)
+      bool occupied = false;
+    };
+    std::array<Held, kHoldback> held;
+    std::size_t n_held = 0;
+  };
+
+  LinkState& link(int src, int dst) noexcept {
+    return *links_[static_cast<std::size_t>(src) * num_ranks_ +
+                   static_cast<std::size_t>(dst)];
+  }
+
+  const FaultParams params_;
+  const std::size_t num_ranks_;
+  std::vector<std::unique_ptr<LinkState>> links_;
+  FaultStats stats_;
+};
+
+}  // namespace fairmpi::fabric

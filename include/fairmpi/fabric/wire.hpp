@@ -28,17 +28,24 @@ enum class Opcode : std::uint16_t {
   kRndvRts,      ///< rendezvous request-to-send (large-message extension)
   kRndvAck,      ///< rendezvous clear-to-send
   kRndvData,     ///< rendezvous payload fragment
+  kAck,          ///< reliability acknowledgement (echoes the acked key)
 };
 
-/// The matching envelope. POD, fixed 32 bytes.
+/// Last opcode value that is valid on the wire (header validation).
+inline constexpr std::uint16_t kMaxOpcode = static_cast<std::uint16_t>(Opcode::kAck);
+
+/// The matching envelope. POD, fixed 32 bytes. The old 32-bit src_ctx
+/// diagnostic field donates its upper half to the reliability checksum so
+/// the envelope stays exactly as compact as OB1's.
 struct WireHeader {
   Opcode opcode = Opcode::kInvalid;
   std::uint16_t src_rank = 0;     ///< sending rank in the universe
   std::uint32_t comm_id = 0;      ///< destination communicator
-  std::int32_t tag = 0;           ///< user tag
+  std::int32_t tag = 0;           ///< user tag (kAck: acked packet's opcode)
   std::uint32_t seq = 0;          ///< per (comm, src->dst) sequence number
   std::uint32_t payload_size = 0; ///< bytes following the header
-  std::uint32_t src_ctx = 0;      ///< sender-side context id (diagnostics)
+  std::uint16_t src_ctx = 0;      ///< sender-side context id (diagnostics)
+  std::uint16_t csum = 0;         ///< header+payload checksum (0 when disabled)
   std::uint64_t imm = 0;          ///< opcode-specific immediate (e.g. request cookie)
 };
 static_assert(sizeof(WireHeader) == 32, "envelope must stay compact");
@@ -105,6 +112,40 @@ struct Packet {
     if (hdr.payload_size == 0) return nullptr;
     return hdr.payload_size <= kInlineBytes ? inline_data.data() : heap.get();
   }
+
+  std::byte* mutable_payload() noexcept {
+    if (hdr.payload_size == 0) return nullptr;
+    return hdr.payload_size <= kInlineBytes ? inline_data.data() : heap.get();
+  }
 };
+
+/// Checksum of a header (with its csum field zeroed) plus `n` payload bytes.
+/// FNV-1a folded to 16 bits — error detection for the fault injector, not
+/// cryptography.
+std::uint16_t wire_checksum(const WireHeader& hdr, const std::byte* payload,
+                            std::size_t n) noexcept;
+
+/// Stamp pkt.hdr.csum; called by the fabric at injection when checksums are
+/// enabled (before fault injection, so corruption is detectable).
+void stamp_checksum(Packet& pkt) noexcept;
+
+/// Recompute and compare. A packet whose payload pointer is inconsistent
+/// with payload_size fails structural validation before this is called.
+bool verify_checksum(const Packet& pkt) noexcept;
+
+/// Deep copy (header + payload) for duplication and retransmit tracking;
+/// heap payloads are cloned through the pool.
+Packet clone_packet(const Packet& pkt);
+
+/// Structural validation of an inbound packet, before it may reach matching:
+/// known opcode, source rank within the universe, and a payload pointer
+/// consistent with payload_size. Cheap enough to run unconditionally.
+inline bool validate_structure(const Packet& pkt, int num_ranks) noexcept {
+  const std::uint16_t op = static_cast<std::uint16_t>(pkt.hdr.opcode);
+  if (op == 0 || op > kMaxOpcode) return false;
+  if (static_cast<int>(pkt.hdr.src_rank) >= num_ranks) return false;
+  if (pkt.hdr.payload_size > kInlineBytes && pkt.heap == nullptr) return false;
+  return true;
+}
 
 }  // namespace fairmpi::fabric

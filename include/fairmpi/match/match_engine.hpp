@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "fairmpi/common/intrusive_list.hpp"
@@ -50,13 +51,73 @@ namespace fairmpi::match {
 inline constexpr std::uint32_t kReorderWindow = 64;
 static_assert((kReorderWindow & (kReorderWindow - 1)) == 0);
 
+/// Exactly-once filter for *overtaking* mode on a lossy fabric. Without
+/// sequence validation every arrival is matchable, so a duplicated or
+/// retransmitted packet would deliver twice; this tracker records which
+/// sequence numbers have been seen per (comm, src) stream. Exact, not
+/// probabilistic: `floor_` advances over the contiguous fully-seen prefix
+/// (everything below it is seen), a circular bitmap covers the next kWindow
+/// sequence numbers, and arrivals beyond the window — possible only after
+/// deep loss — spill to an ordered set that migrates back into the window
+/// as the floor advances. Guarded by the owning engine's match lock.
+/// Sequence distances are compared as int32, like the reorder path: streams
+/// are assumed never to span more than 2^31 outstanding messages.
+class SeenTracker {
+ public:
+  static constexpr std::uint32_t kWindow = 1024;
+
+  /// Mark `seq` seen; true when this is its first delivery.
+  bool mark(std::uint32_t seq) {
+    const std::int32_t delta = static_cast<std::int32_t>(seq - floor_);
+    if (delta < 0) return false;  // below the floor: seen long ago
+    if (static_cast<std::uint32_t>(delta) >= kWindow) {
+      // Beyond the window: the stream has a loss hole >= kWindow deep.
+      // lint: allow(hotpath-alloc) deep-loss spill, lossy-fabric mode only
+      return far_.insert(seq).second;
+    }
+    if (test(seq)) return false;
+    set(seq);
+    while (test(floor_)) {
+      clear(floor_);
+      ++floor_;
+      // Far entries the advance just brought into range join the window.
+      while (!far_.empty()) {
+        const std::uint32_t f = *far_.begin();
+        if (static_cast<std::int32_t>(f - floor_) >= static_cast<std::int32_t>(kWindow)) break;
+        set(f);
+        far_.erase(far_.begin());
+      }
+    }
+    return true;
+  }
+
+ private:
+  bool test(std::uint32_t s) const noexcept {
+    return (bits_[(s % kWindow) / 64] >> (s % 64)) & 1;
+  }
+  void set(std::uint32_t s) noexcept {
+    bits_[(s % kWindow) / 64] |= std::uint64_t{1} << (s % 64);
+  }
+  void clear(std::uint32_t s) noexcept {
+    bits_[(s % kWindow) / 64] &= ~(std::uint64_t{1} << (s % 64));
+  }
+
+  std::uint32_t floor_ = 0;  ///< every seq below this has been seen
+  std::array<std::uint64_t, kWindow / 64> bits_{};
+  std::set<std::uint32_t> far_;  ///< seen seqs >= floor_ + kWindow
+};
+
 class MatchEngine {
  public:
   /// @param num_ranks   ranks in the communicator's universe (peer table size)
   /// @param allow_overtaking  skip sequence validation (MPI info key
   ///                          mpi_assert_allow_overtaking)
   /// @param counters    the owning rank's SPC set
-  MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& counters);
+  /// @param reliable    the fabric may duplicate/retransmit: discard repeated
+  ///                    deliveries (counted as kDupDiscards) instead of
+  ///                    treating a repeated sequence number as corruption
+  MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& counters,
+              bool reliable = false);
 
   MatchEngine(const MatchEngine&) = delete;
   MatchEngine& operator=(const MatchEngine&) = delete;
@@ -119,6 +180,7 @@ class MatchEngine {
     std::uint32_t expected_seq = 0;
     std::unique_ptr<ReorderRing> reorder;             ///< window buffer (lazy)
     std::map<std::uint32_t, fabric::Packet> spill;    ///< beyond-window overflow
+    std::unique_ptr<SeenTracker> seen;  ///< dedup, reliable+overtaking only (lazy)
     UnexpectedList unexpected;
     PostedList posted;  ///< source-specific posted receives
   };
@@ -143,6 +205,7 @@ class MatchEngine {
   PeerState& peer(int rank) { return peers_[static_cast<std::size_t>(rank)]; }
 
   const bool allow_overtaking_;
+  const bool reliable_;
   spc::CounterSet& spc_;
   p2p::RendezvousHook* rndv_hook_ = nullptr;
 

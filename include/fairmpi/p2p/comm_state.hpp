@@ -25,8 +25,9 @@ inline constexpr CommId kWorldComm = 0;
 
 class CommState {
  public:
-  CommState(CommId id, int num_ranks, bool allow_overtaking, spc::CounterSet& counters)
-      : id_(id), match_(num_ranks, allow_overtaking, counters),
+  CommState(CommId id, int num_ranks, bool allow_overtaking, spc::CounterSet& counters,
+            bool reliable = false)
+      : id_(id), match_(num_ranks, allow_overtaking, counters, reliable),
         send_seq_(static_cast<std::size_t>(num_ranks)) {}
 
   CommState(const CommState&) = delete;

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 
 #include "fairmpi/fabric/wire.hpp"
 #include "fairmpi/p2p/request.hpp"
@@ -56,6 +57,8 @@ struct RndvSendState {
   int dst = 0;
   std::uint32_t comm = 0;
   Request* request = nullptr;  ///< completes when all fragments are injected
+  std::uint64_t born_ns = 0;   ///< registration time (watchdog stall scan)
+  bool stall_flagged = false;  ///< watchdog escalated once (rndv lock held)
 };
 
 /// Receiver-side state of one rendezvous transfer.
@@ -66,17 +69,41 @@ struct RndvRecvState {
   std::uint64_t total = 0;                  ///< size announced by the RTS
   std::atomic<std::uint64_t> remaining{0};  ///< bytes still in flight
   Status status{};                          ///< published when remaining hits 0
+  std::uint64_t born_ns = 0;   ///< registration time (watchdog stall scan)
+  bool stall_flagged = false;  ///< watchdog escalated once (rndv lock held)
+
+  // Fragment-seen bitmap, allocated only in reliable mode: a duplicated or
+  // retransmitted RndvData fragment must not double-decrement `remaining`.
+  // fetch_or makes exactly one deliverer of each fragment the winner.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> frag_seen;
+  std::size_t frag_words = 0;
+
+  /// Atomically mark fragment `index` seen; true when this caller is first.
+  bool mark_fragment(std::uint32_t index) noexcept {
+    if (frag_seen == nullptr) return true;  // unreliable fabric: no dups
+    const std::size_t word = index / 64;
+    if (word >= frag_words) return false;   // corrupt index past the bitmap
+    const std::uint64_t bit = std::uint64_t{1} << (index % 64);
+    return (frag_seen[word].fetch_or(bit, std::memory_order_acq_rel) & bit) == 0;
+  }
 };
 
 /// Deferred protocol action, queued from locked contexts and executed by
 /// Rank::progress() with no engine lock held.
 struct ControlMsg {
-  enum class Kind : std::uint8_t { kNone = 0, kSendAck, kSendData };
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kSendAck,        ///< rendezvous clear-to-send
+    kSendData,       ///< rendezvous data burst
+    kSendPacketAck,  ///< reliability ack echoing a received packet's key
+  };
   Kind kind = Kind::kNone;
   int peer = 0;                     ///< rank to talk to
   std::uint32_t comm = 0;
   std::uint64_t local_cookie = 0;   ///< our state id
-  std::uint64_t remote_cookie = 0;  ///< peer's state id
+  std::uint64_t remote_cookie = 0;  ///< peer's state id (kSendPacketAck: imm)
+  std::uint32_t seq = 0;            ///< kSendPacketAck: acked packet's seq
+  std::uint16_t ack_opcode = 0;     ///< kSendPacketAck: acked packet's opcode
 };
 
 /// Observer the matching engine calls when it matches a rendezvous RTS

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fairmpi/common/error.hpp"
+
 namespace fairmpi::p2p {
 
 /// Wildcards, mirroring MPI_ANY_TAG / MPI_ANY_SOURCE.
@@ -45,6 +47,7 @@ class Request {
 
   void init_send() noexcept {
     kind_ = Kind::kSend;
+    error_ = common::ErrorCode::kOk;
     done_.store(false, std::memory_order_relaxed);
   }
 
@@ -54,6 +57,7 @@ class Request {
     capacity_ = capacity;
     source_ = source;
     tag_ = tag;
+    error_ = common::ErrorCode::kOk;
     done_.store(false, std::memory_order_relaxed);
   }
 
@@ -79,6 +83,18 @@ class Request {
 
   void complete() noexcept { done_.store(true, std::memory_order_release); }
 
+  /// Publish completion *with* a typed error (graceful degradation: the
+  /// operation could not be performed — e.g. the EAGAIN retry budget ran
+  /// out). done() becomes true so wait() returns; callers inspect error().
+  void fail(common::ErrorCode code) noexcept {
+    error_ = code;
+    done_.store(true, std::memory_order_release);
+  }
+
+  /// kOk unless the request completed with fail(). Valid once done().
+  common::ErrorCode error() const noexcept { return error_; }
+  bool failed() const noexcept { return error_ != common::ErrorCode::kOk; }
+
  private:
   std::atomic<bool> done_{false};
   Kind kind_ = Kind::kNone;
@@ -87,6 +103,7 @@ class Request {
   int source_ = kAnySource;
   int tag_ = kAnyTag;
   Status status_{};
+  common::ErrorCode error_ = common::ErrorCode::kOk;
 };
 
 }  // namespace fairmpi::p2p

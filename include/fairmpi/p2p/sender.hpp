@@ -2,21 +2,47 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/p2p/comm_state.hpp"
+#include "fairmpi/p2p/reliability.hpp"
 #include "fairmpi/p2p/request.hpp"
 #include "fairmpi/progress/progress.hpp"
 #include "fairmpi/spc/spc.hpp"
 
 namespace fairmpi::p2p {
 
+/// Reliability/backpressure policy for one send. The default — no tracker,
+/// unbounded retry — is the paper's pristine-fabric behaviour.
+struct SendPolicy {
+  /// Non-null: register the packet for ack/retransmit before injecting.
+  ReliabilityTracker* tracker = nullptr;
+  /// Max EAGAIN retries before the send fails typed (kSendBudgetExhausted);
+  /// 0 = retry forever. Bounding this turns a peer that never drains its
+  /// ring from a livelock into a reported error.
+  std::uint64_t retry_limit = 0;
+  /// Max tracked-unacked packets before a send blocks (progressing) until
+  /// acks open the window; 0 = unbounded. Self-clocks a flood: without it
+  /// thousands of unacked packets turn every sweep into a retransmit storm.
+  std::size_t window = 0;
+  /// Full-rank progress hook for the wait loops. The engine alone cannot
+  /// transmit deferred acks (they leave via the rank's control drain), so
+  /// blocking on `engine.progress()` while our peer blocks on our acks
+  /// would deadlock a bidirectional flood.
+  std::size_t (*progress)(void* user) = nullptr;
+  void* progress_user = nullptr;
+};
+
 /// Execute one eager send: ticket the sequence number, acquire a CRI per
 /// the pool's policy, inject through the per-peer endpoint; on backpressure
-/// (full destination ring) release the instance, progress own resources and
-/// retry. Completes `req` before returning (buffered-send semantics).
+/// (full destination ring) release the instance, progress own resources,
+/// spin-then-yield and retry up to the policy's budget. Completes `req`
+/// before returning — normally (buffered-send semantics) or via
+/// Request::fail when the retry budget runs out.
 void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& engine,
                 spc::CounterSet& counters, int src_rank, int dst, int tag,
-                const void* buf, std::size_t n, Request& req);
+                const void* buf, std::size_t n, Request& req,
+                const SendPolicy& policy = {});
 
 }  // namespace fairmpi::p2p

@@ -1,0 +1,100 @@
+// Progress-engine watchdog: detects instances that stop completing.
+//
+// A CRI whose RX ring holds packets but whose consumption frontier is
+// frozen is stalled — its dedicated thread died, a progress holder is
+// wedged, or flow control deadlocked. Likewise a rendezvous transfer
+// pending far past its expected lifetime (orphaned CRI on the peer, lost
+// protocol packet past retry budget). The watchdog detects both from
+// existing lock-free instrumentation — NetworkContext::delivered() and
+// MpscRing::size_approx() — so the packet hot path carries zero extra
+// accounting.
+//
+// Escalation ladder per stalled object, once per stall episode:
+//   1. spc::Counter::kWatchdogStalls
+//   2. trace::Event::kWatchdogStall
+//   3. the rank's error sink (common::Error, typed)
+//
+// Lock discipline: poll() try-locks its own state (rank kWatchdog, 42) so
+// concurrent progress threads never convoy on it, and may acquire the
+// rendezvous registries (rank 50) while held — never any CRI or match lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "fairmpi/common/error.hpp"
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/spc/spc.hpp"
+#include "fairmpi/trace/trace.hpp"
+
+namespace fairmpi::progress {
+
+/// Extra stall sources the owning rank contributes (stuck rendezvous);
+/// called with the watchdog lock held, so implementations may take locks
+/// ranked above kWatchdog only.
+class StallProbe {
+ public:
+  virtual ~StallProbe() = default;
+  /// Report objects pending since before `horizon_ns` (escalating each
+  /// through counters/trace/sink itself); returns how many were flagged.
+  virtual std::size_t scan_stalled(std::uint64_t now_ns,
+                                   std::uint64_t horizon_ns) = 0;
+};
+
+class Watchdog {
+ public:
+  /// @param interval_ns  min time between sweeps (0 = every poll; ~0 = off)
+  /// @param stall_sweeps consecutive frozen-backlog sweeps before escalation
+  /// @param rndv_stall_ns age threshold handed to the StallProbe
+  Watchdog(cri::CriPool& pool, spc::CounterSet& counters, trace::Tracer& tracer,
+           std::uint64_t interval_ns, int stall_sweeps, std::uint64_t rndv_stall_ns);
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void set_error_sink(common::ErrorSink sink, void* user, int rank) noexcept {
+    sink_ = sink;
+    sink_user_ = user;
+    rank_ = rank;
+  }
+  void set_stall_probe(StallProbe* probe) noexcept { probe_ = probe; }
+
+  /// One watchdog check; returns the number of stalls escalated (0 almost
+  /// always — including when the interval has not elapsed or another
+  /// thread holds the sweep lock).
+  std::size_t poll(std::uint64_t now_ns);
+
+  /// Stall episodes escalated so far (test hook).
+  std::uint64_t stalls_flagged() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct InstanceState {
+    std::uint64_t last_consumed = 0;
+    int strikes = 0;
+    bool escalated = false;  ///< one report per stall episode
+  };
+
+  cri::CriPool& pool_;
+  spc::CounterSet& spc_;
+  trace::Tracer& tracer_;
+  const std::uint64_t interval_ns_;
+  const int stall_sweeps_;
+  const std::uint64_t rndv_stall_ns_;
+
+  common::ErrorSink sink_ = nullptr;
+  void* sink_user_ = nullptr;
+  int rank_ = -1;
+  StallProbe* probe_ = nullptr;
+
+  std::atomic<std::uint64_t> last_sweep_ns_{0};
+  RankedLock<Spinlock> lock_{debug::LockRank::kWatchdog, "progress.watchdog"};
+  std::vector<InstanceState> instances_;  ///< guarded by lock_
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace fairmpi::progress

@@ -49,6 +49,14 @@ enum class Counter : int {
   kRmaGets,                ///< one-sided get operations
   kRmaAccumulates,         ///< one-sided accumulate operations
   kRmaFlushes,             ///< passive-target flush operations
+  kHeaderDrops,            ///< inbound packets failing structural validation
+  kCsumDrops,              ///< inbound packets failing checksum verification
+  kDupDiscards,            ///< duplicate deliveries discarded (exactly-once)
+  kRetransmits,            ///< packets re-injected after an ack timeout
+  kAcksSent,               ///< reliability acks injected
+  kAcksReceived,           ///< reliability acks processed
+  kReliabilityErrors,      ///< typed errors surfaced (budget/retry exhaustion)
+  kWatchdogStalls,         ///< stalled instances/rendezvous flagged
   kCount
 };
 

@@ -33,6 +33,8 @@ enum class Event : std::uint8_t {
   kRmaFlush,    ///< a = pending ops at entry
   kRndvRts,     ///< a = destination rank, b = low 32 bits of total
   kRndvDone,    ///< a = peer rank, b = low 32 bits of total
+  kRetransmit,  ///< a = peer rank, b = packet seq
+  kWatchdogStall,  ///< a = instance index (or peer), b = strike count
 };
 
 const char* event_name(Event e) noexcept;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "fairmpi/common/error.hpp"
@@ -15,6 +16,21 @@ bool parse_u64(std::string_view text, std::uint64_t& out) {
   const char* end = begin + text.size();
   auto [ptr, ec] = std::from_chars(begin, end, out);
   return ec == std::errc{} && ptr == end;
+}
+
+bool parse_prob(std::string_view text, double& out) {
+  // from_chars<double> is available on the toolchain, but strtod keeps the
+  // parse locale-independent enough for "0.01"-style probabilities.
+  char buf[64];
+  if (text.empty() || text.size() >= sizeof buf) return false;
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + text.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  out = v;
+  return true;
 }
 
 bool parse_bool(std::string_view text, bool& out) {
@@ -93,6 +109,59 @@ bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
     cfg.max_communicators = static_cast<int>(u);
     return true;
   }
+  if (name == "fault_drop") return parse_prob(value, cfg.faults.drop);
+  if (name == "fault_dup") return parse_prob(value, cfg.faults.dup);
+  if (name == "fault_delay") return parse_prob(value, cfg.faults.delay);
+  if (name == "fault_reorder") return parse_prob(value, cfg.faults.reorder);
+  if (name == "fault_corrupt") return parse_prob(value, cfg.faults.corrupt);
+  if (name == "fault_seed") {
+    if (!parse_u64(value, u)) return false;
+    cfg.faults.seed = u;
+    return true;
+  }
+  if (name == "reliable") {
+    return parse_bool(value, cfg.reliable);
+  }
+  if (name == "rto_ns") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.rto_ns = u;
+    return true;
+  }
+  if (name == "rto_max_ns") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.rto_max_ns = u;
+    return true;
+  }
+  if (name == "max_retries") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.max_retries = static_cast<int>(u);
+    return true;
+  }
+  if (name == "reliability_window") {
+    if (!parse_u64(value, u)) return false;
+    cfg.reliability_window = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "send_retry_limit") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.send_retry_limit = u;
+    return true;
+  }
+  if (name == "watchdog_interval_ns") {
+    if (!parse_u64(value, u)) return false;
+    cfg.watchdog_interval_ns = u;
+    return true;
+  }
+  if (name == "watchdog_stall_sweeps") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.watchdog_stall_sweeps = static_cast<int>(u);
+    return true;
+  }
+  if (name == "rndv_stall_ns") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.rndv_stall_ns = u;
+    return true;
+  }
   return false;
 }
 
@@ -101,6 +170,11 @@ Config config_from_env(Config base) {
       "num_instances", "assignment",      "progress",        "allow_overtaking",
       "progress_batch", "eager_limit",    "rndv_frag_bytes", "rx_ring_entries",
       "cq_entries",     "max_communicators",
+      "fault_drop",    "fault_dup",       "fault_delay",     "fault_reorder",
+      "fault_corrupt", "fault_seed",      "reliable",        "rto_ns",
+      "rto_max_ns",    "max_retries",     "reliability_window",
+      "send_retry_limit",
+      "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
   };
   for (const char* name : kNames) {
     std::string env_name = "FAIRMPI_";
@@ -127,7 +201,22 @@ std::string list_cvars(const Config& cfg) {
      << "rndv_frag_bytes   = " << cfg.rndv_frag_bytes << '\n'
      << "rx_ring_entries   = " << cfg.fabric.rx_ring_entries << '\n'
      << "cq_entries        = " << cfg.fabric.cq_entries << '\n'
-     << "max_communicators = " << cfg.max_communicators << '\n';
+     << "max_communicators = " << cfg.max_communicators << '\n'
+     << "fault_drop        = " << cfg.faults.drop << '\n'
+     << "fault_dup         = " << cfg.faults.dup << '\n'
+     << "fault_delay       = " << cfg.faults.delay << '\n'
+     << "fault_reorder     = " << cfg.faults.reorder << '\n'
+     << "fault_corrupt     = " << cfg.faults.corrupt << '\n'
+     << "fault_seed        = " << cfg.faults.seed << '\n'
+     << "reliable          = " << (cfg.reliable ? "true" : "false") << '\n'
+     << "rto_ns            = " << cfg.rto_ns << '\n'
+     << "rto_max_ns        = " << cfg.rto_max_ns << '\n'
+     << "max_retries       = " << cfg.max_retries << '\n'
+     << "reliability_window = " << cfg.reliability_window << '\n'
+     << "send_retry_limit  = " << cfg.send_retry_limit << '\n'
+     << "watchdog_interval_ns  = " << cfg.watchdog_interval_ns << '\n'
+     << "watchdog_stall_sweeps = " << cfg.watchdog_stall_sweeps << '\n'
+     << "rndv_stall_ns     = " << cfg.rndv_stall_ns << '\n';
   return os.str();
 }
 

@@ -1,11 +1,15 @@
 #include <mutex>
+#include <vector>
 
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/common/timing.hpp"
 #include "fairmpi/core/universe.hpp"
 #include "fairmpi/p2p/sender.hpp"
 
 namespace fairmpi {
+
+using spc::Counter;
 
 Rank::Rank(Universe& uni, int id)
     : uni_(&uni), id_(id), tracer_(uni.config().trace_entries),
@@ -13,6 +17,28 @@ Rank::Rank(Universe& uni, int id)
       engine_(pool_, *this, uni.config().progress_mode, spc_, uni.config().progress_batch),
       comms_(static_cast<std::size_t>(uni.config().max_communicators)) {
   for (auto& slot : comms_) slot.store(nullptr, std::memory_order_relaxed);
+  const Config& cfg = uni.config();
+  if (cfg.reliable) {
+    tracker_ = std::make_unique<p2p::ReliabilityTracker>(cfg.rto_ns, cfg.rto_max_ns,
+                                                         cfg.max_retries);
+  }
+  if (cfg.watchdog_interval_ns != ~std::uint64_t{0}) {
+    watchdog_ = std::make_unique<progress::Watchdog>(
+        pool_, spc_, tracer_, cfg.watchdog_interval_ns, cfg.watchdog_stall_sweeps,
+        cfg.rndv_stall_ns);
+    watchdog_->set_stall_probe(this);
+    watchdog_->set_error_sink(err_sink_, err_user_, id_);
+  }
+}
+
+void Rank::set_error_sink(common::ErrorSink sink, void* user) noexcept {
+  err_sink_ = sink;
+  err_user_ = user;
+  if (watchdog_ != nullptr) watchdog_->set_error_sink(sink, user, id_);
+}
+
+void Rank::report_error(const common::Error& err) noexcept {
+  if (err_sink_ != nullptr) err_sink_(err, err_user_);
 }
 
 Rank::~Rank() {
@@ -26,7 +52,8 @@ void Rank::install_comm(CommId id) {
   FAIRMPI_CHECK_MSG(comms_[id].load(std::memory_order_relaxed) == nullptr,
                     "communicator id already installed");
   auto* state = new p2p::CommState(id, uni_->num_ranks(),
-                                   uni_->config().allow_overtaking, spc_);
+                                   uni_->config().allow_overtaking, spc_,
+                                   uni_->config().reliable);
   state->match().set_rendezvous_hook(this);
   comms_[id].store(state, std::memory_order_release);
 }
@@ -50,7 +77,15 @@ void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
   }
   tracer_.record(trace::Event::kSend, static_cast<std::uint32_t>(dst),
                  static_cast<std::uint32_t>(tag));
-  p2p::eager_send(comm_state(comm), pool_, engine_, spc_, id_, dst, tag, buf, n, req);
+  const p2p::SendPolicy policy{
+      tracker_.get(), uni_->config().send_retry_limit,
+      uni_->config().reliability_window,
+      [](void* user) { return static_cast<Rank*>(user)->progress(); }, this};
+  p2p::eager_send(comm_state(comm), pool_, engine_, spc_, id_, dst, tag, buf, n, req,
+                  policy);
+  if (req.failed()) {
+    report_error(common::Error{req.error(), id_, dst, 0});
+  }
 }
 
 void Rank::irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity,
@@ -141,14 +176,155 @@ std::size_t Rank::progress() {
   // Deferred rendezvous protocol work first (runs with no engine lock
   // held — see p2p/rendezvous.hpp), then the progress engine proper.
   drain_control();
+  if (tracker_ != nullptr || watchdog_ != nullptr) {
+    const std::uint64_t now = now_ns();
+    // Sweep every rank's tracker, not just ours: retransmission models the
+    // NIC's autonomous recovery, so it must run even when the packet's
+    // owner has stopped calling progress() (see Universe::sweep_reliability).
+    if (tracker_ != nullptr) uni_->sweep_reliability(now);
+    if (watchdog_ != nullptr) watchdog_->poll(now);
+  }
   const std::size_t completions = engine_.progress();
+  // Acks enqueued while the engine dispatched packets leave immediately —
+  // waiting for the next drain_control would add an rto of latency per hop
+  // under load.
+  if (tracker_ != nullptr) flush_acks();
   if (completions != 0) {
     tracer_.record(trace::Event::kProgress, static_cast<std::uint32_t>(completions));
   }
   return completions;
 }
 
+bool Rank::inject_raw(int dst, fabric::Packet&& pkt) {
+  const int k = pool_.id_for_thread();
+  cri::CommResourceInstance& inst = pool_.instance(k);
+  std::scoped_lock guard(inst.lock());
+  return inst.endpoint(dst).try_send(std::move(pkt));
+}
+
+void Rank::enqueue_packet_ack(const fabric::WireHeader& hdr) {
+  std::scoped_lock guard(control_lock_);
+  acks_.push_back(p2p::ControlMsg{p2p::ControlMsg::Kind::kSendPacketAck,
+                                  static_cast<int>(hdr.src_rank), hdr.comm_id,
+                                  /*local_cookie=*/0, /*remote_cookie=*/hdr.imm,
+                                  hdr.seq, static_cast<std::uint16_t>(hdr.opcode)});
+}
+
+void Rank::flush_acks() {
+  for (;;) {
+    p2p::ControlMsg msg;
+    {
+      std::scoped_lock guard(control_lock_);
+      if (acks_.empty()) return;
+      msg = acks_.front();
+      acks_.pop_front();
+    }
+    // Reliability ack: echo the received packet's identifying key so the
+    // sender can retire its tracked clone. Unreliable by design — if this
+    // ack is lost the peer retransmits and we re-ack.
+    fabric::Packet ack;
+    ack.hdr.opcode = fabric::Opcode::kAck;
+    ack.hdr.src_rank = static_cast<std::uint16_t>(id_);
+    ack.hdr.comm_id = msg.comm;
+    ack.hdr.tag = static_cast<std::int32_t>(msg.ack_opcode);
+    ack.hdr.seq = msg.seq;
+    ack.hdr.imm = msg.remote_cookie;
+    if (!inject_raw(msg.peer, std::move(ack))) {
+      // Peer's ring is full: requeue and stop — pushing harder only spins.
+      std::scoped_lock guard(control_lock_);
+      acks_.push_front(msg);
+      return;
+    }
+    spc_.add(Counter::kAcksSent);
+  }
+}
+
+void Rank::reliability_sweep(std::uint64_t now) {
+  if (sweeping_.exchange(true, std::memory_order_acquire)) return;
+  // lint: allow(hotpath-alloc) only reached when packets expired (lossy run)
+  std::vector<p2p::ReliabilityTracker::Resend> resends;
+  std::vector<p2p::ReliabilityTracker::Failure> failures;
+  tracker_->sweep(now, resends, failures);
+  for (auto& r : resends) {
+    const p2p::PacketKey key = p2p::key_of(r.dst, r.pkt.hdr);
+    // Single attempt: if the ring is full the tracker still holds the
+    // entry, so a later sweep simply tries again — no nested retry loop.
+    // Only a clone that actually reached the wire is charged against the
+    // retry budget (confirm applies the backoff); a ring-full failure is
+    // the sender's own congestion, not evidence of loss.
+    if (inject_raw(r.dst, std::move(r.pkt))) {
+      spc_.add(Counter::kRetransmits);
+      tracer_.record(trace::Event::kRetransmit, static_cast<std::uint32_t>(r.dst),
+                     key.seq);
+      tracker_->confirm_retransmit(key, now);
+    }
+  }
+  for (const auto& f : failures) {
+    spc_.add(Counter::kReliabilityErrors);
+    report_error(common::Error{common::ErrorCode::kRetryExhausted, id_,
+                               static_cast<int>(f.key.peer), f.key.seq});
+  }
+  sweeping_.store(false, std::memory_order_release);
+}
+
+std::size_t Rank::scan_stalled(std::uint64_t now, std::uint64_t horizon) {
+  (void)now;
+  struct Stalled {
+    int peer;
+    std::uint64_t cookie;
+  };
+  // lint: allow(hotpath-alloc) watchdog escalation path, not the hot path
+  std::vector<Stalled> flagged;
+  {
+    std::scoped_lock guard(rndv_lock_);
+    for (auto& [cookie, st] : rndv_sends_) {
+      if (!st->stall_flagged && st->born_ns != 0 && st->born_ns < horizon) {
+        st->stall_flagged = true;
+        flagged.push_back(Stalled{st->dst, cookie});
+      }
+    }
+    for (auto& [cookie, st] : rndv_recvs_) {
+      if (!st->stall_flagged && st->born_ns != 0 && st->born_ns < horizon) {
+        st->stall_flagged = true;
+        flagged.push_back(Stalled{st->status.source, cookie});
+      }
+    }
+  }
+  for (const auto& s : flagged) {
+    spc_.add(Counter::kWatchdogStalls);
+    tracer_.record(trace::Event::kWatchdogStall, static_cast<std::uint32_t>(s.peer),
+                   static_cast<std::uint32_t>(s.cookie));
+    report_error(common::Error{common::ErrorCode::kStalledRendezvous, id_, s.peer,
+                               s.cookie});
+  }
+  return flagged.size();
+}
+
 std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
+  // Structural validation before anything dereferences header fields: a
+  // corrupted opcode or rank id is counted and dropped, never dispatched.
+  if (!fabric::validate_structure(pkt, uni_->num_ranks())) {
+    spc_.add(Counter::kHeaderDrops);
+    return 0;
+  }
+  if (tracker_ != nullptr) {
+    if (!fabric::verify_checksum(pkt)) {
+      spc_.add(Counter::kCsumDrops);
+      return 0;
+    }
+    if (pkt.hdr.opcode == fabric::Opcode::kAck) {
+      spc_.add(Counter::kAcksReceived);
+      (void)tracker_->ack(p2p::key_of_ack(pkt.hdr));
+      return 0;
+    }
+    // Ack every structurally valid packet — duplicates included, because
+    // the duplicate usually means our previous ack was the casualty.
+    enqueue_packet_ack(pkt.hdr);
+  } else if (pkt.hdr.opcode == fabric::Opcode::kAck) {
+    // Reliability off: there is no tracker to retire the ack against.
+    spc_.add(Counter::kHeaderDrops);
+    return 0;
+  }
   switch (pkt.hdr.opcode) {
     case fabric::Opcode::kEager:
     case fabric::Opcode::kRndvRts:
@@ -159,8 +335,9 @@ std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
       return handle_rndv_ack(pkt);
     case fabric::Opcode::kRndvData:
       return handle_rndv_data(pkt);
+    case fabric::Opcode::kAck:
     case fabric::Opcode::kInvalid:
-      break;
+      break;  // both consumed above; unreachable
   }
   FAIRMPI_CHECK_MSG(false, "invalid opcode on the wire");
   return 0;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "fairmpi/common/error.hpp"
+#include "fairmpi/common/timing.hpp"
 #include "fairmpi/core/universe.hpp"
 
 namespace fairmpi {
@@ -26,6 +27,7 @@ void Rank::rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_
   state->dst = dst;
   state->comm = comm;
   state->request = &req;
+  state->born_ns = now_ns();
 
   std::uint64_t cookie = 0;
   {
@@ -62,6 +64,17 @@ void Rank::on_rts_matched(p2p::Request* req, const Packet& rts) {
   state->status.tag = rts.hdr.tag;
   state->status.size = body.total;
   state->status.truncated = body.total > req->capacity();
+  state->born_ns = now_ns();
+  if (uni_->config().reliable) {
+    // Fragment dedup bitmap: one bit per expected RndvData fragment.
+    const std::uint64_t frag = uni_->config().rndv_frag_bytes;
+    const std::uint64_t nfrags = body.total == 0 ? 0 : (body.total + frag - 1) / frag;
+    state->frag_words = static_cast<std::size_t>((nfrags + 63) / 64);
+    if (state->frag_words != 0) {
+      state->frag_seen =
+          std::make_unique<std::atomic<std::uint64_t>[]>(state->frag_words);
+    }
+  }
 
   std::uint64_t cookie = 0;
   {
@@ -96,8 +109,22 @@ std::size_t Rank::handle_rndv_data(const Packet& pkt) {
   {
     std::scoped_lock guard(rndv_lock_);
     const auto it = rndv_recvs_.find(pkt.hdr.imm);
-    FAIRMPI_CHECK_MSG(it != rndv_recvs_.end(), "rendezvous data for unknown transfer");
+    if (it == rndv_recvs_.end()) {
+      // Reliable fabric: a retransmitted fragment can outlive its transfer
+      // (the completion erased the state after every byte landed).
+      FAIRMPI_CHECK_MSG(tracker_ != nullptr, "rendezvous data for unknown transfer");
+      spc_.add(Counter::kDupDiscards);
+      return 0;
+    }
     state = it->second.get();
+    // Dedup under the registry lock: losers must not touch `state` after
+    // release (the transfer may complete and free it); winners keep it
+    // alive through `remaining`, which cannot reach zero until they
+    // subtract their own fragment below.
+    if (!state->mark_fragment(pkt.hdr.seq)) {
+      spc_.add(Counter::kDupDiscards);
+      return 0;
+    }
   }
 
   const std::uint64_t offset =
@@ -128,6 +155,20 @@ std::size_t Rank::handle_rndv_data(const Packet& pkt) {
 }
 
 void Rank::inject_control(int dst, Packet&& pkt) {
+  // Reliable mode: register for retransmit before the first attempt (the
+  // ack can race back through a fast peer), and bound the backpressure
+  // loop — on exhaustion the entry stays tracked, so the retransmit sweep
+  // keeps trying (or eventually surfaces kRetryExhausted). Acks themselves
+  // are never tracked; their loss is what retransmits exist for.
+  const bool tracked =
+      tracker_ != nullptr && pkt.hdr.opcode != Opcode::kAck;
+  if (tracked) tracker_->track(dst, pkt, now_ns());
+  // Tracked packets only need a handful of attempts: the retransmit sweep
+  // owns recovery from there, so a long spin here would just stall the
+  // control drain. Untracked control on a pristine fabric keeps the
+  // original unbounded loop (the peer always drains eventually).
+  constexpr std::uint64_t kTrackedAttempts = 64;
+  std::uint64_t attempts = 0;
   for (;;) {
     const int k = pool_.id_for_thread();
     cri::CommResourceInstance& inst = pool_.instance(k);
@@ -138,11 +179,14 @@ void Rank::inject_control(int dst, Packet&& pkt) {
     }
     if (injected) return;
     spc_.add(Counter::kSendBackpressure);
+    if (tracked && ++attempts >= kTrackedAttempts) return;
+    if (tracker_ != nullptr) flush_acks();  // keep our acks flowing meanwhile
     engine_.progress();
   }
 }
 
 void Rank::drain_control() {
+  if (tracker_ != nullptr) flush_acks();
   for (;;) {
     ControlMsg msg;
     {
@@ -164,12 +208,21 @@ void Rank::drain_control() {
         break;
       }
       case ControlMsg::Kind::kSendData: {
-        RndvSendState* state = nullptr;
+        // Claim the send state by extracting it: a duplicated RndvAck (our
+        // packet-ack for it got lost) enqueues a second kSendData, and two
+        // drainers must not both stream fragments from a buffer the user
+        // may free the moment the first completes the request.
+        std::unique_ptr<RndvSendState> state;
         {
           std::scoped_lock guard(rndv_lock_);
           const auto it = rndv_sends_.find(msg.local_cookie);
-          FAIRMPI_CHECK_MSG(it != rndv_sends_.end(), "ack for unknown rendezvous send");
-          state = it->second.get();
+          if (it == rndv_sends_.end()) {
+            FAIRMPI_CHECK_MSG(tracker_ != nullptr, "ack for unknown rendezvous send");
+            spc_.add(Counter::kDupDiscards);
+            break;
+          }
+          state = std::move(it->second);
+          rndv_sends_.erase(it);
         }
         const std::size_t frag = uni_->config().rndv_frag_bytes;
         std::uint64_t offset = 0;
@@ -193,12 +246,12 @@ void Rank::drain_control() {
         spc_.add(Counter::kMessagesSent);
         spc_.add(Counter::kBytesSent, state->total);
         state->request->complete();
-        {
-          std::scoped_lock guard(rndv_lock_);
-          rndv_sends_.erase(msg.local_cookie);
-        }
         break;
       }
+      case ControlMsg::Kind::kSendPacketAck:
+        // Handled by flush_acks (acks ride their own queue); kept in the
+        // enum so the message layout stays shared.
+        break;
       case ControlMsg::Kind::kNone:
         FAIRMPI_CHECK_MSG(false, "empty control message");
     }

@@ -1,8 +1,12 @@
 #include "fairmpi/core/universe.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 #include "fairmpi/common/error.hpp"
+#include "fairmpi/core/cvar.hpp"
 
 namespace fairmpi {
 
@@ -12,11 +16,44 @@ std::vector<int> contexts_per_rank(const Config& cfg) {
   FAIRMPI_CHECK_MSG(cfg.num_instances >= 1, "at least one CRI per rank");
   return std::vector<int>(static_cast<std::size_t>(cfg.num_ranks), cfg.num_instances);
 }
+
+/// Chaos-testing hook: the fault/reliability knobs are also honoured from
+/// the environment for universes built from a programmatic Config (tests,
+/// benches), so a CI job can replay an entire suite over a lossy fabric
+/// without touching each call site. Only fault-model knobs are read here —
+/// topology/design knobs from the environment stay the job of
+/// config_from_env, so a test's explicitly constructed design is never
+/// silently overridden.
+Config apply_chaos_env(Config cfg) {
+  static constexpr const char* kChaosKnobs[] = {
+      "fault_drop",     "fault_dup",        "fault_delay",
+      "fault_reorder",  "fault_corrupt",    "fault_seed",
+      "reliable",       "rto_ns",           "rto_max_ns",
+      "max_retries",    "reliability_window", "send_retry_limit",
+      "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
+  };
+  for (const char* name : kChaosKnobs) {
+    std::string env_name = "FAIRMPI_";
+    for (const char* p = name; *p != '\0'; ++p) {
+      env_name.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(*p))));
+    }
+    const char* value = std::getenv(env_name.c_str());
+    if (value == nullptr) continue;
+    FAIRMPI_CHECK_MSG(apply_cvar(cfg, name, value), "malformed FAIRMPI_* variable");
+  }
+  // A lossy fabric without the reliability protocol cannot keep MPI
+  // semantics; switching faults on implies switching reliability on.
+  if (cfg.faults.any()) cfg.reliable = true;
+  return cfg;
+}
 }  // namespace
 
 Universe::Universe(Config cfg)
-    : cfg_(cfg), fabric_(contexts_per_rank(cfg), cfg.fabric) {
+    : cfg_(apply_chaos_env(std::move(cfg))),
+      fabric_(contexts_per_rank(cfg_), cfg_.fabric) {
   FAIRMPI_CHECK(cfg_.max_communicators >= 1);
+  // Reliability plumbing must exist before any rank can inject.
+  fabric_.configure_reliability(cfg_.faults, cfg_.reliable);
   ranks_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
   for (int r = 0; r < cfg_.num_ranks; ++r) {
     // make_unique can't reach the private constructor.
@@ -35,6 +72,17 @@ CommId Universe::create_communicator() {
                     "communicator table exhausted (raise Config::max_communicators)");
   for (auto& rank : ranks_) rank->install_comm(id);
   return id;
+}
+
+void Universe::sweep_reliability(std::uint64_t now_ns) noexcept {
+  for (auto& rank : ranks_) {
+    p2p::ReliabilityTracker* tracker = rank->tracker_.get();
+    // lint: allow(relaxed-sync) next_deadline is a racy fast-path gate; the
+    // sweep itself re-checks every deadline under the tracker lock.
+    if (tracker != nullptr && now_ns >= tracker->next_deadline()) {
+      rank->reliability_sweep(now_ns);
+    }
+  }
 }
 
 spc::Snapshot Universe::aggregate_counters() const {

@@ -62,4 +62,44 @@ PayloadBuffer make_payload(std::size_t n) {
                        PayloadDeleter{static_cast<std::int8_t>(cls)});
 }
 
+std::uint16_t wire_checksum(const WireHeader& hdr, const std::byte* payload,
+                            std::size_t n) noexcept {
+  WireHeader h = hdr;
+  h.csum = 0;
+  std::uint64_t fnv = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(&h);
+  for (std::size_t i = 0; i < sizeof h; ++i) {
+    fnv = (fnv ^ p[i]) * 0x100000001b3ULL;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    fnv = (fnv ^ static_cast<unsigned char>(payload[i])) * 0x100000001b3ULL;
+  }
+  // Fold 64 -> 16 bits; xor-folding keeps every input bit influential.
+  fnv ^= fnv >> 32;
+  fnv ^= fnv >> 16;
+  return static_cast<std::uint16_t>(fnv & 0xffff);
+}
+
+void stamp_checksum(Packet& pkt) noexcept {
+  pkt.hdr.csum = wire_checksum(pkt.hdr, pkt.payload(), pkt.hdr.payload_size);
+}
+
+bool verify_checksum(const Packet& pkt) noexcept {
+  return pkt.hdr.csum == wire_checksum(pkt.hdr, pkt.payload(), pkt.hdr.payload_size);
+}
+
+Packet clone_packet(const Packet& pkt) {
+  Packet out;
+  out.hdr = pkt.hdr;
+  const std::size_t n = pkt.hdr.payload_size;
+  if (n == 0) return out;
+  if (n <= kInlineBytes) {
+    std::memcpy(out.inline_data.data(), pkt.inline_data.data(), n);
+  } else {
+    out.heap = make_payload(n);  // pooled — allocation-free in steady state
+    std::memcpy(out.heap.get(), pkt.heap.get(), n);
+  }
+  return out;
+}
+
 }  // namespace fairmpi::fabric

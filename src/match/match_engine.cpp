@@ -11,8 +11,9 @@ namespace fairmpi::match {
 
 using spc::Counter;
 
-MatchEngine::MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& counters)
-    : allow_overtaking_(allow_overtaking), spc_(counters),
+MatchEngine::MatchEngine(int num_ranks, bool allow_overtaking, spc::CounterSet& counters,
+                         bool reliable)
+    : allow_overtaking_(allow_overtaking), reliable_(reliable), spc_(counters),
       peers_(static_cast<std::size_t>(num_ranks)) {
   FAIRMPI_CHECK(num_ranks >= 1);
   // Force the one-time TSC calibration now, off the matching path: the
@@ -154,20 +155,52 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
     ctr.add(Counter::kMatchAttempts);
 
     if (allow_overtaking_) {
-      // Overtaking: every message is immediately matchable (§IV-D).
-      completions = match_one(ctr, std::move(pkt));
+      // Overtaking: every message is immediately matchable (§IV-D). On a
+      // lossy fabric the seq stream is the only duplicate detector left, so
+      // reliable mode filters repeats through the per-peer SeenTracker.
+      bool fresh = true;
+      if (reliable_) {
+        PeerState& ps = peer(src);
+        if (!ps.seen) {
+          // lint: allow(hotpath-alloc) lazy one-time tracker, lossy mode only
+          ps.seen = std::make_unique<SeenTracker>();
+        }
+        fresh = ps.seen->mark(pkt.hdr.seq);
+      }
+      if (fresh) {
+        completions = match_one(ctr, std::move(pkt));
+      } else {
+        ctr.add(Counter::kDupDiscards);
+      }
     } else {
       PeerState& ps = peer(src);
       const std::uint32_t seq = pkt.hdr.seq;
       if (seq != ps.expected_seq) {
         // Sequence numbers never repeat per (comm, src->dst) stream and the
         // expected counter only advances past processed messages, so an
-        // unexpected seq must be from the future.
-        FAIRMPI_CHECK_MSG(
-            static_cast<std::int32_t>(seq - ps.expected_seq) > 0,
-            "duplicate or stale sequence number");
-        ctr.add(Counter::kOutOfSequence);
-        park_out_of_sequence(ctr, ps, std::move(pkt));
+        // unexpected seq must be from the future — unless the fabric is
+        // lossy: a retransmit whose original got through (the ack was the
+        // loss) or a wire duplicate re-presents an already-seen seq, which
+        // reliable mode discards to keep delivery exactly-once.
+        const bool future = static_cast<std::int32_t>(seq - ps.expected_seq) > 0;
+        if (reliable_) {
+          const std::uint32_t delta = seq - ps.expected_seq;
+          const bool parked_in_ring =
+              future && delta < kReorderWindow && ps.reorder != nullptr &&
+              ((ps.reorder->present >> (seq & (kReorderWindow - 1))) & 1) != 0;
+          const bool parked_in_spill =
+              future && delta >= kReorderWindow && ps.spill.contains(seq);
+          if (!future || parked_in_ring || parked_in_spill) {
+            ctr.add(Counter::kDupDiscards);
+          } else {
+            ctr.add(Counter::kOutOfSequence);
+            park_out_of_sequence(ctr, ps, std::move(pkt));
+          }
+        } else {
+          FAIRMPI_CHECK_MSG(future, "duplicate or stale sequence number");
+          ctr.add(Counter::kOutOfSequence);
+          park_out_of_sequence(ctr, ps, std::move(pkt));
+        }
       } else {
         ++ps.expected_seq;
         completions += match_one(ctr, std::move(pkt));

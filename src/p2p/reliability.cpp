@@ -1,0 +1,103 @@
+// Ack/retransmit tracker (see include/fairmpi/p2p/reliability.hpp).
+//
+// Hot-path discipline: the only steady-state allocations are the in-flight
+// map's nodes, which exist exclusively when fault injection / reliability is
+// switched on — the pristine-fabric hot path never reaches this file. The
+// retransmit master copies recycle payload buffers through the fabric's
+// size-classed pool (clone_packet).
+#include "fairmpi/p2p/reliability.hpp"
+
+#include <mutex>
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi::p2p {
+
+ReliabilityTracker::ReliabilityTracker(std::uint64_t rto_ns, std::uint64_t rto_max_ns,
+                                       int max_retries)
+    : rto_ns_(rto_ns), rto_max_ns_(rto_max_ns), max_retries_(max_retries) {
+  FAIRMPI_CHECK(rto_ns >= 1 && rto_max_ns >= rto_ns && max_retries >= 1);
+}
+
+void ReliabilityTracker::track(int dst, const fabric::Packet& pkt,
+                               std::uint64_t now_ns) {
+  Entry e;
+  e.dst = dst;
+  e.retries = 0;
+  e.rto_ns = rto_ns_;
+  e.deadline_ns = now_ns + rto_ns_;
+  e.pkt = fabric::clone_packet(pkt);
+  const PacketKey key = key_of(dst, pkt.hdr);
+
+  std::scoped_lock guard(lock_);
+  const std::uint64_t deadline = e.deadline_ns;
+  // lint: allow(hotpath-alloc) map node exists only under fault injection
+  if (inflight_.insert_or_assign(key, std::move(e)).second) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // lint: allow(relaxed-sync) advisory sweep hint; authoritative state is under lock_
+  if (deadline < next_deadline_.load(std::memory_order_relaxed)) {
+    next_deadline_.store(deadline, std::memory_order_relaxed);
+  }
+}
+
+bool ReliabilityTracker::ack(const PacketKey& key) {
+  std::scoped_lock guard(lock_);
+  if (inflight_.erase(key) == 0) return false;
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReliabilityTracker::untrack(const PacketKey& key) {
+  std::scoped_lock guard(lock_);
+  if (inflight_.erase(key) != 0) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resends,
+                               std::vector<Failure>& failures) {
+  std::scoped_lock guard(lock_);
+  std::uint64_t earliest = ~std::uint64_t{0};
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    Entry& e = it->second;
+    if (e.deadline_ns > now_ns) {
+      if (e.deadline_ns < earliest) earliest = e.deadline_ns;
+      ++it;
+      continue;
+    }
+    if (e.retries >= max_retries_) {
+      // lint: allow(hotpath-alloc) failure reporting is the cold outcome
+      failures.push_back(Failure{it->first, e.retries});
+      it = inflight_.erase(it);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Claim only: push the deadline one (current) rto out so concurrent
+    // sweeps don't double-clone it. Backoff and the retry charge happen in
+    // confirm_retransmit, once the clone verifiably left the sender.
+    e.deadline_ns = now_ns + e.rto_ns;
+    if (e.deadline_ns < earliest) earliest = e.deadline_ns;
+    // lint: allow(hotpath-alloc) resend batch exists only under injection
+    resends.push_back(Resend{e.dst, fabric::clone_packet(e.pkt)});
+    ++it;
+  }
+  next_deadline_.store(earliest, std::memory_order_relaxed);
+}
+
+void ReliabilityTracker::confirm_retransmit(const PacketKey& key,
+                                            std::uint64_t now_ns) {
+  std::scoped_lock guard(lock_);
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;  // acked while we were injecting
+  Entry& e = it->second;
+  ++e.retries;
+  e.rto_ns = e.rto_ns * 2 < rto_max_ns_ ? e.rto_ns * 2 : rto_max_ns_;
+  e.deadline_ns = now_ns + e.rto_ns;
+  // lint: allow(relaxed-sync) advisory sweep hint; authoritative state is under lock_
+  if (e.deadline_ns < next_deadline_.load(std::memory_order_relaxed)) {
+    next_deadline_.store(e.deadline_ns, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fairmpi::p2p

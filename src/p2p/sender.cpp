@@ -12,7 +12,8 @@ using spc::Counter;
 
 void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& engine,
                 spc::CounterSet& counters, int src_rank, int dst, int tag,
-                const void* buf, std::size_t n, Request& req) {
+                const void* buf, std::size_t n, Request& req,
+                const SendPolicy& policy) {
   FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
   req.init_send();
 
@@ -28,6 +29,38 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
   pkt.hdr.seq = comm.next_seq(dst);
   pkt.set_payload(buf, n);
 
+  const auto make_progress = [&]() -> std::size_t {
+    return policy.progress != nullptr ? policy.progress(policy.progress_user)
+                                      : engine.progress();
+  };
+
+  std::uint64_t attempts = 0;
+  SpinWait waiter;
+
+  // Send-window gate: block (progressing, so acks keep flowing both ways)
+  // while the unacked backlog is at the window. Charged against the same
+  // retry budget as ring backpressure — a peer that never acks is the same
+  // livelock as a peer that never drains.
+  if (policy.tracker != nullptr && policy.window != 0) {
+    while (policy.tracker->in_flight() >= policy.window) {
+      counters.add(Counter::kSendBackpressure);
+      if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
+        counters.add(Counter::kReliabilityErrors);
+        req.fail(common::ErrorCode::kSendBudgetExhausted);
+        return;
+      }
+      if (make_progress() == 0) waiter.pause(); else waiter.reset();
+    }
+    waiter.reset();
+  }
+
+  // Track before the first injection attempt so an ack racing back through
+  // a fast peer always finds the entry (reliability.hpp contract). On a
+  // failed attempt the fabric hands the packet back intact, so the tracked
+  // clone and the wire packet never diverge.
+  if (policy.tracker != nullptr) {
+    policy.tracker->track(dst, pkt, now_ns());
+  }
   for (;;) {
     const int k = pool.id_for_thread();
     cri::CommResourceInstance& inst = pool.instance(k);
@@ -49,9 +82,20 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
 
     // Destination RX ring full: the fabric's EAGAIN. Drop the instance,
     // make progress on our own resources (the peer may be blocked on *our*
-    // ring in a bidirectional flood), then retry.
+    // ring in a bidirectional flood), then retry — spinning while young,
+    // yielding once saturated so a descheduled peer can run.
     counters.add(Counter::kSendBackpressure);
-    engine.progress();
+    if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
+      // Graceful degradation: the peer never drained its ring within the
+      // budget. Surface a typed error instead of livelocking the sender.
+      if (policy.tracker != nullptr) {
+        policy.tracker->untrack(key_of(dst, pkt.hdr));
+      }
+      counters.add(Counter::kReliabilityErrors);
+      req.fail(common::ErrorCode::kSendBudgetExhausted);
+      return;
+    }
+    if (make_progress() == 0) waiter.pause(); else waiter.reset();
   }
 
   counters.add(Counter::kMessagesSent);

@@ -26,6 +26,14 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kRmaGets: return "RmaGets";
     case Counter::kRmaAccumulates: return "RmaAccumulates";
     case Counter::kRmaFlushes: return "RmaFlushes";
+    case Counter::kHeaderDrops: return "HeaderDrops";
+    case Counter::kCsumDrops: return "CsumDrops";
+    case Counter::kDupDiscards: return "DupDiscards";
+    case Counter::kRetransmits: return "Retransmits";
+    case Counter::kAcksSent: return "AcksSent";
+    case Counter::kAcksReceived: return "AcksReceived";
+    case Counter::kReliabilityErrors: return "ReliabilityErrors";
+    case Counter::kWatchdogStalls: return "WatchdogStalls";
     case Counter::kCount: break;
   }
   return "Unknown";

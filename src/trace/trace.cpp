@@ -18,6 +18,8 @@ const char* event_name(Event e) noexcept {
     case Event::kRmaFlush: return "RmaFlush";
     case Event::kRndvRts: return "RndvRts";
     case Event::kRndvDone: return "RndvDone";
+    case Event::kRetransmit: return "Retransmit";
+    case Event::kWatchdogStall: return "WatchdogStall";
   }
   return "Unknown";
 }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "fairmpi/rmamt/rmamt.hpp"
 
 namespace fairmpi {
@@ -13,6 +15,19 @@ namespace {
 using multirate::MultirateConfig;
 using multirate::run_pairwise;
 using spc::Counter;
+
+/// True when the chaos CI profile injects faults via the environment: the
+/// "no out-of-sequence arrivals" assertions below describe a pristine
+/// fabric and are legitimately violated by injected reordering (delivery
+/// counts — the exactly-once property — still must hold).
+bool chaos_env() {
+  for (const char* v : {"FAIRMPI_FAULT_DROP", "FAIRMPI_FAULT_DUP",
+                        "FAIRMPI_FAULT_DELAY", "FAIRMPI_FAULT_REORDER",
+                        "FAIRMPI_FAULT_CORRUPT"}) {
+    if (std::getenv(v) != nullptr) return true;
+  }
+  return false;
+}
 
 MultirateConfig quick(int pairs) {
   MultirateConfig cfg;
@@ -26,7 +41,9 @@ TEST(Multirate, SinglePairDeliversAtPlausibleRate) {
   const auto res = run_pairwise(quick(1));
   EXPECT_GT(res.delivered, 100u);
   EXPECT_GT(res.msg_rate, 1e4);
-  EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);  // one sender
+  if (!chaos_env()) {
+    EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);  // one sender
+  }
 }
 
 TEST(Multirate, TwoPairsSharedCommCompletes) {
@@ -55,7 +72,9 @@ TEST(Multirate, AnyTagAndOvertaking) {
   cfg.engine.allow_overtaking = true;
   const auto res = run_pairwise(cfg);
   EXPECT_GT(res.delivered, 200u);
-  EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);
+  if (!chaos_env()) {
+    EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);
+  }
 }
 
 TEST(Multirate, ProcessMode) {
@@ -63,7 +82,9 @@ TEST(Multirate, ProcessMode) {
   cfg.process_mode = true;
   const auto res = run_pairwise(cfg);
   EXPECT_GT(res.delivered, 200u);
-  EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);  // private streams
+  if (!chaos_env()) {
+    EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);  // private streams
+  }
 }
 
 TEST(Multirate, PayloadBytesFlow) {
@@ -78,7 +99,9 @@ TEST(MultirateIncast, SingleSenderDelivers) {
   MultirateConfig cfg = quick(1);
   const auto res = multirate::run_incast(cfg);
   EXPECT_GT(res.delivered, 100u);
-  EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);  // one stream
+  if (!chaos_env()) {
+    EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);  // one stream
+  }
 }
 
 TEST(MultirateIncast, ManySendersShareOneStream) {
@@ -98,7 +121,9 @@ TEST(MultirateIncast, OvertakingRemovesTheStreamPenalty) {
   cfg.engine.allow_overtaking = true;
   const auto res = multirate::run_incast(cfg);
   EXPECT_GT(res.delivered, 100u);
-  EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);
+  if (!chaos_env()) {
+    EXPECT_EQ(res.receiver_spc.get(Counter::kOutOfSequence), 0u);
+  }
 }
 
 TEST(Rmamt, SingleThreadPuts) {

@@ -96,6 +96,12 @@ HOTPATH_FILES = {
     "include/fairmpi/common/slab_pool.hpp",
     "include/fairmpi/common/mpsc_ring.hpp",
     "include/fairmpi/common/intrusive_list.hpp",
+    # Reliability/fault/watchdog paths run from progress() and the send
+    # path; their allocations must be gated on fault injection being on
+    # (or annotated as cold outcomes).
+    "src/p2p/reliability.cpp",
+    "src/progress/watchdog.cpp",
+    "src/fabric/faults.cpp",
 }
 
 HOTPATH_ALLOC_RE = re.compile(
