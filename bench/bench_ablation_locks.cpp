@@ -1,14 +1,19 @@
 // Ablation: the lock primitives the CRI design is built on — TAS spinlock
 // vs FIFO ticket lock vs std::mutex, uncontended and contended, plus the
-// try-lock fast path Algorithm 2 leans on.
+// try-lock fast path Algorithm 2 leans on, and the contention profiler's
+// disabled/enabled cost on the RankedLock wrapper.
 #include <benchmark/benchmark.h>
 
 #include <mutex>
 
 #include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/obs/contention.hpp"
 
 namespace {
 
+using fairmpi::LockRank;
+using fairmpi::RankedLock;
 using fairmpi::Spinlock;
 using fairmpi::TicketLock;
 
@@ -55,6 +60,34 @@ void BM_TryLockContended(benchmark::State& state) {
   if (state.thread_index() == 0) lock.unlock();
 }
 BENCHMARK(BM_TryLockContended)->Threads(2);
+
+/// The contention profiler's cost policy, measured where it matters: a
+/// RankedLock lock/unlock pair with obs off must price-match the bare
+/// primitive (compare against BM_LockUnlock<Spinlock>/Threads:1 — the
+/// disabled path is one relaxed load plus a predicted-not-taken branch),
+/// and the enabled uncontended path adds one sharded counter bump.
+void BM_RankedLockObsOff(benchmark::State& state) {
+  fairmpi::obs::set_enabled(false);
+  static RankedLock<Spinlock> lock{LockRank::kTestBase, "bench.obs-off"};
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_RankedLockObsOff);
+
+void BM_RankedLockObsOn(benchmark::State& state) {
+  fairmpi::obs::set_enabled(true);
+  static RankedLock<Spinlock> lock{LockRank::kTestBase, "bench.obs-on"};
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+  fairmpi::obs::set_enabled(false);
+}
+BENCHMARK(BM_RankedLockObsOn);
 
 /// Critical-section throughput through one shared lock: the single-CRI
 /// funnel of the paper's baseline.

@@ -29,6 +29,17 @@ int main(int argc, char** argv) {
                               "N senders -> 1 receiver on one stream (worst-case "
                               "matching pressure) instead of pairwise");
   auto& show_cvars = cli.opt_flag("show-cvars", "print the resolved engine knobs");
+  auto& trace_out = cli.opt_str("trace-out", "",
+                                "write a Chrome/Perfetto trace JSON here "
+                                "(pair with FAIRMPI_TRACE=1)");
+  auto& obs_out = cli.opt_str("obs-out", "",
+                              "write the observability JSON snapshot here "
+                              "(pair with FAIRMPI_OBS=1)");
+  auto& obs_selfcheck = cli.opt_flag(
+      "obs-selfcheck",
+      "deterministically contend the hot lock classes before exporting "
+      "(for the CI --require-wait gate; 1-core runners cannot rely on "
+      "preemption-driven contention)");
   cli.parse(argc, argv);
 
   multirate::MultirateConfig cfg;
@@ -40,6 +51,9 @@ int main(int argc, char** argv) {
   cfg.process_mode = *process_mode;
   cfg.comm_per_pair = *comm_per_pair;
   cfg.any_tag = *any_tag;
+  cfg.trace_out = *trace_out;
+  cfg.obs_out = *obs_out;
+  cfg.obs_selfcheck = *obs_selfcheck;
 
   if (*show_cvars) {
     std::printf("engine configuration:\n%s\n", list_cvars(cfg.engine).c_str());

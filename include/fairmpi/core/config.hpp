@@ -45,6 +45,16 @@ struct Config {
   /// Rank::tracer().enable(true).
   std::size_t trace_entries = 0;
 
+  /// Enable tracing from construction (cvar `trace`, env FAIRMPI_TRACE=1).
+  /// When set with trace_entries == 0, Universe applies a default ring
+  /// capacity so "FAIRMPI_TRACE=1" alone records something exportable.
+  bool trace_enabled = false;
+
+  /// Observability layer (lock-contention profiling + per-CRI utilization;
+  /// cvar `obs`, env FAIRMPI_OBS=1). Process-global and sticky once a
+  /// universe with this set has been constructed.
+  bool obs_enabled = false;
+
   /// Capacity of the communicator table (ids are dense, starting at 0 for
   /// the world communicator).
   int max_communicators = 1024;

@@ -32,6 +32,10 @@ namespace fairmpi {
 ///   rx_ring_entries      int >= 2
 ///   cq_entries           int >= 2
 ///   max_communicators    int >= 1
+///   trace                0|1|true|false   enable the per-rank trace ring
+///   trace_entries        ring capacity (0 with trace=1 uses a default)
+///   obs                  0|1|true|false   observability layer (contention
+///                        profiling + per-CRI utilization; process-sticky)
 /// Returns false (leaving cfg untouched) on unknown name or bad value.
 bool apply_cvar(Config& cfg, std::string_view name, std::string_view value);
 

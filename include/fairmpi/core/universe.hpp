@@ -228,6 +228,19 @@ class Universe {
   /// Sum of all ranks' SPC counters (high-water counters take the max).
   spc::Snapshot aggregate_counters() const;
 
+  // --- observability (defined in src/obs/export.cpp) ---
+
+  /// Merge every rank's trace ring into Chrome trace-event JSON
+  /// (chrome://tracing / https://ui.perfetto.dev): one process per rank,
+  /// one track per recording thread, one async lane per CRI (kCriDrain
+  /// events). Trace-less runs produce a valid file with metadata only.
+  void export_chrome_trace(std::ostream& os) const;
+
+  /// JSON snapshot of the observability layer: per-class lock contention
+  /// (process-global), per-rank/per-CRI utilization, and the aggregate
+  /// SPCs. Rendered by tools/obs_report.py.
+  void dump_observability(std::ostream& os) const;
+
   /// Retransmit sweep over EVERY rank's in-flight table, called from any
   /// rank's progress(). Cooperative by design: a real NIC retransmits
   /// autonomously, so recovery must not depend on the victim rank's

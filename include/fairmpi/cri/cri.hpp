@@ -23,6 +23,7 @@
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/fabric/fabric.hpp"
+#include "fairmpi/obs/utilization.hpp"
 
 namespace fairmpi::cri {
 
@@ -56,11 +57,17 @@ class CommResourceInstance {
   fabric::NetworkContext& context() noexcept { return *ctx_; }
   fabric::Endpoint& endpoint(int peer) { return endpoints_[static_cast<std::size_t>(peer)]; }
 
+  /// Per-instance utilization counters (observability; no-ops unless
+  /// obs::enabled()). Injection sites and the progress engine feed them.
+  obs::InstanceCounters& stats() noexcept { return stats_; }
+  const obs::InstanceCounters& stats() const noexcept { return stats_; }
+
  private:
   const int id_;
   fabric::NetworkContext* ctx_;
   std::vector<fabric::Endpoint> endpoints_;
   InstanceLock lock_{LockRank::kCriInstance, "cri.instance"};
+  obs::InstanceCounters stats_;
 };
 
 /// The pool of CRIs owned by one rank, plus the "centralized body" (§III-B)

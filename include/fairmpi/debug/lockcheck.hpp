@@ -29,13 +29,22 @@
 //     a FAILED try_lock touches neither the lock nor any validator state —
 //     the sweep's correctness requires failure to be entirely effect-free.
 //
-// When FAIRMPI_LOCKCHECK is 0 (the default), RankedLock<T> compiles down to
-// the bare primitive: no extra state, no extra code (static_assert'd below).
+// RankedLock is also the attachment point for the lock-contention profiler
+// (obs/contention.hpp): every class the validator knows is a class the
+// profiler can attribute wait time to, using the same (rank, name) identity.
+// Profiling is gated on obs::enabled() — one relaxed load and a predicted-
+// not-taken branch per lock op when off (benchmarked by BM_RankedLockObs* in
+// bench_ablation_locks) — so RankedLock<T> stays a near-zero-cost wrapper
+// with FAIRMPI_LOCKCHECK=0 and FAIRMPI_OBS unset. The wrapper does carry the
+// class identity (rank, name, cached profiler id) in both build modes now;
+// that is data, not per-operation code.
 #pragma once
 
 #include <cstdint>
 
 #include "fairmpi/common/align.hpp"
+#include "fairmpi/common/timing.hpp"
+#include "fairmpi/obs/contention.hpp"
 
 #ifndef FAIRMPI_LOCKCHECK
 #define FAIRMPI_LOCKCHECK 0
@@ -133,19 +142,28 @@ class RankedLock {
  public:
 #if FAIRMPI_LOCKCHECK
   RankedLock(LockRank rank, const char* name)
-      : cls_(intern_lock_class(rank, name)) {}
+      : rank_(rank), name_(name), cls_(intern_lock_class(rank, name)) {}
   RankedLock(const RankedLock&) = delete;
   RankedLock& operator=(const RankedLock&) = delete;
 
   void lock(const std::source_location& loc = std::source_location::current()) {
     check_blocking_acquire(cls_, this, loc);
-    impl_.lock();
+    if (obs::enabled()) [[unlikely]] {
+      lock_profiled();
+    } else {
+      impl_.lock();
+    }
     note_acquired(cls_, this, loc);
   }
 
   bool try_lock(const std::source_location& loc = std::source_location::current()) {
     // On failure: no acquire, no validator state change (Alg. 2 sweep).
-    if (!impl_.try_lock()) return false;
+    // Profiler counters are observational, not validator state.
+    if (obs::enabled()) [[unlikely]] {
+      if (!try_lock_profiled()) return false;
+    } else if (!impl_.try_lock()) {
+      return false;
+    }
     note_acquired(cls_, this, loc);
     return true;
   }
@@ -157,12 +175,22 @@ class RankedLock {
 
   const LockClass* lock_class() const noexcept { return cls_; }
 #else
-  constexpr RankedLock(LockRank /*rank*/, const char* /*name*/) noexcept {}
+  constexpr RankedLock(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
   RankedLock(const RankedLock&) = delete;
   RankedLock& operator=(const RankedLock&) = delete;
 
-  void lock() { impl_.lock(); }
-  bool try_lock() { return impl_.try_lock(); }
+  void lock() {
+    if (obs::enabled()) [[unlikely]] {
+      lock_profiled();
+    } else {
+      impl_.lock();
+    }
+  }
+  bool try_lock() {
+    if (obs::enabled()) [[unlikely]] return try_lock_profiled();
+    return impl_.try_lock();
+  }
   void unlock() { impl_.unlock(); }
 #endif
 
@@ -171,7 +199,50 @@ class RankedLock {
   const LockT& underlying() const noexcept { return impl_; }
 
  private:
+  /// Sentinel for "profiler id not interned yet"; distinct from
+  /// kNoContentionClass so an over-cap intern result is also cached (and
+  /// the lock simply stays unprofiled instead of re-interning per op).
+  static constexpr std::uint16_t kObsClsUnset = 0xFFFE;
+
+  std::uint16_t obs_class() const noexcept {
+    std::uint16_t c = obs_cls_.load(std::memory_order_relaxed);
+    if (c == kObsClsUnset) [[unlikely]] {
+      // Racy first intern is benign: interning is idempotent per (rank,
+      // name), so concurrent callers cache the same id.
+      c = obs::intern_contention_class(static_cast<std::uint16_t>(rank_), name_);
+      obs_cls_.store(c, std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  /// Slow path for lock() with profiling on: probe first so the common
+  /// uncontended acquire costs one try_lock, and only a contended acquire
+  /// pays for two TSC reads around the blocking wait.
+  void lock_profiled() {
+    const std::uint16_t cls = obs_class();
+    if (impl_.try_lock()) {
+      obs::note_uncontended_acquire(cls);
+      return;
+    }
+    const std::uint64_t t0 = CycleClock::now();
+    impl_.lock();
+    obs::note_contended_acquire(cls, CycleClock::now() - t0);
+  }
+
+  bool try_lock_profiled() {
+    const std::uint16_t cls = obs_class();
+    if (impl_.try_lock()) {
+      obs::note_uncontended_acquire(cls);
+      return true;
+    }
+    obs::note_trylock_fail(cls);
+    return false;
+  }
+
   LockT impl_;
+  LockRank rank_;
+  const char* name_;
+  mutable std::atomic<std::uint16_t> obs_cls_{kObsClsUnset};
 #if FAIRMPI_LOCKCHECK
   const LockClass* cls_;
 #endif

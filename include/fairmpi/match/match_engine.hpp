@@ -151,6 +151,13 @@ class MatchEngine {
   /// traffic; done once by the owning Rank at construction).
   void set_rendezvous_hook(p2p::RendezvousHook* hook) noexcept { rndv_hook_ = hook; }
 
+  /// The engine's internal lock, exposed ONLY for the observability
+  /// self-check (deterministic contention-profiler exercise: a holder
+  /// thread pins the lock while another thread runs a real matching
+  /// operation). Not part of the matching API — matching callers never
+  /// take this directly.
+  RankedLock<Spinlock>& internal_lock() const noexcept { return lock_; }
+
  private:
   /// Pooled node parking one unexpected message. Link hooks are owned by
   /// the match lock, like everything else in here.

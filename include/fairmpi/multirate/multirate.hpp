@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "fairmpi/core/config.hpp"
 #include "fairmpi/spc/spc.hpp"
@@ -29,6 +30,23 @@ struct MultirateConfig {
   std::size_t payload_bytes = 0;
   int window = 128;
   double duration_s = 0.25;    ///< timed measurement length
+
+  /// Observability exports, written after the run while the universe is
+  /// still alive (empty = no export). trace_out holds Chrome trace-event
+  /// JSON (enable recording via FAIRMPI_TRACE=1 or engine.trace_enabled);
+  /// obs_out holds the Universe::dump_observability() snapshot.
+  std::string trace_out;
+  std::string obs_out;
+
+  /// Deterministically exercise the contention profiler against the
+  /// engine's two hottest lock classes (cri.instance, match.engine) before
+  /// exporting: a holder thread pins each lock while this thread runs the
+  /// real blocking operation behind it. A timed workload alone cannot
+  /// guarantee preemption-driven contention on a 1-2 core CI runner, so
+  /// the obs_report.py --require-wait gate opts into this; on bigger
+  /// machines the run's natural contention lands on top. No-op unless the
+  /// obs layer is enabled.
+  bool obs_selfcheck = false;
 };
 
 struct MultirateResult {

@@ -36,6 +36,7 @@
 #include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/spc/spc.hpp"
+#include "fairmpi/trace/trace.hpp"
 
 namespace fairmpi::progress {
 
@@ -61,8 +62,12 @@ class ProgressEngine {
  public:
   /// @param batch  max packets drained from one RX ring per visit, bounding
   ///               lock hold time.
+  /// @param tracer optional event ring: non-empty drains are recorded as
+  ///               kCriDrain (a = instance id, b = batch size) so exported
+  ///               traces get one lane per CRI.
   ProgressEngine(cri::CriPool& pool, PacketSink& sink, ProgressMode mode,
-                 spc::CounterSet& counters, int batch = 64);
+                 spc::CounterSet& counters, int batch = 64,
+                 trace::Tracer* tracer = nullptr);
 
   ProgressEngine(const ProgressEngine&) = delete;
   ProgressEngine& operator=(const ProgressEngine&) = delete;
@@ -95,6 +100,9 @@ class ProgressEngine {
 
   /// Pop up to a batch of completions + packets. Instance lock held.
   void drain_locked(cri::CommResourceInstance& inst, DrainBatch& b);
+  /// Observability bookkeeping for one finished drain visit (lock already
+  /// released): per-instance counters + the kCriDrain trace event.
+  void note_drain(cri::CommResourceInstance& inst, const DrainBatch& b, bool sweep);
   /// Hand a drained batch to the sink; returns completions. No locks held
   /// (the sink takes the match lock itself).
   std::size_t dispatch(DrainBatch& b);
@@ -107,6 +115,7 @@ class ProgressEngine {
   const ProgressMode mode_;
   spc::CounterSet& spc_;
   const int batch_;
+  trace::Tracer* tracer_;
   /// Guard for the serial design; try-lock only, FIFO irrelevant since
   /// non-holders bail out. Lowest rank in the hierarchy: instance and
   /// match locks are acquired under it, never the reverse.

@@ -35,13 +35,22 @@ enum class Event : std::uint8_t {
   kRndvDone,    ///< a = peer rank, b = low 32 bits of total
   kRetransmit,  ///< a = peer rank, b = packet seq
   kWatchdogStall,  ///< a = instance index (or peer), b = strike count
+  kAckSent,     ///< a = peer rank, b = cumulative seq acked (reliability)
+  kAckRecv,     ///< a = peer rank, b = cumulative seq acked (reliability)
+  kCsumDrop,    ///< a = peer rank, b = packet seq (checksum fault dropped)
+  kCriDrain,    ///< a = instance index, b = batch size (packets+completions)
 };
 
 const char* event_name(Event e) noexcept;
 
+/// Per-thread attribution for exported traces: the recording thread's slot
+/// (common/thread_slot.hpp), or kNoTraceTid for unregistered threads.
+inline constexpr std::uint16_t kNoTraceTid = 0xFFFF;
+
 struct Entry {
   std::uint64_t timestamp_ns = 0;
   Event event = Event::kNone;
+  std::uint16_t tid = kNoTraceTid;  ///< fits the struct's former padding
   std::uint32_t a = 0;
   std::uint32_t b = 0;
 };

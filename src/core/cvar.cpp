@@ -162,6 +162,17 @@ bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
     cfg.rndv_stall_ns = u;
     return true;
   }
+  if (name == "trace") {
+    return parse_bool(value, cfg.trace_enabled);
+  }
+  if (name == "trace_entries") {
+    if (!parse_u64(value, u)) return false;
+    cfg.trace_entries = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "obs") {
+    return parse_bool(value, cfg.obs_enabled);
+  }
   return false;
 }
 
@@ -175,6 +186,7 @@ Config config_from_env(Config base) {
       "rto_max_ns",    "max_retries",     "reliability_window",
       "send_retry_limit",
       "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
+      "trace",         "trace_entries",   "obs",
   };
   for (const char* name : kNames) {
     std::string env_name = "FAIRMPI_";
@@ -216,7 +228,10 @@ std::string list_cvars(const Config& cfg) {
      << "send_retry_limit  = " << cfg.send_retry_limit << '\n'
      << "watchdog_interval_ns  = " << cfg.watchdog_interval_ns << '\n'
      << "watchdog_stall_sweeps = " << cfg.watchdog_stall_sweeps << '\n'
-     << "rndv_stall_ns     = " << cfg.rndv_stall_ns << '\n';
+     << "rndv_stall_ns     = " << cfg.rndv_stall_ns << '\n'
+     << "trace             = " << (cfg.trace_enabled ? "true" : "false") << '\n'
+     << "trace_entries     = " << cfg.trace_entries << '\n'
+     << "obs               = " << (cfg.obs_enabled ? "true" : "false") << '\n';
   return os.str();
 }
 

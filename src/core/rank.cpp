@@ -14,10 +14,12 @@ using spc::Counter;
 Rank::Rank(Universe& uni, int id)
     : uni_(&uni), id_(id), tracer_(uni.config().trace_entries),
       pool_(uni.fabric(), id, uni.config().assignment),
-      engine_(pool_, *this, uni.config().progress_mode, spc_, uni.config().progress_batch),
+      engine_(pool_, *this, uni.config().progress_mode, spc_, uni.config().progress_batch,
+              &tracer_),
       comms_(static_cast<std::size_t>(uni.config().max_communicators)) {
   for (auto& slot : comms_) slot.store(nullptr, std::memory_order_relaxed);
   const Config& cfg = uni.config();
+  if (cfg.trace_enabled) tracer_.enable(true);
   if (cfg.reliable) {
     tracker_ = std::make_unique<p2p::ReliabilityTracker>(cfg.rto_ns, cfg.rto_max_ns,
                                                          cfg.max_retries);
@@ -199,7 +201,9 @@ bool Rank::inject_raw(int dst, fabric::Packet&& pkt) {
   const int k = pool_.id_for_thread();
   cri::CommResourceInstance& inst = pool_.instance(k);
   std::scoped_lock guard(inst.lock());
-  return inst.endpoint(dst).try_send(std::move(pkt));
+  const bool injected = inst.endpoint(dst).try_send(std::move(pkt));
+  if (injected) inst.stats().note_injection();
+  return injected;
 }
 
 void Rank::enqueue_packet_ack(const fabric::WireHeader& hdr) {
@@ -236,6 +240,8 @@ void Rank::flush_acks() {
       return;
     }
     spc_.add(Counter::kAcksSent);
+    tracer_.record(trace::Event::kAckSent, static_cast<std::uint32_t>(msg.peer),
+                   msg.seq);
   }
 }
 
@@ -310,10 +316,12 @@ std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
   if (tracker_ != nullptr) {
     if (!fabric::verify_checksum(pkt)) {
       spc_.add(Counter::kCsumDrops);
+      tracer_.record(trace::Event::kCsumDrop, pkt.hdr.src_rank, pkt.hdr.seq);
       return 0;
     }
     if (pkt.hdr.opcode == fabric::Opcode::kAck) {
       spc_.add(Counter::kAcksReceived);
+      tracer_.record(trace::Event::kAckRecv, pkt.hdr.src_rank, pkt.hdr.seq);
       (void)tracker_->ack(p2p::key_of_ack(pkt.hdr));
       return 0;
     }

@@ -176,6 +176,7 @@ void Rank::inject_control(int dst, Packet&& pkt) {
     {
       std::scoped_lock guard(inst.lock());
       injected = inst.endpoint(dst).try_send(std::move(pkt));
+      if (injected) inst.stats().note_injection();
     }
     if (injected) return;
     spc_.add(Counter::kSendBackpressure);

@@ -31,6 +31,11 @@ Config apply_chaos_env(Config cfg) {
       "reliable",       "rto_ns",           "rto_max_ns",
       "max_retries",    "reliability_window", "send_retry_limit",
       "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
+      // Observability knobs ride along for the same reason: FAIRMPI_TRACE=1
+      // FAIRMPI_OBS=1 must instrument a test/bench binary that builds its
+      // Config programmatically, without touching each call site. They are
+      // additive-only (never alter the communication design under test).
+      "trace",          "trace_entries",    "obs",
   };
   for (const char* name : kChaosKnobs) {
     std::string env_name = "FAIRMPI_";
@@ -44,6 +49,8 @@ Config apply_chaos_env(Config cfg) {
   // A lossy fabric without the reliability protocol cannot keep MPI
   // semantics; switching faults on implies switching reliability on.
   if (cfg.faults.any()) cfg.reliable = true;
+  // "FAIRMPI_TRACE=1" alone should record something exportable.
+  if (cfg.trace_enabled && cfg.trace_entries == 0) cfg.trace_entries = 1 << 16;
   return cfg;
 }
 }  // namespace
@@ -52,6 +59,10 @@ Universe::Universe(Config cfg)
     : cfg_(apply_chaos_env(std::move(cfg))),
       fabric_(contexts_per_rank(cfg_), cfg_.fabric) {
   FAIRMPI_CHECK(cfg_.max_communicators >= 1);
+  // Sticky process-global switch: lock classes (and their contention cells)
+  // exist below any one universe, so the profile does too. Never unset —
+  // a later obs-less universe must not blind a concurrent profiled one.
+  if (cfg_.obs_enabled) obs::set_enabled(true);
   // Reliability plumbing must exist before any rank can inject.
   fabric_.configure_reliability(cfg_.faults, cfg_.reliable);
   ranks_.reserve(static_cast<std::size_t>(cfg_.num_ranks));

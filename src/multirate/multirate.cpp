@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/timing.hpp"
 #include "fairmpi/core/universe.hpp"
+#include "fairmpi/obs/contention.hpp"
 
 namespace fairmpi::multirate {
 
@@ -22,6 +24,79 @@ struct PairEndpoints {
   CommId comm = kWorldComm;
   int tag = 0;
 };
+
+/// Pin `lock` from a holder thread while `blocked_op` runs on this thread,
+/// until the contention profiler has attributed wait time to `cls_name` (or
+/// attempts run out — the obs_report.py gate reports the failure). Retries
+/// absorb the one unlucky schedule where this thread is descheduled past
+/// the whole hold window.
+template <typename LockT, typename Op>
+void contend_until_attributed(LockT& lock, const char* cls_name, Op blocked_op) {
+  for (int attempt = 1; attempt <= 50; ++attempt) {
+    std::atomic<bool> held{false};
+    std::atomic<bool> entering{false};
+    std::thread holder([&] {
+      std::scoped_lock pin(lock);
+      held.store(true, std::memory_order_release);
+      // Start the hold window only once this thread is about to probe the
+      // lock, and escalate it per attempt: on a busy 1-core CI machine a
+      // concurrent test process can deschedule us for longer than any
+      // fixed window between announcing and actually probing.
+      while (!entering.load(std::memory_order_acquire)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(3 * attempt));
+    });
+    while (!held.load(std::memory_order_acquire)) {
+    }
+    entering.store(true, std::memory_order_release);
+    blocked_op();
+    holder.join();
+    for (const auto& c : obs::contention_snapshot()) {
+      if (c.name == cls_name && c.wait_ns > 0) return;
+    }
+  }
+}
+
+/// See MultirateConfig::obs_selfcheck. Runs after the measured workload
+/// (its threads are joined), so the holder and this thread are the only
+/// actors on the universe.
+void obs_selfcheck(Universe& uni) {
+  if (!obs::enabled()) return;
+  Rank& r0 = uni.rank(0);
+
+  // cri.instance: a sender blocks on its injection instance (Alg. 1 uses
+  // LOCK, not TRYLOCK, on the send path). Drain each probe message so the
+  // fabric is quiescent again afterwards.
+  cri::CriPool& pool = r0.pool();
+  cri::CommResourceInstance& inst = pool.instance(pool.id_for_thread());
+  constexpr int kSelfcheckTag = (1 << 20) + 0x5e1f;
+  char buf[16] = {};
+  contend_until_attributed(inst.lock(), "cri.instance", [&] {
+    r0.send(kWorldComm, 1, kSelfcheckTag, buf, sizeof buf);
+    uni.rank(1).recv(kWorldComm, 0, kSelfcheckTag, buf, sizeof buf);
+  });
+
+  // match.engine: any matching diagnostic takes the engine lock blocking.
+  match::MatchEngine& me = r0.comm_state(kWorldComm).match();
+  contend_until_attributed(me.internal_lock(), "match.engine",
+                           [&] { (void)me.unexpected_count(); });
+}
+
+/// Write the configured observability artifacts while `uni` is still alive
+/// (the trace rings and CRI counters die with it).
+void export_observability(const MultirateConfig& cfg, Universe& uni) {
+  if (cfg.obs_selfcheck) obs_selfcheck(uni);
+  if (!cfg.trace_out.empty()) {
+    std::ofstream os(cfg.trace_out);
+    FAIRMPI_CHECK_MSG(os.good(), "cannot open multirate trace_out file");
+    uni.export_chrome_trace(os);
+  }
+  if (!cfg.obs_out.empty()) {
+    std::ofstream os(cfg.obs_out);
+    FAIRMPI_CHECK_MSG(os.good(), "cannot open multirate obs_out file");
+    uni.dump_observability(os);
+  }
+}
 
 }  // namespace
 
@@ -167,6 +242,8 @@ MultirateResult run_pairwise(const MultirateConfig& cfg) {
     spc_after.merge(eps[static_cast<std::size_t>(p)].receiver->counters().snapshot());
   }
 
+  export_observability(cfg, uni);
+
   MultirateResult res;
   res.delivered = delivered.load();
   res.duration_s = elapsed;
@@ -258,6 +335,8 @@ MultirateResult run_incast(const MultirateConfig& cfg) {
   const double elapsed = clock.elapsed_s();
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+
+  export_observability(cfg, uni);
 
   MultirateResult res;
   res.delivered = delivered.load();

@@ -77,6 +77,7 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
       }
       std::scoped_lock adopt(std::adopt_lock, inst.lock());
       injected = inst.endpoint(dst).try_send(std::move(pkt));
+      if (injected) inst.stats().note_injection();
     }
     if (injected) break;
 

@@ -17,8 +17,9 @@ const char* progress_mode_name(ProgressMode m) noexcept {
 }
 
 ProgressEngine::ProgressEngine(cri::CriPool& pool, PacketSink& sink, ProgressMode mode,
-                               spc::CounterSet& counters, int batch)
-    : pool_(pool), sink_(sink), mode_(mode), spc_(counters), batch_(batch) {
+                               spc::CounterSet& counters, int batch, trace::Tracer* tracer)
+    : pool_(pool), sink_(sink), mode_(mode), spc_(counters), batch_(batch),
+      tracer_(tracer) {
   FAIRMPI_CHECK(batch >= 1);
 }
 
@@ -32,6 +33,16 @@ void ProgressEngine::drain_locked(cri::CommResourceInstance& inst, DrainBatch& b
   // repeatedly, so a deep CQ still drains promptly.
   b.n_comps = inst.context().cq().try_pop_n(b.comps.data(), cap);
   b.n_pkts = inst.context().rx().try_pop_n(b.pkts.data(), cap);
+}
+
+void ProgressEngine::note_drain(cri::CommResourceInstance& inst, const DrainBatch& b,
+                                bool sweep) {
+  inst.stats().note_drain(b.n_pkts, b.n_comps, sweep);
+  const std::size_t total = b.n_pkts + b.n_comps;
+  if (total != 0 && tracer_ != nullptr) {
+    tracer_->record(trace::Event::kCriDrain, static_cast<std::uint32_t>(inst.id()),
+                    static_cast<std::uint32_t>(total));
+  }
 }
 
 std::size_t ProgressEngine::dispatch(DrainBatch& b) {
@@ -48,6 +59,7 @@ std::size_t ProgressEngine::dispatch(DrainBatch& b) {
 std::size_t ProgressEngine::progress_instance_locked(cri::CommResourceInstance& inst) {
   DrainBatch b;
   drain_locked(inst, b);
+  note_drain(inst, b, /*sweep=*/false);
   return dispatch(b);
 }
 
@@ -70,6 +82,7 @@ std::size_t ProgressEngine::progress_serial() {
       std::scoped_lock guard(inst.lock());
       drain_locked(inst, b);
     }
+    note_drain(inst, b, /*sweep=*/false);
     completions += dispatch(b);
   }
   return completions;
@@ -87,9 +100,11 @@ std::size_t ProgressEngine::progress_concurrent() {
         std::scoped_lock adopt(std::adopt_lock, inst.lock());
         drain_locked(inst, b);
       }
+      note_drain(inst, b, /*sweep=*/false);
       completions = dispatch(b);
     } else {
       spc_.add(Counter::kInstanceTrylockFail);
+      inst.stats().note_own_trylock_miss();
     }
   }
   // ... and only if it yielded nothing, sweep the others (guaranteeing
@@ -107,6 +122,7 @@ std::size_t ProgressEngine::progress_concurrent() {
         std::scoped_lock adopt(std::adopt_lock, inst.lock());
         drain_locked(inst, b);
       }
+      note_drain(inst, b, /*sweep=*/k != own);
       completions = dispatch(b);
       if (completions > 0) break;
     }

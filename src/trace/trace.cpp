@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fairmpi/common/thread_slot.hpp"
 #include "fairmpi/common/timing.hpp"
 
 namespace fairmpi::trace {
@@ -20,6 +21,10 @@ const char* event_name(Event e) noexcept {
     case Event::kRndvDone: return "RndvDone";
     case Event::kRetransmit: return "Retransmit";
     case Event::kWatchdogStall: return "WatchdogStall";
+    case Event::kAckSent: return "AckSent";
+    case Event::kAckRecv: return "AckRecv";
+    case Event::kCsumDrop: return "CsumDrop";
+    case Event::kCriDrain: return "CriDrain";
   }
   return "Unknown";
 }
@@ -50,8 +55,13 @@ void Tracer::record(Event event, std::uint32_t a, std::uint32_t b) noexcept {
   // Relaxed atomic field stores: a concurrent snapshot() may read these
   // mid-write (it detects and discards the value via the sequence recheck,
   // but the loads themselves must not be a data race).
+  const int slot_id = common::this_thread_slot();
+  const std::uint16_t tid = slot_id == common::kNoThreadSlot
+                                ? kNoTraceTid
+                                : static_cast<std::uint16_t>(slot_id);
   std::atomic_ref(slot.entry.timestamp_ns).store(now_ns(), std::memory_order_relaxed);
   std::atomic_ref(slot.entry.event).store(event, std::memory_order_relaxed);
+  std::atomic_ref(slot.entry.tid).store(tid, std::memory_order_relaxed);
   std::atomic_ref(slot.entry.a).store(a, std::memory_order_relaxed);
   std::atomic_ref(slot.entry.b).store(b, std::memory_order_relaxed);
   slot.sequence.store(seq + 2, std::memory_order_release);
@@ -69,6 +79,7 @@ std::vector<Entry> Tracer::snapshot() const {
     Entry copy;
     copy.timestamp_ns = std::atomic_ref(e.timestamp_ns).load(std::memory_order_relaxed);
     copy.event = std::atomic_ref(e.event).load(std::memory_order_relaxed);
+    copy.tid = std::atomic_ref(e.tid).load(std::memory_order_relaxed);
     copy.a = std::atomic_ref(e.a).load(std::memory_order_relaxed);
     copy.b = std::atomic_ref(e.b).load(std::memory_order_relaxed);
     const std::uint64_t after = slot.sequence.load(std::memory_order_acquire);
@@ -88,8 +99,8 @@ void Tracer::dump(std::ostream& os) const {
   }
   const std::uint64_t t0 = entries.front().timestamp_ns;
   for (const Entry& e : entries) {
-    os << "+" << (e.timestamp_ns - t0) << "ns\t" << event_name(e.event) << "\ta=" << e.a
-       << "\tb=" << e.b << '\n';
+    os << "+" << (e.timestamp_ns - t0) << "ns\ttid=" << e.tid << '\t'
+       << event_name(e.event) << "\ta=" << e.a << "\tb=" << e.b << '\n';
   }
 }
 

@@ -102,6 +102,12 @@ HOTPATH_FILES = {
     "src/p2p/reliability.cpp",
     "src/progress/watchdog.cpp",
     "src/fabric/faults.cpp",
+    # Observability hooks run inside every lock acquisition and every CRI
+    # drain; the only allocation allowed is the annotated first-touch shard
+    # allocation in contention.cpp.
+    "src/obs/contention.cpp",
+    "include/fairmpi/obs/contention.hpp",
+    "include/fairmpi/obs/utilization.hpp",
 }
 
 HOTPATH_ALLOC_RE = re.compile(
