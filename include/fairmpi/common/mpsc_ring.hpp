@@ -12,6 +12,14 @@
 // A full ring is the fabric's backpressure signal: try_push() returns false
 // and the sender must progress its own resources before retrying — exactly
 // the "BTL returns EAGAIN" flow in a real MPI stack (see p2p/sender.cpp).
+//
+// Static-contract note (DESIGN.md §5e): the single-consumer rule is a
+// *cross-object* contract — the capability protecting the pop side is the
+// owning CRI's lock, which lives in a different object than the ring.
+// Clang's thread-safety attributes cannot name another object's member
+// from here, so this file carries no GUARDED_BY annotations; the contract
+// is enforced one level up, where ProgressEngine::drain_locked() is
+// FAIRMPI_REQUIRES(inst.lock()) and every caller is checked against it.
 #pragma once
 
 #include <atomic>

@@ -22,7 +22,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/common/thread_slot.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 
 namespace fairmpi::common {
 
@@ -73,7 +73,7 @@ class SlabArena {
       return n;
     }
     // Registry exhausted (> kMaxThreadSlots live threads): contended path.
-    std::scoped_lock guard(global_lock_);
+    LockGuard guard(global_lock_);
     if (global_head_ == nullptr) grow_locked();
     FreeNode* n = global_head_;
     global_head_ = n->next;
@@ -92,7 +92,7 @@ class SlabArena {
       if (++c.count > kCacheHighWater) flush(c);
       return;
     }
-    std::scoped_lock guard(global_lock_);
+    LockGuard guard(global_lock_);
     n->next = global_head_;
     global_head_ = n;
     global_count_ += 1;
@@ -102,7 +102,7 @@ class SlabArena {
 
   /// Diagnostics (exact only when quiescent).
   std::size_t slabs_allocated() const noexcept {
-    std::scoped_lock guard(global_lock_);
+    LockGuard guard(global_lock_);
     return slabs_.size();
   }
 
@@ -124,7 +124,7 @@ class SlabArena {
   /// Move up to kRefillBatch slots global -> cache, growing a slab if the
   /// global list is empty too.
   void refill(Cache& c) {
-    std::scoped_lock guard(global_lock_);
+    LockGuard guard(global_lock_);
     if (global_head_ == nullptr) grow_locked();
     std::uint32_t moved = 0;
     while (global_head_ != nullptr && moved < kRefillBatch) {
@@ -141,7 +141,7 @@ class SlabArena {
   /// Move kRefillBatch slots cache -> global (keeps caches bounded so one
   /// producer-only thread cannot strand the whole pool).
   void flush(Cache& c) noexcept {
-    std::scoped_lock guard(global_lock_);
+    LockGuard guard(global_lock_);
     for (std::uint32_t i = 0; i < kRefillBatch && c.head != nullptr; ++i) {
       FreeNode* n = c.head;
       c.head = n->next;
@@ -153,7 +153,7 @@ class SlabArena {
   }
 
   /// Carve one slab into the global freelist. global_lock_ held.
-  void grow_locked() {
+  void grow_locked() FAIRMPI_REQUIRES(global_lock_) {
     // lint: allow(hotpath-alloc) the pool's one real allocation: carving a slab
     auto slab = std::make_unique<std::byte[]>(slot_bytes_ * slab_slots_ + kCacheLine);
     // Align the first slot to a cache line; slot_bytes_ is a multiple of
@@ -175,9 +175,9 @@ class SlabArena {
   /// Leaf lock: refill/flush may run under any engine lock (rank kSlabPool
   /// sits above the whole hierarchy) and acquires nothing itself.
   mutable RankedLock<Spinlock> global_lock_{LockRank::kSlabPool, "common.slab-pool"};
-  FreeNode* global_head_ = nullptr;
-  std::size_t global_count_ = 0;
-  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  FreeNode* global_head_ FAIRMPI_GUARDED_BY(global_lock_) = nullptr;
+  std::size_t global_count_ FAIRMPI_GUARDED_BY(global_lock_) = 0;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_ FAIRMPI_GUARDED_BY(global_lock_);
 };
 
 /// Typed pool over SlabArena: placement-constructs on acquire, destroys on

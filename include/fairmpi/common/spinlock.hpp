@@ -5,8 +5,13 @@
 //   * the serial progress-engine lock (ticket lock, FIFO, so the "funnel"
 //     effect of serialized progress is fair and reproducible),
 //   * the per-communicator matching lock.
-// All satisfy the C++ Lockable requirements so std::scoped_lock /
-// std::unique_lock work (CP.20: RAII, never plain lock()/unlock()).
+// All satisfy the C++ Lockable requirements; engine code wraps acquisitions
+// in fairmpi::LockGuard (CP.20: RAII, never plain lock()/unlock()), which —
+// unlike libstdc++'s std::scoped_lock — carries thread-safety annotations.
+//
+// Both lock classes are Clang thread-safety *capabilities* (DESIGN.md §5e):
+// under the `tsa` preset the compiler statically checks that state declared
+// FAIRMPI_GUARDED_BY one of these locks is only touched while it is held.
 #pragma once
 
 #include <atomic>
@@ -14,6 +19,7 @@
 #include <thread>
 
 #include "fairmpi/common/align.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 
 namespace fairmpi {
 
@@ -64,13 +70,13 @@ class SpinWait {
 /// This is the per-instance (CRI) lock: critical sections are short
 /// (inject one message / poll one CQ), so spinning beats blocking, and
 /// try_lock() is the primitive the paper's Algorithm 2 is built on.
-class alignas(kCacheLine) Spinlock {
+class alignas(kCacheLine) FAIRMPI_CAPABILITY("mutex") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept FAIRMPI_ACQUIRE() {
     std::uint32_t backoff = 1;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
@@ -97,14 +103,16 @@ class alignas(kCacheLine) Spinlock {
   /// of that instance's in-flight critical section, and the probe must
   /// stay a read-only cache hit rather than a bus transaction.
   /// (Covered by Spinlock.FailedTryLockIsEffectFree in tests/common.)
-  bool try_lock() noexcept {
+  bool try_lock() noexcept FAIRMPI_TRY_ACQUIRE(true) {
     // Fail fast without a bus transaction if the lock is visibly held.
     // lint: allow(relaxed-sync) gate only; the exchange below is the acquire
     if (locked_.load(std::memory_order_relaxed)) return false;
     return !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept FAIRMPI_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
   /// Non-synchronizing peek, for stats/heuristics only.
   bool is_locked() const noexcept { return locked_.load(std::memory_order_relaxed); }
@@ -120,13 +128,13 @@ class alignas(kCacheLine) Spinlock {
 /// Used where fairness matters for reproducibility — most importantly the
 /// serial progress-engine funnel, where an unfair lock would let one thread
 /// starve the others and distort message-rate measurements.
-class alignas(kCacheLine) TicketLock {
+class alignas(kCacheLine) FAIRMPI_CAPABILITY("mutex") TicketLock {
  public:
   TicketLock() = default;
   TicketLock(const TicketLock&) = delete;
   TicketLock& operator=(const TicketLock&) = delete;
 
-  void lock() noexcept {
+  void lock() noexcept FAIRMPI_ACQUIRE() {
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
     SpinWait waiter;
     // FIFO hand-off: the yield in SpinWait matters doubly here — ticket
@@ -135,7 +143,7 @@ class alignas(kCacheLine) TicketLock {
     while (serving_.load(std::memory_order_acquire) != my) waiter.pause();
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept FAIRMPI_TRY_ACQUIRE(true) {
     // The acquire below is the synchronization point: unlock() publishes
     // the critical section with a release store to serving_, so the edge
     // must be read from serving_ — an acquire on the next_ CAS pairs with
@@ -151,7 +159,7 @@ class alignas(kCacheLine) TicketLock {
                                          std::memory_order_relaxed);
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept FAIRMPI_RELEASE() {
     serving_.store(serving_.load(std::memory_order_relaxed) + 1, std::memory_order_release);
   }
 

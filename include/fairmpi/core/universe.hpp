@@ -26,6 +26,7 @@
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/core/config.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/p2p/comm_state.hpp"
@@ -198,14 +199,16 @@ class Rank final : public progress::PacketSink,
   // fragment-byte. Both rank above match: they are acquired from
   // on_rts_matched with the match lock (and a CRI lock) held.
   RankedLock<Spinlock> rndv_lock_{LockRank::kRndvState, "rank.rndv-state"};
-  std::uint64_t next_cookie_ = 1;
-  std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvSendState>> rndv_sends_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvRecvState>> rndv_recvs_;
+  std::uint64_t next_cookie_ FAIRMPI_GUARDED_BY(rndv_lock_) = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvSendState>> rndv_sends_
+      FAIRMPI_GUARDED_BY(rndv_lock_);
+  std::unordered_map<std::uint64_t, std::unique_ptr<p2p::RndvRecvState>> rndv_recvs_
+      FAIRMPI_GUARDED_BY(rndv_lock_);
   RankedLock<Spinlock> control_lock_{LockRank::kRndvControl, "rank.rndv-control"};
-  std::deque<p2p::ControlMsg> control_;
+  std::deque<p2p::ControlMsg> control_ FAIRMPI_GUARDED_BY(control_lock_);
   /// Reliability acks ride their own queue (same lock) so flush_acks can
   /// run from wait loops without reentering the full control drain.
-  std::deque<p2p::ControlMsg> acks_;
+  std::deque<p2p::ControlMsg> acks_ FAIRMPI_GUARDED_BY(control_lock_);
 };
 
 class Universe {
@@ -255,6 +258,8 @@ class Universe {
   fabric::Fabric fabric_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::atomic<CommId> next_comm_{kWorldComm + 1};
+  /// Serializes create_communicator: installs the new CommState on every
+  /// rank before the id is published (comms_ slots themselves are atomics).
   RankedLock<Spinlock> comm_create_lock_{LockRank::kCommCreate, "universe.comm-create"};
 };
 

@@ -22,6 +22,7 @@
 #include "fairmpi/common/align.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/obs/utilization.hpp"
 
@@ -53,9 +54,20 @@ class CommResourceInstance {
   CommResourceInstance& operator=(const CommResourceInstance&) = delete;
 
   int id() const noexcept { return id_; }
-  InstanceLock& lock() noexcept { return lock_; }
+  InstanceLock& lock() noexcept FAIRMPI_RETURN_CAPABILITY(lock_) { return lock_; }
+
+  /// The instance's network context. Deliberately NOT lock-required: the
+  /// stall watchdog reads the context's lock-free counters while the
+  /// instance is busy (that race is its design, watchdog.cpp), and ring
+  /// consumption is governed by the single-consumer contract in
+  /// mpsc_ring.hpp rather than a capability the analysis can express.
   fabric::NetworkContext& context() noexcept { return *ctx_; }
-  fabric::Endpoint& endpoint(int peer) { return endpoints_[static_cast<std::size_t>(peer)]; }
+
+  /// Injection endpoint for `peer`. Injection mutates per-endpoint credit
+  /// and sequence state, so callers must hold the instance lock.
+  fabric::Endpoint& endpoint(int peer) FAIRMPI_REQUIRES(lock_) {
+    return endpoints_[static_cast<std::size_t>(peer)];
+  }
 
   /// Per-instance utilization counters (observability; no-ops unless
   /// obs::enabled()). Injection sites and the progress engine feed them.
@@ -65,7 +77,7 @@ class CommResourceInstance {
  private:
   const int id_;
   fabric::NetworkContext* ctx_;
-  std::vector<fabric::Endpoint> endpoints_;
+  std::vector<fabric::Endpoint> endpoints_ FAIRMPI_GUARDED_BY(lock_);
   InstanceLock lock_{LockRank::kCriInstance, "cri.instance"};
   obs::InstanceCounters stats_;
 };

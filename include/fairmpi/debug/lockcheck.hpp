@@ -44,6 +44,7 @@
 
 #include "fairmpi/common/align.hpp"
 #include "fairmpi/common/timing.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/obs/contention.hpp"
 
 #ifndef FAIRMPI_LOCKCHECK
@@ -136,9 +137,20 @@ void reset_for_test() noexcept;
 
 /// Ranked wrapper: the only way engine code should declare a lock. `LockT`
 /// must be Lockable (lock / try_lock / unlock). The wrapper is itself
-/// Lockable, so std::scoped_lock / std::unique_lock work unchanged.
+/// Lockable, so fairmpi::LockGuard / std::unique_lock work unchanged.
+///
+/// RankedLock is also a thread-safety capability in its own right: engine
+/// state is declared FAIRMPI_GUARDED_BY the *wrapper*, not the wrapped
+/// primitive, so one annotation covers all three build modes (plain,
+/// FAIRMPI_LOCKCHECK, FAIRMPI_OBS). The forwarding shims carry interface
+/// annotations for callers but suppress body analysis (FAIRMPI_NO_TSA):
+/// the body's job is to manipulate `impl_` — a second capability the
+/// analysis must not conflate with the wrapper. This is the standard
+/// wrapper-primitive idiom; this header is lint-exempt, and the
+/// no-tsa-hotpath lint rule keeps the escape hatch from spreading into
+/// engine code.
 template <typename LockT>
-class RankedLock {
+class FAIRMPI_CAPABILITY("mutex") RankedLock {
  public:
 #if FAIRMPI_LOCKCHECK
   RankedLock(LockRank rank, const char* name)
@@ -146,7 +158,8 @@ class RankedLock {
   RankedLock(const RankedLock&) = delete;
   RankedLock& operator=(const RankedLock&) = delete;
 
-  void lock(const std::source_location& loc = std::source_location::current()) {
+  void lock(const std::source_location& loc = std::source_location::current())
+      FAIRMPI_ACQUIRE() FAIRMPI_NO_TSA {
     check_blocking_acquire(cls_, this, loc);
     if (obs::enabled()) [[unlikely]] {
       lock_profiled();
@@ -156,7 +169,8 @@ class RankedLock {
     note_acquired(cls_, this, loc);
   }
 
-  bool try_lock(const std::source_location& loc = std::source_location::current()) {
+  bool try_lock(const std::source_location& loc = std::source_location::current())
+      FAIRMPI_TRY_ACQUIRE(true) FAIRMPI_NO_TSA {
     // On failure: no acquire, no validator state change (Alg. 2 sweep).
     // Profiler counters are observational, not validator state.
     if (obs::enabled()) [[unlikely]] {
@@ -168,7 +182,7 @@ class RankedLock {
     return true;
   }
 
-  void unlock() {
+  void unlock() FAIRMPI_RELEASE() FAIRMPI_NO_TSA {
     note_released(this);
     impl_.unlock();
   }
@@ -180,18 +194,18 @@ class RankedLock {
   RankedLock(const RankedLock&) = delete;
   RankedLock& operator=(const RankedLock&) = delete;
 
-  void lock() {
+  void lock() FAIRMPI_ACQUIRE() FAIRMPI_NO_TSA {
     if (obs::enabled()) [[unlikely]] {
       lock_profiled();
     } else {
       impl_.lock();
     }
   }
-  bool try_lock() {
+  bool try_lock() FAIRMPI_TRY_ACQUIRE(true) FAIRMPI_NO_TSA {
     if (obs::enabled()) [[unlikely]] return try_lock_profiled();
     return impl_.try_lock();
   }
-  void unlock() { impl_.unlock(); }
+  void unlock() FAIRMPI_RELEASE() FAIRMPI_NO_TSA { impl_.unlock(); }
 #endif
 
   /// The wrapped primitive, for primitive-specific queries (is_locked()).
@@ -218,7 +232,7 @@ class RankedLock {
   /// Slow path for lock() with profiling on: probe first so the common
   /// uncontended acquire costs one try_lock, and only a contended acquire
   /// pays for two TSC reads around the blocking wait.
-  void lock_profiled() {
+  void lock_profiled() FAIRMPI_NO_TSA {
     const std::uint16_t cls = obs_class();
     if (impl_.try_lock()) {
       obs::note_uncontended_acquire(cls);
@@ -229,7 +243,7 @@ class RankedLock {
     obs::note_contended_acquire(cls, CycleClock::now() - t0);
   }
 
-  bool try_lock_profiled() {
+  bool try_lock_profiled() FAIRMPI_NO_TSA {
     const std::uint16_t cls = obs_class();
     if (impl_.try_lock()) {
       obs::note_uncontended_acquire(cls);

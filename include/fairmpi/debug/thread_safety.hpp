@@ -1,0 +1,146 @@
+// Clang Thread Safety Analysis macros — the compile-time half of the
+// concurrency contract (DESIGN.md §5e; runtime half in debug/lockcheck.hpp).
+//
+// Every lock class in the engine is annotated as a *capability*, every
+// guarded member names the capability that protects it, and every function
+// that assumes a lock is held declares it. Under the `tsa` CMake preset
+// (Clang, -Wthread-safety -Werror=thread-safety) the compiler then proves,
+// on every build, that
+//
+//   * no guarded member is touched without its lock held,
+//   * no function with a REQUIRES contract is called without it,
+//   * no acquisition leaks past a scope the analysis can't see.
+//
+// This is the static complement to the FAIRMPI_LOCKCHECK runtime validator:
+// lockcheck catches rank/cycle violations on executed schedules; the
+// annotations catch lock-*protection* violations on paths no test schedule
+// ever executes. tools/lock_graph.py closes the remaining gap (static
+// lock-*order* checking) from the same source of truth.
+//
+// The macros expand to nothing outside Clang (GCC has no thread-safety
+// attributes), so annotated headers cost the default GCC build nothing —
+// not even -Wattributes noise.
+//
+// Discipline:
+//   * FAIRMPI_NO_TSA is an escape hatch for primitive *wrappers* whose
+//     bodies manipulate the capability they themselves model (RankedLock's
+//     forwarding shims). It is banned in hot-path engine files — enforced
+//     by the `no-tsa-hotpath` rule in tools/lint_concurrency.py.
+//   * Engine code never calls lock()/unlock() bare (bare-lock lint rule);
+//     it uses fairmpi::LockGuard below, which Clang's analysis understands
+//     (std::scoped_lock from libstdc++ carries no annotations, so it would
+//     silently disable the analysis at every use).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(acquire_capability)
+#define FAIRMPI_TSA_ENABLED 1
+#endif
+#endif
+#ifndef FAIRMPI_TSA_ENABLED
+#define FAIRMPI_TSA_ENABLED 0
+#endif
+
+#if FAIRMPI_TSA_ENABLED
+#define FAIRMPI_TSA_ATTR(x) __attribute__((x))
+#else
+#define FAIRMPI_TSA_ATTR(x)  // no-op off Clang
+#endif
+
+/// A type whose instances can be held: lock classes (Spinlock, TicketLock,
+/// RankedLock<T>). The string names the capability kind in diagnostics.
+#define FAIRMPI_CAPABILITY(x) FAIRMPI_TSA_ATTR(capability(x))
+
+/// An RAII type whose lifetime equals a critical section (LockGuard).
+#define FAIRMPI_SCOPED_CAPABILITY FAIRMPI_TSA_ATTR(scoped_lockable)
+
+/// Member data protected by a capability: every access must hold `x`.
+#define FAIRMPI_GUARDED_BY(x) FAIRMPI_TSA_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define FAIRMPI_PT_GUARDED_BY(x) FAIRMPI_TSA_ATTR(pt_guarded_by(x))
+
+/// Declared acquisition-order edges between capabilities of one class.
+#define FAIRMPI_ACQUIRED_BEFORE(...) FAIRMPI_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define FAIRMPI_ACQUIRED_AFTER(...) FAIRMPI_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+/// Function contract: callers must hold the listed capabilities (and the
+/// function neither acquires nor releases them).
+#define FAIRMPI_REQUIRES(...) FAIRMPI_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define FAIRMPI_REQUIRES_SHARED(...) \
+  FAIRMPI_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the listed capabilities (empty list = `this`
+/// for capability-type members like lock()/unlock() themselves).
+#define FAIRMPI_ACQUIRE(...) FAIRMPI_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define FAIRMPI_ACQUIRE_SHARED(...) \
+  FAIRMPI_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define FAIRMPI_RELEASE(...) FAIRMPI_TSA_ATTR(release_capability(__VA_ARGS__))
+#define FAIRMPI_RELEASE_SHARED(...) \
+  FAIRMPI_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define FAIRMPI_RELEASE_GENERIC(...) \
+  FAIRMPI_TSA_ATTR(release_generic_capability(__VA_ARGS__))
+
+/// Conditional acquisition: holds the capability only when returning `b`
+/// (Spinlock::try_lock — the primitive Algorithm 2's sweep is built on).
+#define FAIRMPI_TRY_ACQUIRE(...) FAIRMPI_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define FAIRMPI_TRY_ACQUIRE_SHARED(...) \
+  FAIRMPI_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must be called with the listed capabilities NOT held (deadlock
+/// guards for blocking entry points that take the lock themselves).
+#define FAIRMPI_EXCLUDES(...) FAIRMPI_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Runtime-verified assumption injected into the static state (used where a
+/// capability is provably held through a channel the analysis can't see).
+#define FAIRMPI_ASSERT_CAPABILITY(x) FAIRMPI_TSA_ATTR(assert_capability(x))
+
+/// Accessor returns a reference that *is* capability `x` — lets the
+/// analysis alias `inst.lock()` with the underlying member.
+#define FAIRMPI_RETURN_CAPABILITY(x) FAIRMPI_TSA_ATTR(lock_returned(x))
+
+/// Suppress body analysis (the function's *interface* annotations still
+/// bind callers). Wrapper-primitive internals only; see header comment.
+#define FAIRMPI_NO_TSA FAIRMPI_TSA_ATTR(no_thread_safety_analysis)
+
+namespace fairmpi {
+
+/// Tag for adopting an acquisition already performed (the timed-acquire and
+/// try-lock-then-scope idioms): `LockGuard g(lock, adopt_lock);`.
+struct AdoptLockTag {
+  explicit AdoptLockTag() = default;
+};
+inline constexpr AdoptLockTag adopt_lock{};
+
+/// The engine's RAII critical-section guard. Functionally std::scoped_lock
+/// over one Lockable, but carries the scoped-capability annotations that
+/// libstdc++'s guards lack, so Clang's thread-safety analysis tracks every
+/// critical section in the engine. Works with RankedLock<T>, the raw
+/// primitives, and any other Lockable.
+template <typename LockT>
+class FAIRMPI_SCOPED_CAPABILITY LockGuard {
+ public:
+  /// Blocking acquisition for the scope.
+  explicit LockGuard(LockT& lock) FAIRMPI_ACQUIRE(lock) : lock_(lock) { lock.lock(); }
+
+  /// Adopt an acquisition the caller already performed (timed acquire,
+  /// successful try_lock): the caller must hold `lock`; this scope now owns
+  /// the release.
+  LockGuard(LockT& lock, AdoptLockTag) FAIRMPI_REQUIRES(lock) : lock_(lock) {}
+
+  ~LockGuard() FAIRMPI_RELEASE() { lock_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  LockT& lock_;
+};
+
+template <typename LockT>
+LockGuard(LockT&) -> LockGuard<LockT>;
+template <typename LockT>
+LockGuard(LockT&, AdoptLockTag) -> LockGuard<LockT>;
+
+}  // namespace fairmpi

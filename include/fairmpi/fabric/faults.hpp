@@ -43,6 +43,7 @@
 #include "fairmpi/common/rng.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/fabric/wire.hpp"
 
 namespace fairmpi::fabric {
@@ -108,15 +109,15 @@ class FaultInjector {
  private:
   struct LinkState {
     RankedLock<Spinlock> lock{debug::LockRank::kFaultInject, "fabric.fault-link"};
-    Xoshiro256 rng{0};
+    Xoshiro256 rng FAIRMPI_GUARDED_BY(lock){0};
     struct Held {
       Packet pkt;
       int release_after = 0;  ///< emit once this many later packets pass
       bool reordered = false; ///< parked by the reorder fault (stats)
       bool occupied = false;
     };
-    std::array<Held, kHoldback> held;
-    std::size_t n_held = 0;
+    std::array<Held, kHoldback> held FAIRMPI_GUARDED_BY(lock);
+    std::size_t n_held FAIRMPI_GUARDED_BY(lock) = 0;
   };
 
   LinkState& link(int src, int dst) noexcept {

@@ -36,6 +36,7 @@
 #include "fairmpi/common/slab_pool.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/fabric/wire.hpp"
 #include "fairmpi/p2p/rendezvous.hpp"
 #include "fairmpi/p2p/request.hpp"
@@ -156,7 +157,9 @@ class MatchEngine {
   /// thread pins the lock while another thread runs a real matching
   /// operation). Not part of the matching API — matching callers never
   /// take this directly.
-  RankedLock<Spinlock>& internal_lock() const noexcept { return lock_; }
+  RankedLock<Spinlock>& internal_lock() const noexcept FAIRMPI_RETURN_CAPABILITY(lock_) {
+    return lock_;
+  }
 
  private:
   /// Pooled node parking one unexpected message. Link hooks are owned by
@@ -197,19 +200,22 @@ class MatchEngine {
 
   /// Match one in-order packet against the posted queues; deliver or store
   /// as unexpected. Returns 1 on delivery, 0 otherwise. Lock held.
-  std::size_t match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt);
+  std::size_t match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt)
+      FAIRMPI_REQUIRES(lock_);
 
   /// Park an out-of-sequence packet (ring slot or spill map). Lock held.
   void park_out_of_sequence(spc::CounterSet::Cursor& ctr, PeerState& ps,
-                            fabric::Packet&& pkt);
+                            fabric::Packet&& pkt) FAIRMPI_REQUIRES(lock_);
 
   /// Hand a matched packet to its request: eager payloads are copied and
   /// the request completes; rendezvous RTS envelopes are reported to the
   /// hook (the request completes when the data lands). Lock held.
   void deliver(spc::CounterSet::Cursor& ctr, p2p::Request* req,
-               const fabric::Packet& pkt);
+               const fabric::Packet& pkt) FAIRMPI_REQUIRES(lock_);
 
-  PeerState& peer(int rank) { return peers_[static_cast<std::size_t>(rank)]; }
+  PeerState& peer(int rank) FAIRMPI_REQUIRES(lock_) {
+    return peers_[static_cast<std::size_t>(rank)];
+  }
 
   const bool allow_overtaking_;
   const bool reliable_;
@@ -222,12 +228,12 @@ class MatchEngine {
   /// (The slab pool's internal lock, rank kSlabPool, is the one exception:
   /// it is a leaf above the whole hierarchy.)
   mutable RankedLock<Spinlock> lock_{LockRank::kMatch, "match.engine"};
-  std::vector<PeerState> peers_;
-  PostedList posted_any_;  ///< ANY_SOURCE posted receives
-  common::SlabPool<Unexpected> unexpected_pool_;
-  std::uint64_t post_stamp_ = 0;
-  std::uint64_t arrival_stamp_ = 0;
-  std::uint64_t reorder_total_ = 0;  ///< current ring + spill entries
+  std::vector<PeerState> peers_ FAIRMPI_GUARDED_BY(lock_);
+  PostedList posted_any_ FAIRMPI_GUARDED_BY(lock_);  ///< ANY_SOURCE posted receives
+  common::SlabPool<Unexpected> unexpected_pool_ FAIRMPI_GUARDED_BY(lock_);
+  std::uint64_t post_stamp_ FAIRMPI_GUARDED_BY(lock_) = 0;
+  std::uint64_t arrival_stamp_ FAIRMPI_GUARDED_BY(lock_) = 0;
+  std::uint64_t reorder_total_ FAIRMPI_GUARDED_BY(lock_) = 0;  ///< ring + spill entries
 };
 
 }  // namespace fairmpi::match

@@ -36,6 +36,7 @@
 
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/fabric/wire.hpp"
 
 namespace fairmpi::p2p {
@@ -148,7 +149,8 @@ class ReliabilityTracker {
 
   mutable RankedLock<Spinlock> lock_{debug::LockRank::kReliability,
                                      "p2p.reliability"};
-  std::unordered_map<PacketKey, Entry, PacketKeyHash> inflight_;
+  std::unordered_map<PacketKey, Entry, PacketKeyHash> inflight_
+      FAIRMPI_GUARDED_BY(lock_);
   std::atomic<std::uint64_t> next_deadline_{~std::uint64_t{0}};
   std::atomic<std::size_t> in_flight_{0};
 };

@@ -34,6 +34,7 @@
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/fabric/fabric.hpp"
 #include "fairmpi/spc/spc.hpp"
 #include "fairmpi/trace/trace.hpp"
@@ -82,7 +83,8 @@ class ProgressEngine {
   /// lock must be held by the caller (dispatch therefore runs under it —
   /// unavoidable here). Exposed for the RMA flush path, which polls its own
   /// instance directly (as btl-level flush does in Open MPI).
-  std::size_t progress_instance_locked(cri::CommResourceInstance& inst);
+  std::size_t progress_instance_locked(cri::CommResourceInstance& inst)
+      FAIRMPI_REQUIRES(inst.lock());
 
   /// Hard cap on one drain batch (the stack buffer size); the runtime
   /// `batch` knob is clamped to it.
@@ -99,7 +101,8 @@ class ProgressEngine {
   };
 
   /// Pop up to a batch of completions + packets. Instance lock held.
-  void drain_locked(cri::CommResourceInstance& inst, DrainBatch& b);
+  void drain_locked(cri::CommResourceInstance& inst, DrainBatch& b)
+      FAIRMPI_REQUIRES(inst.lock());
   /// Observability bookkeeping for one finished drain visit (lock already
   /// released): per-instance counters + the kCriDrain trace event.
   void note_drain(cri::CommResourceInstance& inst, const DrainBatch& b, bool sweep);

@@ -27,6 +27,7 @@
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/spc/spc.hpp"
 #include "fairmpi/trace/trace.hpp"
 
@@ -93,7 +94,7 @@ class Watchdog {
 
   std::atomic<std::uint64_t> last_sweep_ns_{0};
   RankedLock<Spinlock> lock_{debug::LockRank::kWatchdog, "progress.watchdog"};
-  std::vector<InstanceState> instances_;  ///< guarded by lock_
+  std::vector<InstanceState> instances_ FAIRMPI_GUARDED_BY(lock_);
   std::atomic<std::uint64_t> stalls_{0};
 };
 

@@ -31,6 +31,7 @@
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/core/universe.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
+#include "fairmpi/debug/thread_safety.hpp"
 
 namespace fairmpi::rma {
 
@@ -136,7 +137,7 @@ class Window {
   /// counters are accessed lock-free through stable pointers). Acquired
   /// under the CRI instance lock on the completion path, hence the rank.
   mutable RankedLock<Spinlock> slots_lock_{LockRank::kRmaSlots, "rma.slots"};
-  std::vector<std::unique_ptr<PendingSlot>> slots_;
+  std::vector<std::unique_ptr<PendingSlot>> slots_ FAIRMPI_GUARDED_BY(slots_lock_);
   const std::uint64_t window_key_;
   std::atomic<bool> epoch_open_{false};
   /// Stripe locks serializing accumulates on this (target) window.

@@ -1,7 +1,5 @@
 #include "fairmpi/common/thread_slot.hpp"
 
-#include <mutex>
-
 #include "fairmpi/common/spinlock.hpp"
 
 namespace fairmpi::common {
@@ -13,10 +11,10 @@ namespace {
 // touch, which can be under the match lock — but slot acquisition nests
 // nothing and can never participate in a cycle, being leaf and one-shot).
 Spinlock registry_lock;  // lint: allow(unranked-mutex) leaf, once-per-thread-lifetime
-bool slot_used[kMaxThreadSlots];
+bool slot_used[kMaxThreadSlots] FAIRMPI_GUARDED_BY(registry_lock);
 
 int acquire_slot() noexcept {
-  std::scoped_lock guard(registry_lock);
+  LockGuard guard(registry_lock);
   for (int i = 0; i < kMaxThreadSlots; ++i) {
     if (!slot_used[i]) {
       slot_used[i] = true;
@@ -28,7 +26,7 @@ int acquire_slot() noexcept {
 
 void release_slot(int slot) noexcept {
   if (slot == kNoThreadSlot) return;
-  std::scoped_lock guard(registry_lock);
+  LockGuard guard(registry_lock);
   slot_used[slot] = false;
 }
 

@@ -1,4 +1,3 @@
-#include <mutex>
 #include <vector>
 
 #include "fairmpi/common/error.hpp"
@@ -200,14 +199,14 @@ std::size_t Rank::progress() {
 bool Rank::inject_raw(int dst, fabric::Packet&& pkt) {
   const int k = pool_.id_for_thread();
   cri::CommResourceInstance& inst = pool_.instance(k);
-  std::scoped_lock guard(inst.lock());
+  LockGuard guard(inst.lock());
   const bool injected = inst.endpoint(dst).try_send(std::move(pkt));
   if (injected) inst.stats().note_injection();
   return injected;
 }
 
 void Rank::enqueue_packet_ack(const fabric::WireHeader& hdr) {
-  std::scoped_lock guard(control_lock_);
+  LockGuard guard(control_lock_);
   acks_.push_back(p2p::ControlMsg{p2p::ControlMsg::Kind::kSendPacketAck,
                                   static_cast<int>(hdr.src_rank), hdr.comm_id,
                                   /*local_cookie=*/0, /*remote_cookie=*/hdr.imm,
@@ -218,7 +217,7 @@ void Rank::flush_acks() {
   for (;;) {
     p2p::ControlMsg msg;
     {
-      std::scoped_lock guard(control_lock_);
+      LockGuard guard(control_lock_);
       if (acks_.empty()) return;
       msg = acks_.front();
       acks_.pop_front();
@@ -235,7 +234,7 @@ void Rank::flush_acks() {
     ack.hdr.imm = msg.remote_cookie;
     if (!inject_raw(msg.peer, std::move(ack))) {
       // Peer's ring is full: requeue and stop — pushing harder only spins.
-      std::scoped_lock guard(control_lock_);
+      LockGuard guard(control_lock_);
       acks_.push_front(msg);
       return;
     }
@@ -282,7 +281,7 @@ std::size_t Rank::scan_stalled(std::uint64_t now, std::uint64_t horizon) {
   // lint: allow(hotpath-alloc) watchdog escalation path, not the hot path
   std::vector<Stalled> flagged;
   {
-    std::scoped_lock guard(rndv_lock_);
+    LockGuard guard(rndv_lock_);
     for (auto& [cookie, st] : rndv_sends_) {
       if (!st->stall_flagged && st->born_ns != 0 && st->born_ns < horizon) {
         st->stall_flagged = true;

@@ -1,8 +1,6 @@
 // Rendezvous protocol implementation (Rank methods). Protocol overview and
 // lock discipline in include/fairmpi/p2p/rendezvous.hpp.
 #include <cstring>
-#include <mutex>
-
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/timing.hpp"
 #include "fairmpi/core/universe.hpp"
@@ -31,7 +29,7 @@ void Rank::rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_
 
   std::uint64_t cookie = 0;
   {
-    std::scoped_lock guard(rndv_lock_);
+    LockGuard guard(rndv_lock_);
     cookie = next_cookie_++;
     rndv_sends_.emplace(cookie, std::move(state));
   }
@@ -78,12 +76,12 @@ void Rank::on_rts_matched(p2p::Request* req, const Packet& rts) {
 
   std::uint64_t cookie = 0;
   {
-    std::scoped_lock guard(rndv_lock_);
+    LockGuard guard(rndv_lock_);
     cookie = next_cookie_++;
     rndv_recvs_.emplace(cookie, std::move(state));
   }
   {
-    std::scoped_lock guard(control_lock_);
+    LockGuard guard(control_lock_);
     control_.push_back(ControlMsg{ControlMsg::Kind::kSendAck,
                                   static_cast<int>(rts.hdr.src_rank), rts.hdr.comm_id,
                                   cookie, body.sender_cookie});
@@ -96,7 +94,7 @@ std::size_t Rank::handle_rndv_ack(const Packet& pkt) {
   std::uint64_t recv_cookie = 0;
   std::memcpy(&recv_cookie, pkt.payload(), sizeof recv_cookie);
   {
-    std::scoped_lock guard(control_lock_);
+    LockGuard guard(control_lock_);
     control_.push_back(ControlMsg{ControlMsg::Kind::kSendData,
                                   static_cast<int>(pkt.hdr.src_rank), pkt.hdr.comm_id,
                                   pkt.hdr.imm, recv_cookie});
@@ -107,7 +105,7 @@ std::size_t Rank::handle_rndv_ack(const Packet& pkt) {
 std::size_t Rank::handle_rndv_data(const Packet& pkt) {
   RndvRecvState* state = nullptr;
   {
-    std::scoped_lock guard(rndv_lock_);
+    LockGuard guard(rndv_lock_);
     const auto it = rndv_recvs_.find(pkt.hdr.imm);
     if (it == rndv_recvs_.end()) {
       // Reliable fabric: a retransmitted fragment can outlive its transfer
@@ -148,7 +146,7 @@ std::size_t Rank::handle_rndv_data(const Packet& pkt) {
                  static_cast<std::uint32_t>(state->total));
   state->request->complete(state->status);
   {
-    std::scoped_lock guard(rndv_lock_);
+    LockGuard guard(rndv_lock_);
     rndv_recvs_.erase(pkt.hdr.imm);
   }
   return 1;
@@ -174,7 +172,7 @@ void Rank::inject_control(int dst, Packet&& pkt) {
     cri::CommResourceInstance& inst = pool_.instance(k);
     bool injected = false;
     {
-      std::scoped_lock guard(inst.lock());
+      LockGuard guard(inst.lock());
       injected = inst.endpoint(dst).try_send(std::move(pkt));
       if (injected) inst.stats().note_injection();
     }
@@ -191,7 +189,7 @@ void Rank::drain_control() {
   for (;;) {
     ControlMsg msg;
     {
-      std::scoped_lock guard(control_lock_);
+      LockGuard guard(control_lock_);
       if (control_.empty()) return;
       msg = control_.front();
       control_.pop_front();
@@ -215,7 +213,7 @@ void Rank::drain_control() {
         // may free the moment the first completes the request.
         std::unique_ptr<RndvSendState> state;
         {
-          std::scoped_lock guard(rndv_lock_);
+          LockGuard guard(rndv_lock_);
           const auto it = rndv_sends_.find(msg.local_cookie);
           if (it == rndv_sends_.end()) {
             FAIRMPI_CHECK_MSG(tracker_ != nullptr, "ack for unknown rendezvous send");

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 
 #include "fairmpi/common/error.hpp"
@@ -77,7 +76,7 @@ Universe::Universe(Config cfg)
 Universe::~Universe() = default;
 
 CommId Universe::create_communicator() {
-  std::scoped_lock guard(comm_create_lock_);
+  LockGuard guard(comm_create_lock_);
   const CommId id = next_comm_.fetch_add(1, std::memory_order_relaxed);
   FAIRMPI_CHECK_MSG(id < static_cast<CommId>(cfg_.max_communicators),
                     "communicator table exhausted (raise Config::max_communicators)");

@@ -5,8 +5,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
-
 namespace fairmpi::debug {
 
 namespace {
@@ -130,7 +128,7 @@ ViolationHandler set_violation_handler(ViolationHandler handler) noexcept {
 }
 
 const LockClass* intern_lock_class(LockRank rank, const char* name) {
-  std::scoped_lock guard(g_registry_mu);
+  LockGuard guard(g_registry_mu);
   for (int i = 0; i < g_num_classes; ++i) {
     if (g_classes[i].rank == rank && std::strcmp(g_classes[i].name, name) == 0) {
       return &g_classes[i];
@@ -163,7 +161,7 @@ void check_blocking_acquire(const LockClass* cls, const void* addr,
   }
 
   // Cycle rule: record held -> cls edges; closing a cycle is a violation.
-  std::scoped_lock guard(g_registry_mu);
+  LockGuard guard(g_registry_mu);
   for (int i = 0; i < t_state.depth; ++i) {
     const LockClass* held = t_state.stack[i].cls;
     if (held == cls) continue;
@@ -208,7 +206,7 @@ int held_count() noexcept { return t_state.depth; }
 
 void reset_for_test() noexcept {
   t_state.depth = 0;
-  std::scoped_lock guard(g_registry_mu);
+  LockGuard guard(g_registry_mu);
   std::memset(g_order_edge, 0, sizeof g_order_edge);
   for (auto& row : g_edge_site) {
     for (auto& site : row) site = EdgeSite{};

@@ -2,8 +2,6 @@
 #include "fairmpi/fabric/faults.hpp"
 
 #include <cstring>
-#include <mutex>
-
 #include "fairmpi/common/error.hpp"
 
 namespace fairmpi::fabric {
@@ -53,7 +51,7 @@ void FaultInjector::process(int src, int dst, Packet&& pkt, Batch& out) {
   out.n = 0;
   out.primary = -1;
   LinkState& ln = link(src, dst);
-  std::scoped_lock guard(ln.lock);
+  LockGuard guard(ln.lock);
   Xoshiro256& rng = ln.rng;
   stats_.injected.fetch_add(1, std::memory_order_relaxed);
 
@@ -125,7 +123,10 @@ void FaultInjector::process(int src, int dst, Packet&& pkt, Batch& out) {
 
 std::size_t FaultInjector::held() const noexcept {
   std::size_t n = 0;
-  for (const auto& ln : links_) n += ln->n_held;
+  for (const auto& ln : links_) {
+    LockGuard guard(ln->lock);
+    n += ln->n_held;
+  }
   return n;
 }
 

@@ -2,7 +2,6 @@
 
 #include <cstring>
 #include <limits>
-#include <mutex>
 
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/timing.hpp"
@@ -146,7 +145,7 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
   FAIRMPI_CHECK_MSG(src >= 0 && src < static_cast<int>(peers_.size()),
                     "packet from unknown rank");
 
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   auto ctr = spc_.cursor();
   std::uint64_t cycles = 0;
   std::size_t completions = 0;
@@ -246,7 +245,7 @@ bool MatchEngine::post(p2p::Request* req) {
                         (src >= 0 && src < static_cast<int>(peers_.size())),
                     "invalid source filter");
 
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   auto ctr = spc_.cursor();
   std::uint64_t cycles = 0;
   bool matched = false;
@@ -308,7 +307,7 @@ bool MatchEngine::probe(int src, int tag, p2p::Status* status) {
   FAIRMPI_CHECK_MSG(src == p2p::kAnySource ||
                         (src >= 0 && src < static_cast<int>(peers_.size())),
                     "invalid source filter");
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
 
   auto accepts = [&](const Unexpected* u) {
     return tag == p2p::kAnyTag || tag == u->pkt.hdr.tag;
@@ -342,19 +341,19 @@ bool MatchEngine::probe(int src, int tag, p2p::Status* status) {
 }
 
 std::size_t MatchEngine::unexpected_count() const noexcept {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   std::size_t n = 0;
   for (const auto& ps : peers_) n += ps.unexpected.size();
   return n;
 }
 
 std::size_t MatchEngine::reorder_buffered() const noexcept {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   return reorder_total_;
 }
 
 std::size_t MatchEngine::posted_count() const noexcept {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   std::size_t n = posted_any_.size();
   for (const auto& ps : peers_) n += ps.posted.size();
   return n;

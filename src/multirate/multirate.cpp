@@ -36,7 +36,7 @@ void contend_until_attributed(LockT& lock, const char* cls_name, Op blocked_op) 
     std::atomic<bool> held{false};
     std::atomic<bool> entering{false};
     std::thread holder([&] {
-      std::scoped_lock pin(lock);
+      LockGuard pin(lock);
       held.store(true, std::memory_order_release);
       // Start the hold window only once this thread is about to probe the
       // lock, and escalate it per attempt: on a busy 1-core CI machine a

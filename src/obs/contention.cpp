@@ -1,8 +1,6 @@
 #include "fairmpi/obs/contention.hpp"
 
 #include <cstring>
-#include <mutex>
-
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/common/thread_slot.hpp"
 #include "fairmpi/common/timing.hpp"
@@ -28,6 +26,12 @@ struct alignas(fairmpi::kCacheLine) Shard {
 /// purpose: this file implements the profiler RankedLock reports into, so
 /// routing its own lock through RankedLock would recurse (and interning is
 /// a once-per-class cold path anyway).
+// Static-contract note (DESIGN.md §5e): names/ranks deliberately carry no
+// FAIRMPI_GUARDED_BY(intern_lock). They are written only under the lock,
+// but snapshot readers read them lock-free — made safe by the release
+// store to n_classes below paired with readers' acquire load (entries
+// below n_classes are immutable once published). A guarded_by annotation
+// would force readers to take the lock and outlaw the publish protocol.
 struct Registry {
   // lint: allow(unranked-mutex) profiler-internal leaf lock, see comment above
   Spinlock intern_lock;
@@ -88,7 +92,7 @@ void set_enabled(bool on) noexcept {
 
 std::uint16_t intern_contention_class(std::uint16_t rank, const char* name) noexcept {
   Registry& r = registry();
-  std::scoped_lock guard(r.intern_lock);
+  LockGuard guard(r.intern_lock);
   const int n = r.n_classes.load(std::memory_order_relaxed);
   for (int i = 0; i < n; ++i) {
     if (r.ranks[i] == rank && std::strcmp(r.names[i], name) == 0) {

@@ -7,8 +7,6 @@
 // size-classed pool (clone_packet).
 #include "fairmpi/p2p/reliability.hpp"
 
-#include <mutex>
-
 #include "fairmpi/common/error.hpp"
 
 namespace fairmpi::p2p {
@@ -29,7 +27,7 @@ void ReliabilityTracker::track(int dst, const fabric::Packet& pkt,
   e.pkt = fabric::clone_packet(pkt);
   const PacketKey key = key_of(dst, pkt.hdr);
 
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   const std::uint64_t deadline = e.deadline_ns;
   // lint: allow(hotpath-alloc) map node exists only under fault injection
   if (inflight_.insert_or_assign(key, std::move(e)).second) {
@@ -42,14 +40,14 @@ void ReliabilityTracker::track(int dst, const fabric::Packet& pkt,
 }
 
 bool ReliabilityTracker::ack(const PacketKey& key) {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   if (inflight_.erase(key) == 0) return false;
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
 void ReliabilityTracker::untrack(const PacketKey& key) {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   if (inflight_.erase(key) != 0) {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -57,7 +55,7 @@ void ReliabilityTracker::untrack(const PacketKey& key) {
 
 void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resends,
                                std::vector<Failure>& failures) {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   std::uint64_t earliest = ~std::uint64_t{0};
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     Entry& e = it->second;
@@ -87,7 +85,7 @@ void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resend
 
 void ReliabilityTracker::confirm_retransmit(const PacketKey& key,
                                             std::uint64_t now_ns) {
-  std::scoped_lock guard(lock_);
+  LockGuard guard(lock_);
   const auto it = inflight_.find(key);
   if (it == inflight_.end()) return;  // acked while we were injecting
   Entry& e = it->second;

@@ -1,7 +1,5 @@
 #include "fairmpi/p2p/sender.hpp"
 
-#include <mutex>
-
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/timing.hpp"
 #include "fairmpi/fabric/wire.hpp"
@@ -75,7 +73,7 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
         inst.lock().lock();
         counters.add(Counter::kInstanceLockWaitNs, now_ns() - t0);
       }
-      std::scoped_lock adopt(std::adopt_lock, inst.lock());
+      LockGuard adopt(inst.lock(), adopt_lock);
       injected = inst.endpoint(dst).try_send(std::move(pkt));
       if (injected) inst.stats().note_injection();
     }

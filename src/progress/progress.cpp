@@ -1,7 +1,5 @@
 #include "fairmpi/progress/progress.hpp"
 
-#include <mutex>
-
 #include "fairmpi/common/error.hpp"
 
 namespace fairmpi::progress {
@@ -69,7 +67,7 @@ std::size_t ProgressEngine::progress_serial() {
     spc_.add(Counter::kInstanceTrylockFail);
     return 0;
   }
-  std::scoped_lock adopt(std::adopt_lock, serial_gate_);
+  LockGuard adopt(serial_gate_, adopt_lock);
 
   std::size_t completions = 0;
   for (int i = 0; i < pool_.size(); ++i) {
@@ -79,7 +77,7 @@ std::size_t ProgressEngine::progress_serial() {
       // The gate already excludes other progress threads, but send paths
       // also take instance locks, so each instance is still locked
       // individually — only for the ring pops, not the dispatch.
-      std::scoped_lock guard(inst.lock());
+      LockGuard guard(inst.lock());
       drain_locked(inst, b);
     }
     note_drain(inst, b, /*sweep=*/false);
@@ -97,7 +95,7 @@ std::size_t ProgressEngine::progress_concurrent() {
     if (inst.lock().try_lock()) {
       DrainBatch b;
       {
-        std::scoped_lock adopt(std::adopt_lock, inst.lock());
+        LockGuard adopt(inst.lock(), adopt_lock);
         drain_locked(inst, b);
       }
       note_drain(inst, b, /*sweep=*/false);
@@ -119,7 +117,7 @@ std::size_t ProgressEngine::progress_concurrent() {
       }
       DrainBatch b;
       {
-        std::scoped_lock adopt(std::adopt_lock, inst.lock());
+        LockGuard adopt(inst.lock(), adopt_lock);
         drain_locked(inst, b);
       }
       note_drain(inst, b, /*sweep=*/k != own);

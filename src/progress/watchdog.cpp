@@ -1,8 +1,6 @@
 // Stall watchdog implementation (see include/fairmpi/progress/watchdog.hpp).
 #include "fairmpi/progress/watchdog.hpp"
 
-#include <mutex>
-
 #include "fairmpi/common/error.hpp"
 
 namespace fairmpi::progress {
@@ -29,7 +27,7 @@ std::size_t Watchdog::poll(std::uint64_t now_ns) {
     return 0;
   }
   if (!lock_.try_lock()) return 0;  // another thread is sweeping
-  std::scoped_lock adopt(std::adopt_lock, lock_);
+  LockGuard adopt(lock_, adopt_lock);
   last_sweep_ns_.store(now_ns, std::memory_order_relaxed);
 
   std::size_t flagged = 0;

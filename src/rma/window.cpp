@@ -1,7 +1,6 @@
 #include "fairmpi/rma/window.hpp"
 
 #include <cstring>
-#include <mutex>
 
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/timing.hpp"
@@ -26,7 +25,7 @@ Window::PendingSlot& Window::thread_slot() {
   if (bindings.size() <= window_key_) bindings.resize(window_key_ + 1, nullptr);
   PendingSlot*& slot = bindings[window_key_];
   if (slot == nullptr) {
-    std::scoped_lock guard(slots_lock_);
+    LockGuard guard(slots_lock_);
     slots_.push_back(std::make_unique<PendingSlot>());
     slot = slots_.back().get();
   }
@@ -34,7 +33,7 @@ Window::PendingSlot& Window::thread_slot() {
 }
 
 std::uint64_t Window::pending() const {
-  std::scoped_lock guard(slots_lock_);
+  LockGuard guard(slots_lock_);
   std::uint64_t total = 0;
   for (const auto& slot : slots_) {
     total += slot->count->load(std::memory_order_acquire);
@@ -56,11 +55,12 @@ WindowGroup::WindowGroup(Universe& universe, const std::vector<Region>& regions)
 namespace {
 /// Lock an instance, timing the wait only when contended (same accounting
 /// as the two-sided send path).
-void lock_timed(cri::CommResourceInstance& inst, spc::CounterSet& counters) {
+void lock_timed(cri::CommResourceInstance& inst, spc::CounterSet& counters)
+    FAIRMPI_ACQUIRE(inst.lock()) {
   if (inst.lock().try_lock()) return;
   const std::uint64_t t0 = now_ns();
   // lint: allow(bare-lock) timed-acquire helper; every caller immediately
-  // adopts with std::scoped_lock(std::adopt_lock, inst.lock())
+  // adopts with LockGuard(inst.lock(), adopt_lock)
   inst.lock().lock();
   counters.add(Counter::kInstanceLockWaitNs, now_ns() - t0);
 }
@@ -88,7 +88,7 @@ void Window::put(int target, std::size_t disp, const void* src, std::size_t n) {
   cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
   lock_timed(inst, rank_->counters());
   {
-    std::scoped_lock adopt(std::adopt_lock, inst.lock());
+    LockGuard adopt(inst.lock(), adopt_lock);
     if (n != 0) {
       std::memcpy(static_cast<std::byte*>(tw.base_) + disp, src, n);
     }
@@ -107,7 +107,7 @@ void Window::get(int target, std::size_t disp, void* dst, std::size_t n) {
   cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
   lock_timed(inst, rank_->counters());
   {
-    std::scoped_lock adopt(std::adopt_lock, inst.lock());
+    LockGuard adopt(inst.lock(), adopt_lock);
     if (n != 0) {
       std::memcpy(dst, static_cast<const std::byte*>(tw.base_) + disp, n);
     }
@@ -133,11 +133,11 @@ std::uint64_t Window::fetch_add_u64(int target, std::size_t disp, std::uint64_t 
   lock_timed(inst, rank_->counters());
   std::uint64_t old = 0;
   {
-    std::scoped_lock adopt(std::adopt_lock, inst.lock());
+    LockGuard adopt(inst.lock(), adopt_lock);
     {
       // Target-side atomicity: accumulates to one location serialize on the
       // target window's stripe lock, regardless of initiating rank/thread.
-      std::scoped_lock atomic_guard(tw.accumulate_lock(disp));
+      LockGuard atomic_guard(tw.accumulate_lock(disp));
       auto* cell = reinterpret_cast<std::uint64_t*>(static_cast<std::byte*>(tw.base_) + disp);
       old = *cell;
       *cell = old + operand;
@@ -166,7 +166,7 @@ void Window::drain_until(DonePredicate done) {
       }
       polled = true;
       {
-        std::scoped_lock adopt(std::adopt_lock, inst.lock());
+        LockGuard adopt(inst.lock(), adopt_lock);
         rank_->engine().progress_instance_locked(inst);
       }
       if (done()) break;

@@ -1,0 +1,14 @@
+// Fixture tree: poses as a hot-path file (src/match/match_engine.cpp) so
+// the path-keyed rules fire. Scanned with --root at the fixture tree.
+// expect: hotpath-alloc @ 6
+// expect: no-tsa-hotpath @ 9
+void grow() {
+  int* spill = new int[64];
+  (void)spill;
+}
+void opted_out() FAIRMPI_NO_TSA;
+void cold_setup() {
+  // lint: allow(hotpath-alloc) fixture: annotated one-time setup survives
+  int* table = new int[8];
+  (void)table;
+}

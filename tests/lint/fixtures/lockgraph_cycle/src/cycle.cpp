@@ -1,0 +1,21 @@
+// Fixture: two SAME-RANK locks acquired in both orders. Rank monotonicity
+// tolerates equal ranks, so only the cycle check can catch this — which is
+// exactly what it exists for.
+#include "fairmpi/debug/lockcheck.hpp"
+namespace fixture {
+enum class LockRank : int {
+  kPeer = 10,
+};
+struct Pair {
+  RankedLock<Spinlock> a{LockRank::kPeer, "fix.a"};
+  RankedLock<Spinlock> b{LockRank::kPeer, "fix.b"};
+};
+void forward(Pair& p) {
+  LockGuard one(p.a);
+  LockGuard two(p.b);
+}
+void backward(Pair& p) {
+  LockGuard one(p.b);
+  LockGuard two(p.a);
+}
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a single blocking acquisition against declared rank order —
+// no cycle (only one nesting direction exists), so only the rank
+// monotonicity check can catch it.
+#include "fairmpi/debug/lockcheck.hpp"
+namespace fixture {
+enum class LockRank : int {
+  kInner = 10,
+  kOuter = 20,
+};
+struct State {
+  RankedLock<Spinlock> inner{LockRank::kInner, "fix.inner"};
+  RankedLock<Spinlock> outer{LockRank::kOuter, "fix.outer"};
+};
+void inverted(State& s) {
+  LockGuard hi(s.outer);
+  LockGuard lo(s.inner);
+}
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: an allow with no reason is itself a hard failure, and it does
+// NOT suppress the finding it names.
+// expect: allow-without-reason @ 7
+// expect: bare-lock @ 8
+struct L { void lock(); void unlock(); };
+L mu;
+void f() {  // lint: allow(bare-lock)
+  mu.lock();
+}

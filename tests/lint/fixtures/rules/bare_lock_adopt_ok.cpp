@@ -1,0 +1,18 @@
+// Fixture: the timed-acquire idiom — a bare lock() immediately adopted by
+// a LockGuard is the sanctioned exception (both adopt_lock spellings).
+// expect: clean
+struct L { void lock(); bool try_lock(); void unlock(); };
+struct AdoptTag {};
+inline constexpr AdoptTag adopt_lock{};
+template <typename T> struct LockGuard {
+  LockGuard(T& l);
+  LockGuard(T& l, AdoptTag);
+  ~LockGuard();
+};
+L mu;
+void timed() {
+  if (!mu.try_lock()) {
+    mu.lock();
+  }
+  LockGuard adopt(mu, adopt_lock);
+}

@@ -1,0 +1,8 @@
+// Fixture: a bare lock with a reasoned allow is suppressed.
+// expect: clean
+struct L { void lock(); void unlock(); };
+L mu;
+void helper() {
+  // lint: allow(bare-lock) fixture demonstrating a reasoned suppression
+  mu.lock();
+}

@@ -1,0 +1,11 @@
+// Fixture: a bare lock()/unlock() statement pair outside RAII.
+// expect: bare-lock @ 8
+// expect: bare-lock @ 10
+struct L { void lock(); void unlock(); };
+L mu;
+int g;
+void touch() {
+  mu.lock();
+  ++g;
+  mu.unlock();
+}

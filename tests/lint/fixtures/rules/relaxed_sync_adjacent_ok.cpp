@@ -1,0 +1,18 @@
+// Fixture: the gate-then-CAS idiom with the CAS wrapped over multiple
+// physical lines AND separated from the gate by a long comment. The old
+// 4-line window missed the acquire; statement-level adjacency finds it.
+// expect: clean
+#include <atomic>
+std::atomic<bool> locked{false};
+bool try_acquire() {
+  if (locked.load(std::memory_order_relaxed)) return false;
+  // A comment block long enough that a fixed line window centred on the
+  // gate above would no longer contain the exchange below. Statement
+  // grouping skips comment lines entirely, so the CAS statement is still
+  // the gate's immediate successor and counts as the adjacent acquire
+  // the rule demands.
+  bool expected = false;
+  return locked.compare_exchange_strong(expected, true,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+}

@@ -1,0 +1,9 @@
+// Fixture: reasoned suppression of a relaxed gate.
+// expect: clean
+#include <atomic>
+std::atomic<bool> enabled{false};
+int fast_path() {
+  // lint: allow(relaxed-sync) pure on/off gate, no data published across it
+  if (enabled.load(std::memory_order_relaxed)) return 1;
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fixture: relaxed load gating a branch, no acquire anywhere near.
+// expect: relaxed-sync @ 7
+#include <atomic>
+std::atomic<bool> ready{false};
+int payload;
+int consume() {
+  if (ready.load(std::memory_order_relaxed)) {
+    return payload;
+  }
+  return -1;
+}

@@ -1,0 +1,7 @@
+// Fixture: a reasoned leaf-lock suppression.
+// expect: clean
+#pragma once
+struct Profiler {
+  // lint: allow(unranked-mutex) leaf lock under the profiler itself
+  Spinlock intern_lock_;
+};

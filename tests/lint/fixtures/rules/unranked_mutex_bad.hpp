@@ -1,0 +1,8 @@
+// Fixture: raw mutex members invisible to the lock-rank validator.
+// expect: unranked-mutex @ 6
+// expect: unranked-mutex @ 7
+#pragma once
+struct Engine {
+  Spinlock lock_;
+  std::mutex fallback_;
+};

@@ -1,0 +1,21 @@
+// Seeding-proof fixture for the tsa CI gate: this file is NOT part of any
+// CMake target. The CI job compiles it with
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// and FAILS the build if it compiles cleanly — proving the annotation
+// macros are live, not vacuous no-ops.
+#include "fairmpi/debug/thread_safety.hpp"
+
+class FAIRMPI_CAPABILITY("mutex") FixtureLock {
+ public:
+  void lock() FAIRMPI_ACQUIRE() {}
+  void unlock() FAIRMPI_RELEASE() {}
+};
+
+struct Counter {
+  FixtureLock mu;
+  int value FAIRMPI_GUARDED_BY(mu) = 0;
+};
+
+// Reads guarded state without holding the lock: under a TSA-capable
+// compiler this is a -Wthread-safety error (the point of the fixture).
+int read_unlocked(Counter& c) { return c.value; }

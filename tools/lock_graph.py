@@ -1,0 +1,935 @@
+#!/usr/bin/env python3
+"""Static lock-order graph checker for fairmpi.
+
+The runtime lock-rank validator (debug/lockcheck.hpp) catches rank and cycle
+violations on schedules that actually execute; this tool proves the same two
+invariants over every acquisition *in the source*, including orderings no
+test schedule ever reaches:
+
+  1. every RankedLock declaration is collected into its lock class — the
+     (LockRank, name) pair the runtime validator would intern;
+  2. every acquisition site (fairmpi::LockGuard, adopting guards, the
+     timed-acquire idiom, bare .lock()/.try_lock()) is located and its
+     enclosing-lock context reconstructed, including one level of
+     interprocedural propagation (a call made while holding lock A charges
+     the callee's transitive acquisitions to A);
+  3. the resulting directed graph of held-class -> acquired-class edges is
+     checked for rank monotonicity on blocking edges (try-acquires are
+     exempt, exactly like the runtime rules — Algorithm 2's sweep depends on
+     same-rank try-locks) and for cycles among blocking edges;
+  4. the declared LockRank table is cross-checked against what the sweep
+     observed: every enum rank must be backed by a real declaration, and
+     every declaration must name a declared enum rank.
+
+Engines:
+  --engine=lexical   comment-aware single-pass scanner (no dependencies;
+                     the engine exercised by the repo's own test gate).
+  --engine=libclang  AST walk over compile_commands.json via clang.cindex,
+                     when the python clang bindings are importable. Falls
+                     back to lexical with a warning otherwise.
+  --engine=auto      libclang when importable, else lexical (default).
+
+Artifacts: --json (machine-readable graph + violations), --dot (Graphviz,
+blocking edges solid / try edges dashed), --markdown (the lock-rank table
+embedded in DESIGN.md), --check-design (drift gate: fails when DESIGN.md's
+generated table no longer matches the source).
+
+Exit status: 0 clean, 1 violations (or design drift), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+
+DEFAULT_SCAN_DIRS = ("include", "src")
+CXX_SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx"}
+LOCKRANK_HEADER = "include/fairmpi/debug/lockcheck.hpp"
+
+# The wrapper/validator internals manipulate locks by design; their bodies
+# are not engine acquisition sites.
+EXEMPT_FILES = {
+    "include/fairmpi/common/spinlock.hpp",
+    "include/fairmpi/debug/lockcheck.hpp",
+    "include/fairmpi/debug/thread_safety.hpp",
+    "src/debug/lockcheck.cpp",
+}
+
+
+# ---------------------------------------------------------------- text utils
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line structure.
+
+    String *contents* are replaced with spaces (the quotes stay) so regexes
+    never match inside literals; newlines inside block comments survive so
+    line numbers stay true.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                mode = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif mode in ("str", "chr"):
+            quote = '"' if mode == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to code
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def statement_spans(code_lines: list[str]) -> list[tuple[int, int]]:
+    """Group physical lines into statements (0-based inclusive spans).
+
+    A statement ends at a line whose code ends with ';', '{', '}' or ':'
+    (labels/access specifiers); anything else continues onto the next line.
+    Used by lint_concurrency's statement-level relaxed-sync rule so a
+    wrapped multi-line CAS counts as *adjacent* to the gate it follows.
+    """
+    spans: list[tuple[int, int]] = []
+    start = None
+    for i, raw in enumerate(code_lines):
+        code = raw.strip()
+        if not code:
+            if start is None:
+                continue
+            # blank line inside a wrapped statement: keep accumulating
+        if start is None:
+            start = i
+        if code.endswith((";", "{", "}", ":")) or code.startswith("#"):
+            spans.append((start, i))
+            start = None
+    if start is not None:
+        spans.append((start, len(code_lines) - 1))
+    return spans
+
+
+# ------------------------------------------------------------------- model
+
+
+@dataclass(frozen=True)
+class LockClass:
+    enum: str  # LockRank enumerator, e.g. "kMatch"
+    rank: int
+    name: str  # runtime class name, e.g. "match.engine"
+
+
+@dataclass
+class Declaration:
+    cls: LockClass
+    file: str
+    line: int
+    member: str  # declared identifier ('' for unnamed prvalue constructions)
+
+
+@dataclass
+class Edge:
+    src: str  # held class name
+    dst: str  # acquired class name
+    blocking: bool
+    file: str
+    line: int
+    via: str = ""  # callee chain for interprocedural edges
+
+
+@dataclass
+class Violation:
+    kind: str  # rank-inversion | cycle | self-deadlock | undeclared-rank | unused-rank
+    message: str
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    file: str
+    line: int
+    direct: set = field(default_factory=set)  # (class_name, blocking)
+    calls: set = field(default_factory=set)  # callee simple names
+    call_sites: list = field(default_factory=list)  # (callee, held_classes, line)
+
+
+# ------------------------------------------------------------ lexical engine
+
+RANK_ENUM_RE = re.compile(r"^\s*k(\w+)\s*=\s*(\d+)\s*,")
+USING_ALIAS_RE = re.compile(r"using\s+(\w+)\s*=\s*RankedLock\s*<")
+SPINLOCK_DECL_RE = re.compile(r"^\s*(?:mutable\s+)?Spinlock\s+(\w+)\s*;", re.M)
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+GUARD_RE = re.compile(
+    r"\bLockGuard(?:<[^>]*>)?\s+\w+\s*\(\s*(?P<expr>[^;]*?)"
+    r"(?:,\s*(?:fairmpi::)?adopt_lock\s*)?\)\s*;"
+)
+ADOPT_ARG_RE = re.compile(r",\s*(?:fairmpi::)?adopt_lock\s*\)\s*;")
+BARE_LOCK_RE = re.compile(r"(?P<expr>[\w\.\->\(\)\[\]:]+?)(?:\.|->)lock\(\s*\)\s*;")
+TRY_LOCK_RE = re.compile(r"(?P<expr>[\w\.\->\(\)\[\]:]+?)(?:\.|->)try_lock\(\s*\)")
+_CAP_EXPR = r"(?P<expr>[\w.\->:\[\]]+(?:\(\s*\))?)"
+REQUIRES_DECL_RE = re.compile(
+    r"\b(?P<fn>\w+)\s*\([^;{}]*\)\s*(?:const\s*)?(?:noexcept\s*)?"
+    r"FAIRMPI_REQUIRES\s*\(\s*" + _CAP_EXPR + r"\s*\)",
+    re.S,
+)
+ACQUIRE_DECL_RE = re.compile(
+    r"\b(?P<fn>\w+)\s*\([^;{}]*\)\s*(?:const\s*)?(?:noexcept\s*)?"
+    r"FAIRMPI_ACQUIRE\s*\(\s*" + _CAP_EXPR + r"\s*\)",
+    re.S,
+)
+CALL_RE = re.compile(r"(?:^|[^\w:.])(?:[\w\)\]]+(?:\.|->))?(?P<fn>[a-z]\w*)\s*\(")
+CXX_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof", "alignof",
+    "alignas", "assert", "defined", "throw", "new", "delete", "do", "else",
+    "static_assert", "decltype", "noexcept", "offsetof", "typedef", "using",
+}
+# Names never used to resolve a call site to a function summary: lock
+# accessors and method names so generic (smart pointers, containers) that a
+# simple-name match would conflate unrelated functions. `lock` is both the
+# RankedLock accessor spelling and Window::lock (the RMA API entry) — engine
+# code never calls the latter while holding a lock, so dropping the name
+# loses nothing and prevents every `.lock()` from charging Window::lock's
+# acquisitions to the caller.
+CALL_STOPLIST = {
+    "lock", "try_lock", "unlock", "internal_lock", "accumulate_lock",
+    "get", "find", "data", "load", "store", "exchange", "release",
+    "begin", "end", "size", "empty", "count", "reset", "clear", "swap",
+    "at", "insert", "erase", "emplace", "emplace_back", "push_back",
+    "pop_back", "front", "back", "value", "min", "max", "add",
+}
+# Attribute clauses in a definition header would confuse name extraction
+# (FAIRMPI_ACQUIRE(inst.lock()) contains 'lock(').
+ATTR_CLAUSE_RE = re.compile(r"FAIRMPI_\w+\s*\((?:[^()]|\([^()]*\))*\)")
+
+
+def build_decl_regexes(aliases: set[str]):
+    types = "|".join(["RankedLock\\s*<[^>]+>"] + sorted(re.escape(a) for a in aliases))
+    named = re.compile(
+        r"(?:^|\s)(?:mutable\s+)?(?:" + types + r")\s+(?P<member>\w+)\s*\{\s*"
+        r"(?:debug::)?LockRank::k(?P<enum>\w+)\s*,\s*\"(?P<name>[^\"]+)\""
+    )
+    unnamed = re.compile(
+        r"(?:" + types + r")\s*\{\s*"
+        r"(?:debug::)?LockRank::k(?P<enum>\w+)\s*,\s*\"(?P<name>[^\"]+)\""
+    )
+    array = re.compile(
+        r"std::array<\s*(?:" + types + r")\s*,[^>]*>\s*(?P<member>\w+)\b(?!\s*\()"
+    )
+    accessor = re.compile(
+        r"(?:" + types + r")&\s+(?P<fn>\w+)\s*\([^)]*\)[^;{]*\{[^;{}]*?"
+        r"return\s+(?P<ret>[\w\[\]\(\)\. %/]+?)\s*;",
+        re.S,
+    )
+    return named, unnamed, array, accessor
+
+
+class LexicalModel:
+    """Whole-repo lexical facts: ranks, declarations, accessors, symbols."""
+
+    def __init__(self, root: pathlib.Path, scan_dirs, files):
+        self.root = root
+        self.files = files  # rel -> raw text
+        self.code = {rel: strip_comments(t) for rel, t in files.items()}
+        self.ranks: dict[str, int] = {}
+        self.aliases: set[str] = set()
+        self.classes: dict[str, LockClass] = {}  # by runtime name
+        self.decls: list[Declaration] = []
+        # per-file: member identifier -> class runtime name
+        self.file_members: dict[str, dict[str, str]] = {}
+        # accessor simple name -> class runtime name (unique names only)
+        self.accessors: dict[str, str] = {}
+        # raw (unranked) Spinlock identifiers, deliberate leaf locks
+        self.raw_locks: set[str] = set()
+        # REQUIRES/ACQUIRE contracts declared anywhere: fn -> capability expr
+        self.requires: dict[str, str] = {}
+        self.acquires_fn: dict[str, str] = {}
+        self.includes: dict[str, list[str]] = {}
+        self.warnings: list[str] = []
+        self._parse_ranks()
+        self._parse_aliases()
+        self._parse_declarations()
+        self._parse_contracts()
+
+    def _parse_ranks(self):
+        text = self.files.get(LOCKRANK_HEADER)
+        if text is None:
+            # Fixture trees carry their own rank table in any header.
+            for rel, t in self.files.items():
+                if "enum class LockRank" in t:
+                    text = t
+                    break
+        if text is None:
+            self.warnings.append("no LockRank enum found; rank checks limited")
+            return
+        in_enum = False
+        for line in strip_comments(text).splitlines():
+            if "enum class LockRank" in line:
+                in_enum = True
+                continue
+            if in_enum:
+                if "};" in line:
+                    break
+                m = RANK_ENUM_RE.match(line)
+                if m:
+                    self.ranks["k" + m.group(1)] = int(m.group(2))
+
+    def _parse_aliases(self):
+        for t in self.code.values():
+            for m in USING_ALIAS_RE.finditer(t):
+                self.aliases.add(m.group(1))
+
+    def _parse_declarations(self):
+        named_re, unnamed_re, array_re, accessor_re = build_decl_regexes(self.aliases)
+        for rel, raw in self.files.items():
+            code = self.code[rel]
+            members: dict[str, str] = {}
+            incl = [INCLUDE_RE.match(l).group(1) for l in raw.splitlines()
+                    if INCLUDE_RE.match(l)]
+            self.includes[rel] = incl
+            named_spans = []
+            for m in named_re.finditer(raw):
+                cls = self._intern(m.group("enum"), m.group("name"), rel)
+                if cls is None:
+                    continue
+                line = raw.count("\n", 0, m.start()) + 1
+                self.decls.append(Declaration(cls, rel, line, m.group("member")))
+                members[m.group("member")] = cls.name
+                named_spans.append((m.start(), m.end()))
+            unnamed_classes = []
+            for m in unnamed_re.finditer(raw):
+                if any(s <= m.start() < e for s, e in named_spans):
+                    continue
+                cls = self._intern(m.group("enum"), m.group("name"), rel)
+                if cls is None:
+                    continue
+                line = raw.count("\n", 0, m.start()) + 1
+                self.decls.append(Declaration(cls, rel, line, ""))
+                unnamed_classes.append(cls)
+            # Bind a lone unnamed construction to a lone lock-array member
+            # (the stripe-lock idiom: make_acc_locks() fills acc_locks_).
+            arrays = [m.group("member") for m in array_re.finditer(raw)]
+            if len(arrays) == 1 and len(set(c.name for c in unnamed_classes)) == 1:
+                members[arrays[0]] = unnamed_classes[0].name
+            for m in accessor_re.finditer(raw):
+                ret = m.group("ret").strip()
+                base = re.match(r"(\w+)", ret)
+                if base and base.group(1) in members:
+                    fn = m.group("fn")
+                    cls_name = members[base.group(1)]
+                    if fn in self.accessors and self.accessors[fn] != cls_name:
+                        self.warnings.append(
+                            f"accessor name '{fn}' is ambiguous across classes")
+                    else:
+                        self.accessors[fn] = cls_name
+            for m in SPINLOCK_DECL_RE.finditer(code):
+                self.raw_locks.add(m.group(1))
+            self.file_members[rel] = members
+
+    def _intern(self, enum_suffix: str, name: str, rel: str) -> LockClass | None:
+        enum = "k" + enum_suffix
+        rank = self.ranks.get(enum)
+        if rank is None:
+            self.warnings.append(f"{rel}: declaration uses undeclared rank {enum}")
+            rank = -1
+        existing = self.classes.get(name)
+        if existing is not None:
+            return existing
+        cls = LockClass(enum, rank, name)
+        self.classes[name] = cls
+        return cls
+
+    def _parse_contracts(self):
+        for rel, code in self.code.items():
+            if rel in EXEMPT_FILES:
+                continue
+            for m in REQUIRES_DECL_RE.finditer(code):
+                self.requires[m.group("fn")] = (m.group("expr").strip(), rel)
+            for m in ACQUIRE_DECL_RE.finditer(code):
+                self.acquires_fn[m.group("fn")] = (m.group("expr").strip(), rel)
+
+    # -- expression resolution -------------------------------------------
+
+    def resolve_expr(self, expr: str, rel: str) -> str | None:
+        """Map a lock expression to a lock-class runtime name.
+
+        Returns the class name, 'RAW' for deliberate unranked leaf locks,
+        'DYNAMIC' for reference parameters, or None when unresolvable.
+        """
+        expr = expr.strip()
+        # accessor call: inst.lock(), me.internal_lock(), tw.accumulate_lock(d)
+        m = re.search(r"(?:\.|->)(\w+)\s*\(", expr)
+        if m and m.group(1) in self.accessors:
+            return self.accessors[m.group(1)]
+        if m is None:
+            m2 = re.match(r"(\w+)\s*\(", expr)
+            if m2 and m2.group(1) in self.accessors:
+                return self.accessors[m2.group(1)]
+        # member access or bare identifier: ln.lock, lock_, registry_lock
+        tail = re.search(r"(\w+)\s*$", expr)
+        if tail:
+            ident = tail.group(1)
+            if ident in self.raw_locks:
+                return "RAW"
+            # own file, then directly-included fairmpi headers
+            candidates = []
+            scope = [rel] + [
+                inc_rel
+                for inc in self.includes.get(rel, [])
+                for inc_rel in (f"include/{inc}",)
+                if inc_rel in self.file_members
+            ]
+            for f in scope:
+                cls = self.file_members.get(f, {}).get(ident)
+                if cls is not None and cls not in candidates:
+                    candidates.append(cls)
+            if len(candidates) == 1:
+                return candidates[0]
+            if len(candidates) > 1:
+                self.warnings.append(
+                    f"{rel}: ambiguous lock identifier '{ident}' -> {candidates}")
+                return None
+        return None
+
+
+def scan_file(model: LexicalModel, rel: str, edges: list[Edge],
+              functions: dict[str, FunctionInfo], unresolved: list[str]):
+    code = model.code[rel]
+    lines = code.splitlines()
+
+    held: list[tuple[str, int]] = []  # (class_name, scope_depth of guard decl)
+    depth = 0
+    # (FunctionInfo, body_depth, header_text)
+    fn_stack: list[tuple[FunctionInfo, int, str]] = []
+    pending_header = ""  # accumulating candidate function-header text
+
+    def current_fn() -> FunctionInfo | None:
+        return fn_stack[-1][0] if fn_stack else None
+
+    def add_acquire(cls_name: str, blocking: bool, line_no: int):
+        reacquire = any(h == cls_name for h, _ in held)
+        if reacquire and blocking:
+            edges.append(Edge(cls_name, cls_name, True, rel, line_no))
+        for held_cls, _ in held:
+            if held_cls != cls_name:
+                edges.append(Edge(held_cls, cls_name, blocking, rel, line_no))
+        fn = current_fn()
+        if fn is not None:
+            fn.direct.add((cls_name, blocking))
+
+    def classify_adopt(idx: int) -> bool:
+        """Blocking-ness of an adopting guard, from the preceding idiom:
+        a bare .lock() or a FAIRMPI_ACQUIRE-annotated helper means the
+        acquisition could block; a lone try_lock() probe cannot."""
+        window = "\n".join(lines[max(0, idx - 12): idx])
+        if re.search(r"\.lock\(\s*\)\s*;", window):
+            return True
+        for fname in model.acquires_fn:
+            if re.search(r"\b" + re.escape(fname) + r"\s*\(", window):
+                return True
+        if "try_lock" in window:
+            return False
+        return True  # conservative
+
+    for idx, line in enumerate(lines):
+        line_no = idx + 1
+        opens = line.count("{")
+        closes = line.count("}")
+
+        # --- function-boundary tracking (outermost bodies only) ---
+        if not fn_stack:
+            pending_header += " " + line.strip()
+            if len(pending_header) > 600:
+                pending_header = pending_header[-600:]
+            if opens:
+                head = ATTR_CLAUSE_RE.sub(" ", pending_header.split("{", 1)[0])
+                m = None
+                for cand in re.finditer(r"(?:(\w+)::)?(~?\w+)\s*\(", head):
+                    if cand.group(2) not in CXX_KEYWORDS:
+                        m = cand
+                if m is not None and ";" not in head.rsplit(")", 1)[-1]:
+                    fname = m.group(2)
+                    fi = functions.setdefault(
+                        fname, FunctionInfo(fname, rel, line_no))
+                    fn_stack.append((fi, depth + 1, head))
+                    # Seed held context from the REQUIRES contract declared
+                    # (usually in the header) for this function.
+                    req = model.requires.get(fname)
+                    if req:
+                        expr, decl_file = req
+                        cls = model.resolve_expr(expr, decl_file)
+                        if cls is None:
+                            cls = model.resolve_expr(expr, rel)
+                        if cls and cls not in ("RAW", "DYNAMIC"):
+                            held.append((cls, depth + 1))
+                pending_header = ""
+
+        # --- guard declarations ---
+        matched_guard = False
+        for m in GUARD_RE.finditer(line):
+            matched_guard = True
+            expr = m.group("expr").strip()
+            adopting = ADOPT_ARG_RE.search(line) is not None
+            cls = model.resolve_expr(expr, rel)
+            if cls is None:
+                header = fn_stack[-1][2] if fn_stack else ""
+                base = re.match(r"(\w+)", expr)
+                if base and re.search(r"&&?\s*" + base.group(1) + r"\b", header):
+                    # lock passed by reference: polymorphic site, the class
+                    # is whatever the caller passed (charged at call sites)
+                    continue
+                unresolved.append(f"{rel}:{line_no}: unresolved lock '{expr}'")
+                continue
+            if cls == "RAW":
+                continue  # deliberate unranked leaf (thread_slot, obs intern)
+            blocking = classify_adopt(idx) if adopting else True
+            add_acquire(cls, blocking, line_no)
+            held.append((cls, depth))
+
+        # --- bare .lock() statements (timed-acquire idiom) ---
+        if not matched_guard and "unlock" not in line:
+            bm = BARE_LOCK_RE.search(line)
+            if bm and ".try_lock" not in line:
+                cls = model.resolve_expr(bm.group("expr"), rel)
+                if cls and cls not in ("RAW", "DYNAMIC"):
+                    # Released by the adopting guard that follows; the adopt
+                    # guard pushes the held state, this records the edge.
+                    add_acquire(cls, True, line_no)
+
+        # --- calls (interprocedural) ---
+        fn = current_fn()
+        if fn is not None:
+            for cm in CALL_RE.finditer(line):
+                callee = cm.group("fn")
+                if callee == fn.name or callee in CXX_KEYWORDS \
+                        or callee in CALL_STOPLIST:
+                    continue
+                fn.calls.add(callee)
+                if held:
+                    fn.call_sites.append(
+                        (callee, [h for h, _ in held], rel, line_no))
+
+        # --- scope closing ---
+        depth += opens - closes
+        if closes:
+            held = [(c, d) for (c, d) in held if d <= depth]
+            while fn_stack and depth < fn_stack[-1][1]:
+                fn_stack.pop()
+
+
+def propagate(functions: dict[str, FunctionInfo], model: LexicalModel,
+              edges: list[Edge]):
+    """Fixpoint closure of per-function acquisition summaries, then edge
+    emission for calls made while holding a lock."""
+    # Functions with a REQUIRES contract do not *acquire* the required lock;
+    # their direct/transitive sets list only additional acquisitions.
+    trans: dict[str, set] = {n: set(fi.direct) for n, fi in functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for n, fi in functions.items():
+            for callee in fi.calls:
+                sub = trans.get(callee)
+                if sub and not sub <= trans[n]:
+                    trans[n] |= sub
+                    changed = True
+    interesting = {n for n, acq in trans.items() if acq}
+    for n, fi in functions.items():
+        for callee, held_classes, site_file, line in fi.call_sites:
+            if callee not in interesting:
+                continue
+            for cls_name, blocking in trans[callee]:
+                for held_cls in held_classes:
+                    if held_cls == cls_name:
+                        continue
+                    edges.append(Edge(held_cls, cls_name, blocking,
+                                      site_file, line, via=callee))
+    return trans
+
+
+# ------------------------------------------------------------------ checks
+
+
+def dedupe(edges: list[Edge]) -> list[Edge]:
+    seen = {}
+    for e in edges:
+        key = (e.src, e.dst, e.blocking)
+        if key not in seen:
+            seen[key] = e
+    return list(seen.values())
+
+
+def check(model: LexicalModel, edges: list[Edge]) -> list[Violation]:
+    v: list[Violation] = []
+    classes = model.classes
+
+    # Rank monotonicity on blocking edges (equal rank across distinct
+    # classes is tolerated, as at runtime).
+    for e in edges:
+        if not e.blocking:
+            continue
+        a, b = classes.get(e.src), classes.get(e.dst)
+        if a is None or b is None:
+            continue
+        if e.src == e.dst:
+            v.append(Violation(
+                "self-deadlock",
+                f"{e.file}:{e.line}: blocking re-acquisition of "
+                f"'{e.src}' while already held"))
+            continue
+        if a.rank > b.rank:
+            via = f" (via {e.via})" if e.via else ""
+            v.append(Violation(
+                "rank-inversion",
+                f"{e.file}:{e.line}: '{e.src}' (rank {a.rank}) held while "
+                f"blocking on '{e.dst}' (rank {b.rank}){via}"))
+
+    # Cycle check over blocking edges (catches same-rank inversions).
+    adj: dict[str, set] = {}
+    for e in edges:
+        if e.blocking and e.src != e.dst:
+            adj.setdefault(e.src, set()).add(e.dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in set(adj) | {d for s in adj.values() for d in s}}
+    stack_path: list[str] = []
+
+    def dfs(n: str) -> list[str] | None:
+        color[n] = GREY
+        stack_path.append(n)
+        for m in adj.get(n, ()):  # noqa: B007
+            if color[m] == GREY:
+                return stack_path[stack_path.index(m):] + [m]
+            if color[m] == WHITE:
+                cyc = dfs(m)
+                if cyc:
+                    return cyc
+        stack_path.pop()
+        color[n] = BLACK
+        return None
+
+    for n in list(color):
+        if color[n] == WHITE:
+            cyc = dfs(n)
+            if cyc:
+                v.append(Violation(
+                    "cycle", "lock-order cycle: " + " -> ".join(cyc)))
+                break
+
+    # Declared-vs-observed cross-check.
+    declared_enums = set(model.ranks) - {"kTestBase"}
+    observed_enums = {c.enum for c in classes.values()}
+    for enum in sorted(declared_enums - observed_enums):
+        v.append(Violation(
+            "unused-rank",
+            f"LockRank::{enum} is declared but no RankedLock in the scanned "
+            f"tree uses it"))
+    for cls in classes.values():
+        if cls.rank < 0:
+            v.append(Violation(
+                "undeclared-rank",
+                f"lock class '{cls.name}' uses rank enumerator {cls.enum} "
+                f"that is not in the LockRank table"))
+    return v
+
+
+# ----------------------------------------------------------------- outputs
+
+
+def to_json(model: LexicalModel, edges: list[Edge], violations: list[Violation],
+            unresolved: list[str]) -> dict:
+    return {
+        "ranks": dict(sorted(model.ranks.items(), key=lambda kv: kv[1])),
+        "classes": [
+            {"name": c.name, "enum": c.enum, "rank": c.rank,
+             "declared_in": sorted({d.file for d in model.decls
+                                    if d.cls.name == c.name})}
+            for c in sorted(model.classes.values(), key=lambda c: (c.rank, c.name))
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "blocking": e.blocking,
+             "site": f"{e.file}:{e.line}", "via": e.via}
+            for e in sorted(edges, key=lambda e: (e.src, e.dst))
+        ],
+        "violations": [{"kind": x.kind, "message": x.message} for x in violations],
+        "unresolved_sites": unresolved,
+    }
+
+
+def to_dot(model: LexicalModel, edges: list[Edge]) -> str:
+    out = ["digraph lock_order {", '  rankdir="LR";',
+           '  node [shape=box, fontname="monospace"];']
+    for c in sorted(model.classes.values(), key=lambda c: c.rank):
+        out.append(f'  "{c.name}" [label="{c.name}\\nrank {c.rank}"];')
+    for e in dedupe(edges):
+        style = "solid" if e.blocking else "dashed"
+        out.append(f'  "{e.src}" -> "{e.dst}" [style={style}];')
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+MD_BEGIN = "<!-- lockgraph:ranks:begin -->"
+MD_END = "<!-- lockgraph:ranks:end -->"
+
+
+def to_markdown(model: LexicalModel) -> str:
+    rows = ["| rank | enumerator | lock class | declared in |",
+            "|-----:|------------|------------|-------------|"]
+    for c in sorted(model.classes.values(), key=lambda c: (c.rank, c.name)):
+        files = ", ".join(sorted({f"`{d.file}`" for d in model.decls
+                                  if d.cls.name == c.name}))
+        rows.append(f"| {c.rank} | `{c.enum}` | `{c.name}` | {files} |")
+    return "\n".join(rows) + "\n"
+
+
+def check_design(model: LexicalModel, design_path: pathlib.Path) -> list[str]:
+    problems = []
+    try:
+        text = design_path.read_text(encoding="utf-8")
+    except OSError as e:
+        return [f"cannot read {design_path}: {e}"]
+    if MD_BEGIN not in text or MD_END not in text:
+        return [f"{design_path} lacks the {MD_BEGIN} / {MD_END} markers"]
+    current = text.split(MD_BEGIN, 1)[1].split(MD_END, 1)[0].strip()
+    expected = to_markdown(model).strip()
+    if current != expected:
+        problems.append(
+            f"{design_path}: generated lock-rank table is stale — regenerate "
+            f"with: python3 tools/lock_graph.py --update-design {design_path}")
+    return problems
+
+
+def update_design(model: LexicalModel, design_path: pathlib.Path) -> None:
+    text = design_path.read_text(encoding="utf-8")
+    head, rest = text.split(MD_BEGIN, 1)
+    _, tail = rest.split(MD_END, 1)
+    design_path.write_text(
+        head + MD_BEGIN + "\n" + to_markdown(model) + MD_END + tail,
+        encoding="utf-8")
+
+
+# ---------------------------------------------------------- libclang engine
+
+
+def libclang_available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def run_libclang(model: LexicalModel, compdb_dir: str,
+                 edges: list[Edge], unresolved: list[str]) -> bool:
+    """AST-based acquisition scan. Best-effort: returns False (caller falls
+    back to lexical) on any environment problem."""
+    try:
+        from clang import cindex
+        db = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+        index = cindex.Index.create()
+    except Exception as e:  # missing libclang.so, bad compdb, ...
+        print(f"lock_graph: libclang unavailable ({e}); falling back to lexical",
+              file=sys.stderr)
+        return False
+
+    def guards_in(tu, rel):
+        held: list[tuple[str, int]] = []  # (class, end_offset)
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != cindex.CursorKind.VAR_DECL:
+                continue
+            if "LockGuard" not in (cur.type.spelling or ""):
+                continue
+            toks = " ".join(t.spelling for t in cur.get_tokens())
+            m = re.search(r"\(\s*(.*?)\s*(?:,\s*(?:fairmpi::)?adopt_lock)?\s*\)", toks)
+            if not m:
+                continue
+            cls = model.resolve_expr(m.group(1), rel)
+            if cls in (None, "RAW", "DYNAMIC"):
+                continue
+            end = cur.semantic_parent.extent.end.offset if cur.semantic_parent else 1 << 60
+            line = cur.location.line
+            start = cur.location.offset
+            held[:] = [(c, e) for c, e in held if e > start]
+            for held_cls, _ in held:
+                if held_cls != cls:
+                    edges.append(Edge(held_cls, cls, True, rel, line))
+            held.append((cls, end))
+
+    ok_any = False
+    for rel in model.files:
+        if not rel.endswith((".cpp", ".cc", ".cxx")):
+            continue
+        cmds = db.getCompileCommands(str(model.root / rel))
+        if not cmds:
+            continue
+        args = [a for a in list(cmds[0].arguments)[1:-1] if a != "-c"]
+        try:
+            tu = index.parse(str(model.root / rel), args=args)
+            guards_in(tu, rel)
+            ok_any = True
+        except Exception as e:
+            print(f"lock_graph: libclang parse failed for {rel}: {e}",
+                  file=sys.stderr)
+    return ok_any
+
+
+# -------------------------------------------------------------------- main
+
+
+def load_files(root: pathlib.Path, scan_dirs) -> dict[str, str]:
+    files = {}
+    for d in scan_dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for f in sorted(base.rglob("*")):
+            if f.suffix in CXX_SUFFIXES:
+                rel = f.relative_to(root).as_posix()
+                files[rel] = f.read_text(encoding="utf-8", errors="replace")
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--scan", action="append", default=None,
+                        help="directories to scan (default: include src)")
+    parser.add_argument("--engine", choices=("auto", "libclang", "lexical"),
+                        default="auto")
+    parser.add_argument("--compdb", default="build",
+                        help="compile_commands.json directory (libclang engine)")
+    parser.add_argument("--json", metavar="FILE", help="write graph JSON")
+    parser.add_argument("--dot", metavar="FILE", help="write Graphviz DOT")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="write the lock-rank markdown table ('-' = stdout)")
+    parser.add_argument("--check-design", metavar="DESIGN_MD",
+                        help="fail when the embedded rank table is stale")
+    parser.add_argument("--update-design", metavar="DESIGN_MD",
+                        help="rewrite the embedded rank table in place")
+    parser.add_argument("--strict-unresolved", action="store_true",
+                        help="treat unresolved acquisition sites as failures")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"lock_graph: no such root: {root}", file=sys.stderr)
+        return 2
+    scan_dirs = tuple(args.scan) if args.scan else DEFAULT_SCAN_DIRS
+    files = load_files(root, scan_dirs)
+    if not files:
+        print(f"lock_graph: nothing to scan under {root} {scan_dirs}",
+              file=sys.stderr)
+        return 2
+
+    model = LexicalModel(root, scan_dirs, files)
+
+    edges: list[Edge] = []
+    unresolved: list[str] = []
+    functions: dict[str, FunctionInfo] = {}
+
+    used_libclang = False
+    if args.engine in ("auto", "libclang") and libclang_available():
+        used_libclang = run_libclang(model, args.compdb, edges, unresolved)
+    elif args.engine == "libclang":
+        print("lock_graph: python clang bindings not importable; "
+              "falling back to lexical engine", file=sys.stderr)
+
+    # The lexical engine always runs: it owns REQUIRES seeding and the
+    # interprocedural pass; with libclang it adds AST-confirmed edges on top.
+    for rel in model.files:
+        if rel in EXEMPT_FILES:
+            continue
+        scan_file(model, rel, edges, functions, unresolved)
+    propagate(functions, model, edges)
+
+    edges = dedupe(edges)
+    violations = check(model, edges)
+
+    design_problems: list[str] = []
+    if args.check_design:
+        design_problems = check_design(model, pathlib.Path(args.check_design))
+    if args.update_design:
+        update_design(model, pathlib.Path(args.update_design))
+
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(to_json(model, edges, violations, unresolved), indent=2)
+            + "\n", encoding="utf-8")
+    if args.dot:
+        pathlib.Path(args.dot).write_text(to_dot(model, edges), encoding="utf-8")
+    if args.markdown:
+        md = to_markdown(model)
+        if args.markdown == "-":
+            sys.stdout.write(md)
+        else:
+            pathlib.Path(args.markdown).write_text(md, encoding="utf-8")
+
+    if not args.quiet:
+        blocking = sum(1 for e in edges if e.blocking)
+        print(f"lock_graph: engine={'libclang+lexical' if used_libclang else 'lexical'} "
+              f"classes={len(model.classes)} edges={len(edges)} "
+              f"(blocking={blocking}) ranks={len(model.ranks)}")
+        for w in model.warnings:
+            print(f"lock_graph: warning: {w}", file=sys.stderr)
+    for u in unresolved:
+        print(f"lock_graph: unresolved: {u}", file=sys.stderr)
+    for x in violations:
+        print(f"lock_graph: VIOLATION [{x.kind}] {x.message}", file=sys.stderr)
+    for p in design_problems:
+        print(f"lock_graph: DESIGN DRIFT: {p}", file=sys.stderr)
+
+    failed = bool(violations) or bool(design_problems) or (
+        args.strict_unresolved and unresolved)
+    if not failed and not args.quiet:
+        print("lock_graph: clean (rank hierarchy statically consistent)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
