@@ -48,7 +48,9 @@ void send_path_setup(const benchmark::State& state) {
   // progress so every sender thread's periodic drain is effective (with
   // the serial gate, all senders can end up inside isend backpressure
   // with nobody able to drain the receiver: deadlock).
-  cfg.fabric.rx_ring_entries = 1 << 17;
+  // rx_ring_entries is now a PER-LANE (per-source-stream) credit window, so
+  // the equivalent headroom needs far fewer entries per ring.
+  cfg.fabric.rx_ring_entries = 1 << 15;
   cfg.progress_mode = fairmpi::progress::ProgressMode::kConcurrent;
   g_uni = new Universe(cfg);
 }

@@ -18,6 +18,16 @@ namespace fairmpi {
 // compiler flags, which -Winterference-size rightly flags.
 inline constexpr std::size_t kCacheLine = 64;
 
+// For the handful of per-packet hot-path functions where an out-of-line
+// call shows up in the injection-latency budget (GCC declines to inline
+// SpscRing<Packet>::try_push at -O2 because the fieldwise Packet move makes
+// the body look big, even though it flattens to ~20 movs).
+#if defined(__GNUC__)
+#define FAIRMPI_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define FAIRMPI_ALWAYS_INLINE inline
+#endif
+
 /// Wraps a T so that it occupies (at least) one full cache line, preventing
 /// false sharing between adjacent elements in arrays of hot objects.
 template <typename T>

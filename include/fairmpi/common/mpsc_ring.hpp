@@ -110,6 +110,15 @@ class MpscRing {
     return n;
   }
 
+  /// Count of successful pushes so far (the producers' claim cursor). Exact
+  /// for every push that has *returned*; a claim mid-publish is counted one
+  /// early, which is the same slack size_approx() already has. Lets the
+  /// fabric derive delivered-packet totals from the ring instead of
+  /// maintaining a separate per-delivery fetch_add on the hot path.
+  std::uint64_t pushed_approx() const noexcept {
+    return tail_.load(std::memory_order_relaxed);
+  }
+
   /// Approximate occupancy; exact only when quiescent.
   std::size_t size_approx() const noexcept {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);

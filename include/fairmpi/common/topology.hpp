@@ -1,0 +1,69 @@
+// Cache/NUMA topology probe for CRI placement (no hwloc dependency).
+//
+// Zambre et al.'s endpoint scaling results assume the replicated resources
+// actually live apart: two CRIs whose state shares an LLC domain still
+// exchange coherence traffic even when software contention is zero. This
+// probe answers the one placement question the pool needs — "which last-
+// level-cache (or, failing that, NUMA) domain does each CPU belong to?" —
+// straight from sysfs:
+//
+//   /sys/devices/system/cpu/online                         population
+//   /sys/devices/system/cpu/cpuN/cache/index3/shared_cpu_list   LLC peers
+//   (fallback) /sys/devices/system/node/nodeK/cpulist           NUMA peers
+//
+// Domains are numbered by first appearance (CPU order), so domain ids are
+// dense and stable for a given machine. Hosts that expose neither cache
+// nor node layout (minimal containers, the 1-CPU CI runner) degenerate to
+// a single domain, in which case topology-aware placement collapses to the
+// plain round-robin it replaced — same behaviour, zero special-casing.
+//
+// The probe runs once per process (cpu_topology() caches); tests inject
+// synthetic layouts either by pointing probe_topology() at a mocked sysfs
+// root or via set_topology_for_testing().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fairmpi::common {
+
+/// Result of one topology probe. `cpu_domain[cpu]` is the locality domain
+/// (LLC if known, else NUMA node, else 0) of that CPU id; CPUs the probe
+/// never saw (offline/sparse numbering) map to domain 0.
+struct CpuTopology {
+  int num_cpus = 1;
+  int num_domains = 1;
+  std::vector<int> cpu_domain;  ///< size num_cpus, values in [0, num_domains)
+
+  /// Domain of `cpu`, tolerant of out-of-range ids (negative sched_getcpu
+  /// failures, hotplugged CPUs beyond the probed range).
+  int domain_of(int cpu) const noexcept {
+    if (cpu < 0 || cpu >= static_cast<int>(cpu_domain.size())) return 0;
+    return cpu_domain[static_cast<std::size_t>(cpu)];
+  }
+};
+
+/// Parse a sysfs cpulist string ("0-3,8,10-11") into CPU ids, ascending.
+/// Malformed chunks are skipped rather than fatal — a probe that fails
+/// degrades placement quality, never correctness.
+std::vector<int> parse_cpu_list(const std::string& list);
+
+/// Probe `sysfs_root` (default "/sys") for the CPU→domain map. Never
+/// throws; on any gap it falls back as described in the file comment.
+CpuTopology probe_topology(const std::string& sysfs_root = "/sys");
+
+/// The process-wide cached probe of the real /sys (or the injected test
+/// topology). First call probes; later calls are a pointer read.
+const CpuTopology& cpu_topology();
+
+/// CPU the calling thread is running on right now (sched_getcpu), or -1
+/// when the kernel cannot say. Advisory: the thread may migrate the next
+/// instant — placement treats it as a locality *hint*, never an identity.
+int current_cpu() noexcept;
+
+/// Test hooks: install a synthetic topology for cpu_topology() / clear it
+/// back to the real probe. Not thread-safe; call before pools exist.
+void set_topology_for_testing(CpuTopology topo);
+void clear_topology_for_testing();
+
+}  // namespace fairmpi::common

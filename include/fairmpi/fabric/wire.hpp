@@ -79,6 +79,54 @@ using PayloadBuffer = std::unique_ptr<std::byte[], PayloadDeleter>;
 /// (allocation-free in steady state; new[] above the largest class).
 PayloadBuffer make_payload(std::size_t n);
 
+// Relaxed-atomic-load header copy rationale (FAIRMPI_WIRE_FIELD_COPY
+// below): a whole-struct WireHeader copy compiles to 16-byte vector loads,
+// which stall in the store buffer when the header was just written with
+// narrow field stores — the universal pattern on the injection path
+// (protocol code fills hdr.opcode/tag/seq/... and the packet is immediately
+// moved into a ring slot; a load can only forward from a pending store that
+// fully contains it). Plain exact-width field copies do NOT fix this: GCC's
+// store-merging pass coalesces them straight back into vector ops. Relaxed
+// __atomic loads are exempt from merging, compile to the same single mov as
+// a plain access on x86, and keep every load no wider than the narrowest
+// store it might forward from. The STORE side stays plain on purpose: GCC
+// merges the nine field stores into two 16-byte vector stores, which is
+// cheaper to issue and still forwards cleanly to any later field-width
+// atomic load (each is fully contained in the wide store). Net: ~2x per
+// ring push+pop on the injection path versus whole-struct copies. Under
+// TSan we fall back to plain copies: the atomics are a codegen device, not
+// synchronization, and must not mask real races on packet handoff.
+#if !defined(FAIRMPI_TSAN)
+#if defined(__SANITIZE_THREAD__)
+#define FAIRMPI_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FAIRMPI_TSAN 1
+#endif
+#endif
+#endif
+
+#if defined(__GNUC__) && !defined(FAIRMPI_TSAN)
+#define FAIRMPI_WIRE_FIELD_COPY(dst, src, f) \
+  (dst).f = __atomic_load_n(&(src).f, __ATOMIC_RELAXED)
+#else
+#define FAIRMPI_WIRE_FIELD_COPY(dst, src, f) (dst).f = (src).f
+#endif
+
+/// Copy a header field-by-field with exact-width, merge-proof accesses (see
+/// the block comment above FAIRMPI_WIRE_FIELD_COPY).
+inline void copy_header(WireHeader& dst, const WireHeader& src) noexcept {
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, opcode);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, src_rank);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, comm_id);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, tag);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, seq);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, payload_size);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, src_ctx);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, csum);
+  FAIRMPI_WIRE_FIELD_COPY(dst, src, imm);
+}
+
 /// One fabric packet: header + inline or heap payload. Move-only; the heap
 /// buffer's ownership rides through the RX ring to the receiver.
 struct Packet {
@@ -90,8 +138,28 @@ struct Packet {
   PayloadBuffer heap;
 
   Packet() = default;
-  Packet(Packet&&) noexcept = default;
-  Packet& operator=(Packet&&) noexcept = default;
+  /// Payload-size-aware move: the defaulted move copied all 64 inline bytes
+  /// even for header-only packets, and a packet is moved at least twice per
+  /// delivery (into the RX ring, out at drain). Only the bytes set_payload
+  /// actually wrote are meaningful, so only those move.
+  Packet(Packet&& other) noexcept : heap(std::move(other.heap)) {
+    copy_header(hdr, other.hdr);
+    // n-1 wraps for n==0, folding the "empty" and "heap-resident" cases
+    // into one compare on the hot path.
+    const std::size_t n = hdr.payload_size;
+    if (n - 1 < kInlineBytes) {
+      std::memcpy(inline_data.data(), other.inline_data.data(), n);
+    }
+  }
+  Packet& operator=(Packet&& other) noexcept {
+    copy_header(hdr, other.hdr);
+    heap = std::move(other.heap);
+    const std::size_t n = hdr.payload_size;
+    if (n - 1 < kInlineBytes) {
+      std::memcpy(inline_data.data(), other.inline_data.data(), n);
+    }
+    return *this;
+  }
   Packet(const Packet&) = delete;
   Packet& operator=(const Packet&) = delete;
 

@@ -39,10 +39,14 @@ struct SendPolicy {
 /// (full destination ring) release the instance, progress own resources,
 /// spin-then-yield and retry up to the policy's budget. Completes `req`
 /// before returning — normally (buffered-send semantics) or via
-/// Request::fail when the retry budget runs out.
-void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& engine,
-                spc::CounterSet& counters, int src_rank, int dst, int tag,
-                const void* buf, std::size_t n, Request& req,
-                const SendPolicy& policy = {});
+/// Request::fail when the retry budget runs out. Returns the outcome
+/// (kOk or the failure code): once `req` is completed the waiting owner
+/// may destroy it, so callers must consult the return value rather than
+/// read `req` back.
+common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
+                             progress::ProgressEngine& engine,
+                             spc::CounterSet& counters, int src_rank, int dst, int tag,
+                             const void* buf, std::size_t n, Request& req,
+                             const SendPolicy& policy = {});
 
 }  // namespace fairmpi::p2p

@@ -57,6 +57,11 @@ enum class Counter : int {
   kAcksReceived,           ///< reliability acks processed
   kReliabilityErrors,      ///< typed errors surfaced (budget/retry exhaustion)
   kWatchdogStalls,         ///< stalled instances/rendezvous flagged
+  kSubmitQueued,           ///< injections routed through a submission ring
+  kSubmitRingFull,         ///< submission attempts bounced off a full ring
+  kSubmitDoorbells,        ///< batched doorbells rung by producers
+  kSubmitCasRetries,       ///< submission-ring tail-CAS collisions
+  kRmaFlushAllBusy,        ///< RMA flush sweeps that found every CRI busy
   kCount
 };
 

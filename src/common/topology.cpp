@@ -1,0 +1,147 @@
+#include "fairmpi/common/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace fairmpi::common {
+
+namespace {
+
+/// First line of a sysfs attribute, or "" when unreadable.
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+/// Assign each CPU a dense domain id keyed by its peer-list string: CPUs
+/// exposing identical "shared with" lists share a domain. Returns false if
+/// no CPU yielded a non-empty key (the caller then tries the next source).
+bool assign_domains(const std::vector<int>& cpus,
+                    const std::vector<std::string>& keys, CpuTopology& topo) {
+  std::unordered_map<std::string, int> key_to_domain;
+  bool any = false;
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    if (keys[i].empty()) continue;
+    any = true;
+    const auto [it, inserted] =
+        key_to_domain.emplace(keys[i], static_cast<int>(key_to_domain.size()));
+    topo.cpu_domain[static_cast<std::size_t>(cpus[i])] = it->second;
+  }
+  if (!any) return false;
+  topo.num_domains = static_cast<int>(key_to_domain.size());
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream ss(list);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    // Trim whitespace (sysfs lines end in '\n'; tests may indent).
+    const auto b = chunk.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    const auto e = chunk.find_last_not_of(" \t\r\n");
+    chunk = chunk.substr(b, e - b + 1);
+    const auto dash = chunk.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      // Malformed chunk: skip it (see header contract).
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology probe_topology(const std::string& sysfs_root) {
+  CpuTopology topo;
+  const std::string cpu_root = sysfs_root + "/devices/system/cpu";
+  std::vector<int> cpus = parse_cpu_list(read_line(cpu_root + "/online"));
+  if (cpus.empty()) {
+    // No online file (containers often mask it): fall back to a single CPU;
+    // single domain is the contract for unprobeable hosts.
+    return topo;
+  }
+  topo.num_cpus = cpus.back() + 1;
+  topo.cpu_domain.assign(static_cast<std::size_t>(topo.num_cpus), 0);
+
+  // Preferred source: LLC sharing (cache/index3, then index2 for parts that
+  // top out at L2). CPUs with identical shared_cpu_list sit in one domain.
+  for (const char* index : {"index3", "index2"}) {
+    std::vector<std::string> keys;
+    keys.reserve(cpus.size());
+    for (const int c : cpus) {
+      keys.push_back(read_line(cpu_root + "/cpu" + std::to_string(c) + "/cache/" + index +
+                               "/shared_cpu_list"));
+    }
+    if (assign_domains(cpus, keys, topo)) return topo;
+  }
+
+  // Fallback: NUMA node cpulists. Key each CPU by the node that claims it.
+  {
+    std::vector<std::string> keys(cpus.size());
+    const std::string node_root = sysfs_root + "/devices/system/node";
+    for (int node = 0; node < topo.num_cpus; ++node) {  // nodes ≤ cpus always
+      const std::string list = read_line(node_root + "/node" + std::to_string(node) + "/cpulist");
+      if (list.empty()) continue;
+      for (const int c : parse_cpu_list(list)) {
+        const auto it = std::find(cpus.begin(), cpus.end(), c);
+        if (it != cpus.end()) keys[static_cast<std::size_t>(it - cpus.begin())] = list;
+      }
+    }
+    if (assign_domains(cpus, keys, topo)) return topo;
+  }
+
+  // Neither source present: everything already maps to domain 0.
+  return topo;
+}
+
+namespace {
+
+std::unique_ptr<CpuTopology>& topology_override() {
+  static std::unique_ptr<CpuTopology> override_topo;
+  return override_topo;
+}
+
+}  // namespace
+
+const CpuTopology& cpu_topology() {
+  if (const auto& o = topology_override()) return *o;
+  static const CpuTopology probed = probe_topology();
+  return probed;
+}
+
+int current_cpu() noexcept {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+void set_topology_for_testing(CpuTopology topo) {
+  topology_override() = std::make_unique<CpuTopology>(std::move(topo));
+}
+
+void clear_topology_for_testing() { topology_override().reset(); }
+
+}  // namespace fairmpi::common

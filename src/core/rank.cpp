@@ -12,7 +12,7 @@ using spc::Counter;
 
 Rank::Rank(Universe& uni, int id)
     : uni_(&uni), id_(id), tracer_(uni.config().trace_entries),
-      pool_(uni.fabric(), id, uni.config().assignment),
+      pool_(uni.fabric(), id, uni.config().assignment, uni.config().submit_ring_entries),
       engine_(pool_, *this, uni.config().progress_mode, spc_, uni.config().progress_batch,
               &tracer_),
       comms_(static_cast<std::size_t>(uni.config().max_communicators)) {
@@ -82,10 +82,12 @@ void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
       tracker_.get(), uni_->config().send_retry_limit,
       uni_->config().reliability_window,
       [](void* user) { return static_cast<Rank*>(user)->progress(); }, this};
-  p2p::eager_send(comm_state(comm), pool_, engine_, spc_, id_, dst, tag, buf, n, req,
-                  policy);
-  if (req.failed()) {
-    report_error(common::Error{req.error(), id_, dst, 0});
+  // Outcome comes back by value: completing `req` hands it back to the
+  // waiting owner, which may destroy it before we could read failed().
+  const common::ErrorCode ec = p2p::eager_send(comm_state(comm), pool_, engine_, spc_,
+                                               id_, dst, tag, buf, n, req, policy);
+  if (ec != common::ErrorCode::kOk) {
+    report_error(common::Error{ec, id_, dst, 0});
   }
 }
 
@@ -199,10 +201,10 @@ std::size_t Rank::progress() {
 bool Rank::inject_raw(int dst, fabric::Packet&& pkt) {
   const int k = pool_.id_for_thread();
   cri::CommResourceInstance& inst = pool_.instance(k);
-  LockGuard guard(inst.lock());
-  const bool injected = inst.endpoint(dst).try_send(std::move(pkt));
-  if (injected) inst.stats().note_injection();
-  return injected;
+  // Same lock-free submission path as eager_send (DESIGN.md §5f): control
+  // traffic (acks, retransmits) rides the ring when the instance is busy
+  // instead of blocking on the lock.
+  return inst.inject(dst, pkt, spc_);
 }
 
 void Rank::enqueue_packet_ack(const fabric::WireHeader& hdr) {

@@ -1,5 +1,6 @@
 #include "fairmpi/p2p/sender.hpp"
 
+#include "fairmpi/common/backoff.hpp"
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/common/timing.hpp"
 #include "fairmpi/fabric/wire.hpp"
@@ -8,10 +9,11 @@ namespace fairmpi::p2p {
 
 using spc::Counter;
 
-void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& engine,
-                spc::CounterSet& counters, int src_rank, int dst, int tag,
-                const void* buf, std::size_t n, Request& req,
-                const SendPolicy& policy) {
+common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
+                             progress::ProgressEngine& engine,
+                             spc::CounterSet& counters, int src_rank, int dst, int tag,
+                             const void* buf, std::size_t n, Request& req,
+                             const SendPolicy& policy) {
   FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
   req.init_send();
 
@@ -33,7 +35,11 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
   };
 
   std::uint64_t attempts = 0;
-  SpinWait waiter;
+  // Adaptive spin-then-backoff (SNIPPETS.md §1 idiom) instead of the old
+  // fixed SpinWait: backpressure waits are holder-length-unknown, so the
+  // probe cadence should stretch while the backlog persists and snap back
+  // on any progress.
+  common::Backoff waiter;
 
   // Send-window gate: block (progressing, so acks keep flowing both ways)
   // while the unacked backlog is at the window. Charged against the same
@@ -45,7 +51,7 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
       if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
         counters.add(Counter::kReliabilityErrors);
         req.fail(common::ErrorCode::kSendBudgetExhausted);
-        return;
+        return common::ErrorCode::kSendBudgetExhausted;
       }
       if (make_progress() == 0) waiter.pause(); else waiter.reset();
     }
@@ -63,20 +69,11 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
     const int k = pool.id_for_thread();
     cri::CommResourceInstance& inst = pool.instance(k);
 
-    bool injected = false;
-    {
-      // Blocking acquisition (Alg. 1 uses LOCK, not TRYLOCK, on the send
-      // path); account the wait only when actually contended to keep the
-      // uncontended fast path clock-free.
-      if (!inst.lock().try_lock()) {
-        const std::uint64_t t0 = now_ns();
-        inst.lock().lock();
-        counters.add(Counter::kInstanceLockWaitNs, now_ns() - t0);
-      }
-      LockGuard adopt(inst.lock(), adopt_lock);
-      injected = inst.endpoint(dst).try_send(std::move(pkt));
-      if (injected) inst.stats().note_injection();
-    }
+    // Lock-free submission path (DESIGN.md §5f): a free instance lock is
+    // taken and used directly; a held one means the packet rides the
+    // submission ring and whoever holds the lock injects on our behalf.
+    // Either way the packet is intact again on backpressure.
+    const bool injected = inst.inject(dst, pkt, counters);
     if (injected) break;
 
     // Destination RX ring full: the fabric's EAGAIN. Drop the instance,
@@ -92,14 +89,17 @@ void eager_send(CommState& comm, cri::CriPool& pool, progress::ProgressEngine& e
       }
       counters.add(Counter::kReliabilityErrors);
       req.fail(common::ErrorCode::kSendBudgetExhausted);
-      return;
+      return common::ErrorCode::kSendBudgetExhausted;
     }
     if (make_progress() == 0) waiter.pause(); else waiter.reset();
   }
 
   counters.add(Counter::kMessagesSent);
   counters.add(Counter::kBytesSent, n);
+  // complete() is the last touch: the waiting owner may destroy `req` the
+  // instant done() flips, so the outcome travels via the return value.
   req.complete();
+  return common::ErrorCode::kOk;
 }
 
 }  // namespace fairmpi::p2p

@@ -34,6 +34,11 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kAcksReceived: return "AcksReceived";
     case Counter::kReliabilityErrors: return "ReliabilityErrors";
     case Counter::kWatchdogStalls: return "WatchdogStalls";
+    case Counter::kSubmitQueued: return "SubmitQueued";
+    case Counter::kSubmitRingFull: return "SubmitRingFull";
+    case Counter::kSubmitDoorbells: return "SubmitDoorbells";
+    case Counter::kSubmitCasRetries: return "SubmitCasRetries";
+    case Counter::kRmaFlushAllBusy: return "RmaFlushAllBusy";
     case Counter::kCount: break;
   }
   return "Unknown";

@@ -1,0 +1,184 @@
+// Topology probe + topology-aware dedicated placement tests. The sysfs
+// probe is pointed at a mocked directory tree (LLC layout, NUMA fallback,
+// empty host) and the CriPool claim scan at an injected synthetic topology,
+// so the assertions are deterministic on any CI host including 1-CPU
+// runners.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fairmpi/common/topology.hpp"
+#include "fairmpi/cri/cri.hpp"
+#include "fairmpi/fabric/fabric.hpp"
+
+namespace fairmpi::common {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ParseCpuList, RangesSinglesAndMixes) {
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"), (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpu_list(" 2 , 4 "), (std::vector<int>{2, 4}));
+}
+
+TEST(ParseCpuList, MalformedChunksAreSkippedNotFatal) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("garbage").empty());
+  EXPECT_EQ(parse_cpu_list("bad,3,worse"), (std::vector<int>{3}));
+  EXPECT_EQ(parse_cpu_list("1,1,0-1"), (std::vector<int>{0, 1}));  // deduped
+}
+
+/// Builds a throwaway sysfs tree under the gtest temp dir. The path is
+/// pid-qualified: ctest runs each test case as its own process, so a plain
+/// per-process counter would hand concurrently running cases the same tree.
+class MockSysfs {
+ public:
+  MockSysfs() : root_(fs::path(::testing::TempDir()) /
+                      ("sysfs_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(counter_++))) {
+    fs::create_directories(root_);
+  }
+  ~MockSysfs() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << content << "\n";
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+  static inline int counter_ = 0;
+};
+
+TEST(ProbeTopology, LlcSharedCpuListsDefineDomains) {
+  MockSysfs sys;
+  sys.write("devices/system/cpu/online", "0-3");
+  // Two LLC domains: {0,1} and {2,3}.
+  for (int c : {0, 1}) {
+    sys.write("devices/system/cpu/cpu" + std::to_string(c) + "/cache/index3/shared_cpu_list",
+              "0-1");
+  }
+  for (int c : {2, 3}) {
+    sys.write("devices/system/cpu/cpu" + std::to_string(c) + "/cache/index3/shared_cpu_list",
+              "2-3");
+  }
+  const CpuTopology topo = probe_topology(sys.root());
+  EXPECT_EQ(topo.num_cpus, 4);
+  EXPECT_EQ(topo.num_domains, 2);
+  EXPECT_EQ(topo.domain_of(0), topo.domain_of(1));
+  EXPECT_EQ(topo.domain_of(2), topo.domain_of(3));
+  EXPECT_NE(topo.domain_of(0), topo.domain_of(2));
+}
+
+TEST(ProbeTopology, FallsBackToNumaNodesWithoutCacheInfo) {
+  MockSysfs sys;
+  sys.write("devices/system/cpu/online", "0-3");
+  sys.write("devices/system/node/node0/cpulist", "0,2");
+  sys.write("devices/system/node/node1/cpulist", "1,3");
+  const CpuTopology topo = probe_topology(sys.root());
+  EXPECT_EQ(topo.num_domains, 2);
+  EXPECT_EQ(topo.domain_of(0), topo.domain_of(2));
+  EXPECT_EQ(topo.domain_of(1), topo.domain_of(3));
+  EXPECT_NE(topo.domain_of(0), topo.domain_of(1));
+}
+
+TEST(ProbeTopology, BareHostDegeneratesToSingleDomain) {
+  MockSysfs sys;  // no files at all
+  const CpuTopology topo = probe_topology(sys.root());
+  EXPECT_EQ(topo.num_cpus, 1);
+  EXPECT_EQ(topo.num_domains, 1);
+  EXPECT_EQ(topo.domain_of(0), 0);
+  EXPECT_EQ(topo.domain_of(123), 0);  // out-of-range ids are tolerated
+}
+
+TEST(ProbeTopology, OnlineListWithoutDomainInfoIsSingleDomain) {
+  MockSysfs sys;
+  sys.write("devices/system/cpu/online", "0-7");
+  const CpuTopology topo = probe_topology(sys.root());
+  EXPECT_EQ(topo.num_cpus, 8);
+  EXPECT_EQ(topo.num_domains, 1);
+}
+
+TEST(ProbeTopology, SparseOnlineCpusMapUnseenIdsToDomainZero) {
+  MockSysfs sys;
+  sys.write("devices/system/cpu/online", "0,2");
+  sys.write("devices/system/cpu/cpu0/cache/index3/shared_cpu_list", "0");
+  sys.write("devices/system/cpu/cpu2/cache/index3/shared_cpu_list", "2");
+  const CpuTopology topo = probe_topology(sys.root());
+  EXPECT_EQ(topo.num_domains, 2);
+  EXPECT_EQ(topo.domain_of(1), 0);  // offline cpu: default domain
+}
+
+/// Installs a synthetic topology for the scope of one test.
+class ScopedTopology {
+ public:
+  explicit ScopedTopology(CpuTopology topo) { set_topology_for_testing(std::move(topo)); }
+  ~ScopedTopology() { clear_topology_for_testing(); }
+};
+
+CpuTopology every_cpu_in_domain(int domain, int num_domains) {
+  CpuTopology topo;
+  topo.num_cpus = 1024;  // cover any CPU id current_cpu() can return
+  topo.num_domains = num_domains;
+  topo.cpu_domain.assign(1024, domain);
+  return topo;
+}
+
+TEST(CriPoolPlacement, InstancesLaidOutRoundRobinAcrossDomains) {
+  ScopedTopology topo(every_cpu_in_domain(0, 2));
+  fabric::Fabric fab({4});
+  cri::CriPool pool(fab, 0, cri::Assignment::kDedicated);
+  ASSERT_EQ(pool.size(), 4);
+  EXPECT_EQ(pool.instance_domain(0), 0);
+  EXPECT_EQ(pool.instance_domain(1), 1);
+  EXPECT_EQ(pool.instance_domain(2), 0);
+  EXPECT_EQ(pool.instance_domain(3), 1);
+}
+
+TEST(CriPoolPlacement, DedicatedClaimPrefersOwnDomainThenOverflows) {
+  // Every CPU reports domain 1, so with the i%2 layout the preference
+  // order of fresh threads is instance 1, 3 (domain 1) then 0, 2.
+  ScopedTopology topo(every_cpu_in_domain(1, 2));
+  fabric::Fabric fab({4});
+  cri::CriPool pool(fab, 0, cri::Assignment::kDedicated);
+
+  std::vector<int> bound;
+  for (int t = 0; t < 4; ++t) {
+    std::thread([&] { bound.push_back(pool.dedicated_id()); }).join();
+  }
+  EXPECT_EQ(bound, (std::vector<int>{1, 3, 0, 2}));
+
+  // Oversubscription: a fifth thread finds every instance claimed and
+  // falls back to round-robin — still a valid id.
+  int fifth = -1;
+  std::thread([&] { fifth = pool.dedicated_id(); }).join();
+  EXPECT_GE(fifth, 0);
+  EXPECT_LT(fifth, pool.size());
+}
+
+TEST(CriPoolPlacement, SingleDomainClaimIsFirstFreeInstance) {
+  ScopedTopology topo(every_cpu_in_domain(0, 1));
+  fabric::Fabric fab({3});
+  cri::CriPool pool(fab, 0, cri::Assignment::kDedicated);
+  std::vector<int> bound;
+  for (int t = 0; t < 3; ++t) {
+    std::thread([&] { bound.push_back(pool.dedicated_id()); }).join();
+  }
+  EXPECT_EQ(bound, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace fairmpi::common

@@ -154,6 +154,47 @@ TEST(Chaos, ExactlyOnceConcurrentSenders) {
   EXPECT_EQ(uni.aggregate_counters().get(Counter::kReliabilityErrors), 0u);
 }
 
+TEST(Chaos, ExactlyOnceSubmitRingOversubscribed) {
+  // Submission-ring stress under a lossy fabric: one instance, dedicated
+  // assignment, more sender threads than instances, and a deliberately tiny
+  // ring (8 entries) so producers hit every ring path — combining-funnel
+  // flushes, full-ring blocking acquires, doorbell escalation — while the
+  // reliability layer retransmits around drops. Exactly-once delivery and
+  // per-tag FIFO must hold regardless of which path each packet took.
+  ScopedChaosEnvClear env;
+  Config cfg = lossy_config();
+  cfg.num_instances = 1;
+  cfg.assignment = cri::Assignment::kDedicated;
+  cfg.progress_mode = progress::ProgressMode::kConcurrent;
+  cfg.submit_ring_entries = 8;
+  Universe uni(cfg);
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kPerThread = 150;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&uni, t] {
+      auto w0 = uni.rank(0).world();
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        w0.send(1, /*tag=*/t, &i, sizeof i);
+      }
+    });
+    workers.emplace_back([&uni, t] {
+      auto w1 = uni.rank(1).world();
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        std::uint32_t got = ~0u;
+        w1.recv(0, t, &got, sizeof got);
+        ASSERT_EQ(got, i) << "tag " << t;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(uni.rank(1).counters().get(Counter::kMessagesReceived),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(uni.aggregate_counters().get(Counter::kReliabilityErrors), 0u);
+}
+
 TEST(Chaos, RendezvousIntegrityUnderCorruption) {
   ScopedChaosEnvClear env;
   Config cfg = lossy_config();

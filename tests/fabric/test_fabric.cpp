@@ -64,7 +64,7 @@ TEST(Fabric, RouteModulo) {
 
 TEST(Fabric, DeliverLandsInRoutedContext) {
   Fabric fabric({2, 2});
-  ASSERT_TRUE(fabric.try_deliver(1, /*src_ctx=*/1, make_packet(0, 42)));
+  ASSERT_TRUE(fabric.try_deliver(1, /*src_rank=*/0, /*src_ctx=*/1, make_packet(0, 42)));
   EXPECT_EQ(fabric.nic(1).context(1).delivered(), 1u);
   EXPECT_EQ(fabric.nic(1).context(0).delivered(), 0u);
   Packet out;
@@ -78,12 +78,12 @@ TEST(Fabric, BackpressureWhenRingFull) {
   params.rx_ring_entries = 4;
   Fabric fabric({1, 1}, params);
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(fabric.try_deliver(1, 0, make_packet(0, static_cast<std::uint32_t>(i))));
+    ASSERT_TRUE(fabric.try_deliver(1, 0, 0, make_packet(0, static_cast<std::uint32_t>(i))));
   }
-  EXPECT_FALSE(fabric.try_deliver(1, 0, make_packet(0, 99)));
+  EXPECT_FALSE(fabric.try_deliver(1, 0, 0, make_packet(0, 99)));
   Packet out;
   ASSERT_TRUE(fabric.nic(1).context(0).rx().try_pop(out));
-  EXPECT_TRUE(fabric.try_deliver(1, 0, make_packet(0, 99)));
+  EXPECT_TRUE(fabric.try_deliver(1, 0, 0, make_packet(0, 99)));
 }
 
 TEST(Fabric, EndpointStampsSourceContext) {
@@ -97,7 +97,7 @@ TEST(Fabric, EndpointStampsSourceContext) {
 
 TEST(Fabric, SelfDeliveryWorks) {
   Fabric fabric({2});
-  ASSERT_TRUE(fabric.try_deliver(0, 1, make_packet(0, 3)));
+  ASSERT_TRUE(fabric.try_deliver(0, /*src_rank=*/0, /*src_ctx=*/1, make_packet(0, 3)));
   Packet out;
   ASSERT_TRUE(fabric.nic(0).context(1).rx().try_pop(out));
   EXPECT_EQ(out.hdr.seq, 3u);
@@ -108,7 +108,7 @@ TEST(Fabric, AsymmetricContextCounts) {
   // into ring 0 (the paper's single-instance receiver).
   Fabric fabric({8, 1});
   for (int ctx = 0; ctx < 8; ++ctx) {
-    ASSERT_TRUE(fabric.try_deliver(1, ctx, make_packet(0, static_cast<std::uint32_t>(ctx))));
+    ASSERT_TRUE(fabric.try_deliver(1, 0, ctx, make_packet(0, static_cast<std::uint32_t>(ctx))));
   }
   EXPECT_EQ(fabric.nic(1).context(0).delivered(), 8u);
 }

@@ -1,0 +1,17 @@
+// Fixture tree: poses as a PR-7 hot-path primitive
+// (include/fairmpi/common/spsc_ring.hpp) so the path keys added for the
+// lock-free injection path fire. Scanned with --root at the fixture tree.
+// expect: hotpath-alloc @ 8
+// expect: no-tsa-hotpath @ 11
+struct FakeLane {
+  void grow() {
+    slots = new int[64];
+  }
+  // A lane op opted out of the analysis must be reported, not ignored.
+  void drain() FAIRMPI_NO_TSA;
+  FakeLane() {
+    // lint: allow(hotpath-alloc) fixture: annotated ctor allocation survives
+    slots = new int[8];
+  }
+  int* slots = nullptr;
+};

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -25,6 +26,35 @@
 
 namespace fairmpi {
 namespace {
+
+/// Unsets the chaos fault-injection environment for the lifetime of a test
+/// and restores it afterwards (same idiom as test_chaos.cpp): the
+/// conservation assertions below equate injections with messages sent,
+/// which only holds on a pristine fabric — a retransmitting universe
+/// injects the same message several times by design.
+class ScopedChaosEnvClear {
+ public:
+  ScopedChaosEnvClear() {
+    for (const char* name : kVars) {
+      const char* value = std::getenv(name);
+      saved_.emplace_back(name, value == nullptr ? std::string() : std::string(value));
+      if (value != nullptr) ::unsetenv(name);
+    }
+  }
+  ~ScopedChaosEnvClear() {
+    for (const auto& [name, value] : saved_) {
+      if (!value.empty()) ::setenv(name, value.c_str(), 1);
+    }
+  }
+
+ private:
+  static constexpr const char* kVars[] = {
+      "FAIRMPI_FAULT_DROP",    "FAIRMPI_FAULT_DUP",  "FAIRMPI_FAULT_DELAY",
+      "FAIRMPI_FAULT_REORDER", "FAIRMPI_FAULT_CORRUPT", "FAIRMPI_FAULT_SEED",
+      "FAIRMPI_RELIABLE",
+  };
+  std::vector<std::pair<const char*, std::string>> saved_;
+};
 
 /// RAII: obs on for the scope, shards zeroed on both edges.
 struct ObsScope {
@@ -178,6 +208,7 @@ TEST(CriUtilization, DrainHistogramBuckets) {
 /// exactly one packet drained from some CRI — so at quiescence the
 /// per-instance counters must sum to the aggregate SPCs.
 TEST(CriUtilization, InjectionsAndDrainsConserveAgainstSpc) {
+  ScopedChaosEnvClear env;  // conservation requires a lossless fabric
   ObsScope scope;
   Config cfg;
   cfg.num_ranks = 2;
@@ -315,11 +346,16 @@ TEST(ObsExport, DumpObservabilityHasAllSections) {
 TEST(LockContentionCapacity, InternPastCapIsNonFatal) {
   ObsScope scope;
   std::uint16_t last = 0;
+  // Interning keeps the pointer, not a copy, so the names must outlive the
+  // test. Anchor them through a never-destroyed static so LeakSanitizer
+  // sees the over-cap ones (which the registry drops) as reachable — a
+  // plain static vector would be destructed before the leak check runs.
+  static std::vector<char*>* const names = new std::vector<char*>();
   for (int i = 0; i < obs::kMaxContentionClasses + 8; ++i) {
     char name[32];
     std::snprintf(name, sizeof name, "obs.test.cap.%d", i);
-    // Interning keeps the pointer, not a copy, so leak stable names.
-    last = obs::intern_contention_class(2000, strdup(name));
+    names->push_back(strdup(name));
+    last = obs::intern_contention_class(2000, names->back());
   }
   EXPECT_EQ(last, obs::kNoContentionClass);
   // Over-cap hooks are no-ops, not crashes.

@@ -201,6 +201,27 @@ def report_obs(path: str, require_wait: list[str]) -> None:
         ["instance", "inject", "pkts-out", "comps-out", "visits",
          "own-miss", "sweeps", "batch-hist(1/2/4/8/16/32/33+)"],
         util_rows))
+    print()
+
+    # --- per-CRI submission ring (lock-free injection path, DESIGN.md §5f) ---
+    # Older snapshots (pre-PR-7) have no submit fields; skip the table then.
+    submit_rows = []
+    for rank in doc["ranks"]:
+        for inst in rank["instances"]:
+            if "submit_claimed" not in inst:
+                continue
+            submit_rows.append([
+                f"r{rank['rank']}.cri{inst['id']}",
+                str(inst["submit_claimed"]), str(inst["submit_doorbells"]),
+                str(inst["submit_cas_retries"]),
+                "/".join(str(h) for h in inst["submit_flush_hist"]),
+            ])
+    if submit_rows:
+        print("per-CRI submission ring:")
+        print(render_table(
+            ["instance", "claimed", "doorbells", "cas-retries",
+             "flush-hist(1/2/4/8/16/32/33+)"],
+            submit_rows))
 
     # --- requirements ---
     failures = []
