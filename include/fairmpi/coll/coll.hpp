@@ -12,6 +12,15 @@
 // reduce+broadcast for allreduce, linear gather/scatter. Internal traffic
 // uses the reserved tag block starting at kCollTagBase, far above user
 // tags.
+//
+// Failure tolerance (DESIGN.md §5g): every collective returns a typed
+// common::ErrorCode. kOk on success; kPeerFailed when a partner rank died
+// mid-collective (detected by the failure detector); kCommRevoked when the
+// communicator was revoked. A non-kOk return means the collective did NOT
+// complete — output buffers may be partially written and the communicator
+// should be revoked (then shrunk) before further use, since other ranks may
+// be stranded mid-tree. Callers that predate ft can keep ignoring the
+// return value: with ft off the codes can never occur.
 #pragma once
 
 #include <cstddef>
@@ -54,18 +63,19 @@ void apply(ReduceOp op, T* acc, const T* in, std::size_t count) {
 
 }  // namespace detail
 
-/// Block until every rank of the communicator has entered the barrier.
-inline void barrier(Communicator comm) { comm.barrier(); }
+/// Block until every rank of the communicator has entered the barrier (or
+/// the communicator breaks: see the failure-tolerance contract above).
+inline common::ErrorCode barrier(Communicator comm) { return comm.barrier_checked(); }
 
 /// Broadcast `count` elements from `root`'s `data` to every rank's `data`.
 /// Binomial tree: O(log n) rounds.
 template <typename T>
-void broadcast(Communicator comm, int root, T* data, std::size_t count) {
+common::ErrorCode broadcast(Communicator comm, int root, T* data, std::size_t count) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
   const int me = comm.rank();
   FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid broadcast root");
-  if (n == 1) return;
+  if (n == 1) return common::ErrorCode::kOk;
   const std::size_t bytes = count * sizeof(T);
 
   // Virtual ranks put the root at 0. A rank receives from the parent that
@@ -76,23 +86,26 @@ void broadcast(Communicator comm, int root, T* data, std::size_t count) {
   while (mask < n && (vr & mask) == 0) mask <<= 1;  // lowest set bit (or >= n at root)
   if (vr != 0) {
     const int parent = ((vr - mask) + root) % n;  // clear the lowest set bit
-    comm.recv(parent, detail::kTagBcast, data, bytes);
+    const auto rc = comm.recv_checked(parent, detail::kTagBcast, data, bytes);
+    if (rc != common::ErrorCode::kOk) return rc;
   }
   mask >>= 1;
   for (; mask > 0; mask >>= 1) {
     if (vr + mask < n) {
       const int child = (vr + mask + root) % n;
-      comm.send(child, detail::kTagBcast, data, bytes);
+      const auto rc = comm.send_checked(child, detail::kTagBcast, data, bytes);
+      if (rc != common::ErrorCode::kOk) return rc;
     }
   }
+  return common::ErrorCode::kOk;
 }
 
 /// Reduce `count` elements from every rank's `in` into `root`'s `out`
 /// (elementwise `op`). Binomial tree, O(log n) rounds; `out` is only
 /// written at the root (may be null elsewhere).
 template <typename T>
-void reduce(Communicator comm, int root, const T* in, T* out, std::size_t count,
-            ReduceOp op) {
+common::ErrorCode reduce(Communicator comm, int root, const T* in, T* out,
+                         std::size_t count, ReduceOp op) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
   const int me = comm.rank();
@@ -108,12 +121,14 @@ void reduce(Communicator comm, int root, const T* in, T* out, std::size_t count,
     if ((vr & mask) == 0) {
       if (vr + mask < n) {
         const int child = (vr + mask + root) % n;
-        comm.recv(child, detail::kTagReduce, incoming.data(), bytes);
+        const auto rc = comm.recv_checked(child, detail::kTagReduce, incoming.data(), bytes);
+        if (rc != common::ErrorCode::kOk) return rc;
         detail::apply(op, acc.data(), incoming.data(), count);
       }
     } else {
       const int parent = ((vr ^ mask) + root) % n;
-      comm.send(parent, detail::kTagReduce, acc.data(), bytes);
+      const auto rc = comm.send_checked(parent, detail::kTagReduce, acc.data(), bytes);
+      if (rc != common::ErrorCode::kOk) return rc;
       break;
     }
   }
@@ -121,24 +136,29 @@ void reduce(Communicator comm, int root, const T* in, T* out, std::size_t count,
     FAIRMPI_CHECK_MSG(out != nullptr, "reduce root needs an output buffer");
     std::memcpy(out, acc.data(), bytes);
   }
+  return common::ErrorCode::kOk;
 }
 
 /// Allreduce = reduce to rank 0 + broadcast. `out` is written everywhere.
 template <typename T>
-void allreduce(Communicator comm, const T* in, T* out, std::size_t count, ReduceOp op) {
+common::ErrorCode allreduce(Communicator comm, const T* in, T* out, std::size_t count,
+                            ReduceOp op) {
+  common::ErrorCode rc;
   if (comm.rank() == 0) {
-    reduce(comm, 0, in, out, count, op);
+    rc = reduce(comm, 0, in, out, count, op);
   } else {
     std::vector<T> scratch(count);
-    reduce(comm, 0, in, scratch.data(), count, op);
+    rc = reduce(comm, 0, in, scratch.data(), count, op);
   }
-  broadcast(comm, 0, out, count);
+  if (rc != common::ErrorCode::kOk) return rc;
+  return broadcast(comm, 0, out, count);
 }
 
 /// Gather `count` elements from every rank into `root`'s `out`
 /// (rank i's block lands at out + i*count). Linear.
 template <typename T>
-void gather(Communicator comm, int root, const T* in, std::size_t count, T* out) {
+common::ErrorCode gather(Communicator comm, int root, const T* in, std::size_t count,
+                         T* out) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
   const int me = comm.rank();
@@ -148,17 +168,20 @@ void gather(Communicator comm, int root, const T* in, std::size_t count, T* out)
     std::memcpy(out + static_cast<std::size_t>(me) * count, in, bytes);
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      comm.recv(r, detail::kTagGather, out + static_cast<std::size_t>(r) * count, bytes);
+      const auto rc = comm.recv_checked(
+          r, detail::kTagGather, out + static_cast<std::size_t>(r) * count, bytes);
+      if (rc != common::ErrorCode::kOk) return rc;
     }
-  } else {
-    comm.send(root, detail::kTagGather, in, bytes);
+    return common::ErrorCode::kOk;
   }
+  return comm.send_checked(root, detail::kTagGather, in, bytes);
 }
 
 /// Scatter `count` elements per rank from `root`'s `in` (rank i's block at
 /// in + i*count) into every rank's `out`. Linear.
 template <typename T>
-void scatter(Communicator comm, int root, const T* in, T* out, std::size_t count) {
+common::ErrorCode scatter(Communicator comm, int root, const T* in, T* out,
+                          std::size_t count) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
   const int me = comm.rank();
@@ -167,12 +190,14 @@ void scatter(Communicator comm, int root, const T* in, T* out, std::size_t count
     FAIRMPI_CHECK_MSG(in != nullptr, "scatter root needs an input buffer");
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      comm.send(r, detail::kTagScatter, in + static_cast<std::size_t>(r) * count, bytes);
+      const auto rc = comm.send_checked(
+          r, detail::kTagScatter, in + static_cast<std::size_t>(r) * count, bytes);
+      if (rc != common::ErrorCode::kOk) return rc;
     }
     std::memcpy(out, in + static_cast<std::size_t>(me) * count, bytes);
-  } else {
-    comm.recv(root, detail::kTagScatter, out, bytes);
+    return common::ErrorCode::kOk;
   }
+  return comm.recv_checked(root, detail::kTagScatter, out, bytes);
 }
 
 }  // namespace fairmpi::coll

@@ -24,6 +24,8 @@ enum class ErrorCode : std::uint8_t {
   kRetryExhausted,        ///< retransmit limit reached without an ack
   kStalledInstance,       ///< watchdog: CRI backlog stopped draining
   kStalledRendezvous,     ///< watchdog: rendezvous pending past threshold
+  kPeerFailed,            ///< ft: operation targeted a confirmed-dead rank
+  kCommRevoked,           ///< ft: operation on a revoked communicator
 };
 
 inline const char* error_code_name(ErrorCode c) noexcept {
@@ -33,6 +35,8 @@ inline const char* error_code_name(ErrorCode c) noexcept {
     case ErrorCode::kRetryExhausted: return "RetryExhausted";
     case ErrorCode::kStalledInstance: return "StalledInstance";
     case ErrorCode::kStalledRendezvous: return "StalledRendezvous";
+    case ErrorCode::kPeerFailed: return "PeerFailed";
+    case ErrorCode::kCommRevoked: return "CommRevoked";
   }
   return "Unknown";
 }

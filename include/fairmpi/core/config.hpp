@@ -106,6 +106,28 @@ struct Config {
 
   /// Age past which a pending rendezvous transfer is reported stalled.
   std::uint64_t rndv_stall_ns = 1'000'000'000;
+
+  // --- failure tolerance (DESIGN.md §5g) ---
+
+  /// Rank-failure tolerance layer (fairmpi::ft): heartbeat failure
+  /// detector, typed kPeerFailed propagation, communicator revoke/shrink.
+  /// Off by default — with it off no heartbeat ever flows and the hot path
+  /// pays one null-pointer branch. Enabling it forces the fault injector
+  /// into the delivery path (its kill_rank peer-death mode is the
+  /// detector's counterpart) even with all-zero fault probabilities.
+  bool ft_enabled = false;
+
+  /// Failure-detector probe cadence: every live peer gets an explicit
+  /// heartbeat once per interval (sender-side cadence), and one suspicion
+  /// strike accrues per unanswered interval.
+  std::uint64_t ft_heartbeat_ns = 1'000'000;
+
+  /// Silence past this threshold moves a peer alive -> suspect.
+  std::uint64_t ft_suspect_ns = 5'000'000;
+
+  /// Unanswered probe rounds while suspect before the peer is confirmed
+  /// dead (terminal).
+  int ft_strikes = 3;
 };
 
 }  // namespace fairmpi

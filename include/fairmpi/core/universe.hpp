@@ -29,6 +29,7 @@
 #include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/fabric/fabric.hpp"
+#include "fairmpi/ft/failure_detector.hpp"
 #include "fairmpi/p2p/comm_state.hpp"
 #include "fairmpi/p2p/reliability.hpp"
 #include "fairmpi/p2p/rendezvous.hpp"
@@ -42,6 +43,9 @@ namespace fairmpi {
 
 class Universe;
 class Rank;
+namespace rma {
+class Window;  // befriended by Rank for typed RMA failure reporting
+}  // namespace rma
 
 using p2p::CommId;
 using p2p::kWorldComm;
@@ -52,27 +56,54 @@ using p2p::kAnyTag;
 
 /// Lightweight handle pairing a rank with a communicator id. Copyable;
 /// all operations forward to the owning Rank.
+///
+/// Rank translation: communicators built from a group (Universe::shrink /
+/// create_communicator(members)) expose *local* ranks — rank()/size(),
+/// dst/src arguments and returned Status.source are all group-local; the
+/// translation to the universe's global ids happens here, at the boundary.
+/// World-spanning communicators (every one before PR 8) translate
+/// identically (local == global).
 class Communicator {
  public:
   Communicator(Rank& rank, CommId id) noexcept : rank_(&rank), id_(id) {}
 
-  /// This endpoint's rank id within the universe.
+  /// This endpoint's rank id within the communicator (group-local).
   int rank() const noexcept;
-  /// Number of ranks in the communicator (== universe size; fairmpi
-  /// communicators are duplicates of world, per the paper's usage).
+  /// Number of ranks in the communicator (group size; == universe size for
+  /// world-spanning communicators, the paper's only shape).
   int size() const noexcept;
   CommId id() const noexcept { return id_; }
+
+  /// ft: true once Universe::revoke ran on this communicator — every
+  /// subsequent operation fails fast with kCommRevoked.
+  bool revoked() const noexcept;
 
   void isend(int dst, int tag, const void* buf, std::size_t n, Request& req);
   void irecv(int src, int tag, void* buf, std::size_t capacity, Request& req);
   void send(int dst, int tag, const void* buf, std::size_t n);
   Status recv(int src, int tag, void* buf, std::size_t capacity);
 
+  /// Typed-outcome variants (ft): same blocking semantics, but a peer
+  /// failure or a revocation surfaces as the returned code (kPeerFailed /
+  /// kCommRevoked / kRetryExhausted / ...) instead of only via the error
+  /// sink. The unchecked wrappers above forward here and discard the code.
+  common::ErrorCode send_checked(int dst, int tag, const void* buf, std::size_t n);
+  common::ErrorCode recv_checked(int src, int tag, void* buf, std::size_t capacity,
+                                 Status* status = nullptr);
+
   /// Dissemination barrier over all ranks of the communicator. Every rank
   /// must have (at least) one thread inside barrier() for it to complete.
   void barrier();
+  /// Barrier with a typed outcome: returns kOk when every round paired, or
+  /// the first failure (kPeerFailed when a partner died, kCommRevoked when
+  /// the communicator was revoked mid-barrier) — instead of hanging, the
+  /// failure mode this PR exists to remove (DESIGN.md §5g).
+  common::ErrorCode barrier_checked();
 
  private:
+  /// Group-local -> global translation (identity on world-spanning comms).
+  int global_of(int local) const noexcept;
+
   Rank* rank_;
   CommId id_;
 };
@@ -127,6 +158,13 @@ class Rank final : public progress::PacketSink,
   p2p::ReliabilityTracker* reliability() noexcept { return tracker_.get(); }
   progress::Watchdog* watchdog() noexcept { return watchdog_.get(); }
 
+  /// The rank-failure detector (null unless Config::ft_enabled).
+  ft::FailureDetector* failure_detector() noexcept { return ft_.get(); }
+  /// True once the detector confirmed `peer` dead. False with ft off.
+  bool peer_failed(int peer) const noexcept {
+    return ft_ != nullptr && ft_->is_dead(peer);
+  }
+
   /// Install the typed-error callback (retry exhaustion, send budget, stall
   /// escalation). Not thread-safe against in-flight traffic: install before
   /// communication starts.
@@ -145,8 +183,23 @@ class Rank final : public progress::PacketSink,
 
  private:
   friend class Universe;
+  friend class rma::Window;  ///< report_error for ft fail-fast RMA ops
   Rank(Universe& uni, int id);
-  void install_comm(CommId id);
+  void install_comm(CommId id, std::vector<int> members = {});
+
+  // --- ft layer (see ft/failure_detector.hpp; DESIGN.md §5g) ---
+  /// One detection sweep from progress(): classify under the detector lock,
+  /// then (lock-free) inject heartbeats toward idle links and run failure
+  /// propagation for newly confirmed deaths.
+  void ft_poll(std::uint64_t now);
+  /// Single-attempt header-only liveness probe (never tracked, never acked).
+  void send_heartbeat(int dst);
+  /// Failure propagation for one confirmed-dead peer: fail tracked sends,
+  /// purge posted receives on every installed communicator, fail in-flight
+  /// rendezvous transfers, report one typed error.
+  void on_peer_dead(int peer);
+  /// Rendezvous part of the propagation (rndv registry purge).
+  void fail_rendezvous_peer(int peer);
 
   // --- rendezvous protocol (see p2p/rendezvous.hpp) ---
   void rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
@@ -187,12 +240,19 @@ class Rank final : public progress::PacketSink,
 
   std::unique_ptr<p2p::ReliabilityTracker> tracker_;  ///< Config::reliable only
   std::unique_ptr<progress::Watchdog> watchdog_;
+  std::unique_ptr<ft::FailureDetector> ft_;  ///< Config::ft_enabled only
   common::ErrorSink err_sink_ = nullptr;
   void* err_user_ = nullptr;
   /// Reentrancy guard: a retransmit injection can recurse into progress(),
   /// which must not start a second sweep on the same stack (or convoy
   /// concurrent threads into duplicate retransmit bursts).
   std::atomic<bool> sweeping_{false};
+  /// Same shape for the detector sweep: exactly one thread at a time runs
+  /// ft_poll, which makes the probe/death scratch vectors below safely
+  /// single-writer without per-poll allocation.
+  std::atomic<bool> ft_polling_{false};
+  std::vector<int> ft_probes_;
+  std::vector<int> ft_newly_dead_;
 
   // Rendezvous registries and the deferred-send queue. A plain mutex-style
   // spinlock is fine here: traffic is one entry per large message, not per
@@ -227,6 +287,38 @@ class Universe {
   /// call from any one thread; the id is usable on every rank once this
   /// returns. Models MPI_Comm_dup for the paper's comm-per-pair runs.
   CommId create_communicator();
+
+  /// Create a communicator over an explicit group: `members` lists global
+  /// rank ids in local-rank order (strictly increasing, non-empty). The
+  /// building block of shrink(); also usable directly (MPI_Comm_create).
+  CommId create_communicator(std::vector<int> members);
+
+  // --- ft: communicator-level recovery (ULFM revoke/shrink; DESIGN.md §5g) ---
+
+  /// Revoke `id` on every rank: all posted receives fail with kCommRevoked
+  /// and every subsequent operation on the communicator fails fast. The
+  /// escape hatch from collectives wedged by a rank failure — one rank
+  /// observes kPeerFailed, revokes, and every other rank's blocked
+  /// operation unblocks typed instead of hanging.
+  void revoke(CommId id);
+
+  /// Rebuild after failure: revoke `id` (idempotent), drain in-flight
+  /// traffic among survivors (quiesce), and return a new communicator
+  /// whose group is survivors() — ranks not confirmed dead by any live
+  /// rank's detector nor killed in the injector. The returned communicator
+  /// renumbers survivors densely (Communicator::rank()/size() are
+  /// group-local).
+  CommId shrink(CommId id);
+
+  /// Progress every surviving rank until no rank completes further work
+  /// and every reliability tracker is empty, or `timeout_ns` elapses.
+  /// Returns true when quiescent. Call from exactly one thread with no
+  /// other application threads inside blocking fairmpi calls.
+  bool quiesce(std::uint64_t timeout_ns);
+
+  /// Global ranks currently believed alive: not killed in the fault
+  /// injector and not confirmed dead by any live rank's failure detector.
+  std::vector<int> survivors() const;
 
   /// Sum of all ranks' SPC counters (high-water counters take the max).
   spc::Snapshot aggregate_counters() const;

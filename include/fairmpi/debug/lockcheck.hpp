@@ -11,10 +11,10 @@
 //     classes, see below; equal rank on the same class is a self-deadlock
 //     and reported). The engine's hierarchy is
 //
-//         progress gate (10) < CRI instance (20) < match (30)
-//                            < RMA accumulate (40) < RMA slots (45)
-//                            < rndv state (50) < rndv control (55)
-//                            < comm create (60)
+//         progress gate (10) < CRI instance (20) < ft detector (25)
+//                            < match (30) < RMA accumulate (40)
+//                            < RMA slots (45) < rndv state (50)
+//                            < rndv control (55) < comm create (60)
 //
 //   * cycle rule — blocking acquisitions record directed edges
 //     held-class -> acquired-class; an acquisition that would close a cycle
@@ -62,6 +62,11 @@ namespace fairmpi::debug {
 enum class LockRank : std::uint16_t {
   kProgressGate = 10,   ///< progress::ProgressEngine serial gate
   kCriInstance = 20,    ///< cri::CommResourceInstance lock
+  kFtDetector = 25,     ///< ft::FailureDetector peer-liveness table (note_alive
+                        ///< runs from packet dispatch, which progress_instance_
+                        ///< locked executes under a CRI lock — so above 20; the
+                        ///< poll collects under it and acts lock-free, so it
+                        ///< acquires nothing and sits below match)
   kMatch = 30,          ///< match::MatchEngine per-communicator lock
   kRmaAccumulate = 40,  ///< rma::Window accumulate stripe locks
   kWatchdog = 42,       ///< progress::Watchdog sweep state (acquires the

@@ -290,10 +290,14 @@ class Fabric {
   }
 
   /// Enable checksum stamping and (when params.any()) fault injection.
-  /// Call before traffic flows; not thread-safe against concurrent sends.
-  void configure_reliability(const FaultParams& faults, bool checksums) {
+  /// `force_injector` builds the injector even with all-zero probabilities —
+  /// the ft layer needs its peer-death mode (kill_rank) available on an
+  /// otherwise pristine fabric. Call before traffic flows; not thread-safe
+  /// against concurrent sends.
+  void configure_reliability(const FaultParams& faults, bool checksums,
+                             bool force_injector = false) {
     checksums_ = checksums;
-    if (faults.any()) {
+    if (faults.any() || force_injector) {
       injector_ = std::make_unique<FaultInjector>(num_ranks(), faults);
     }
     plain_path_ = !checksums_ && injector_ == nullptr;

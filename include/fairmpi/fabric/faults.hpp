@@ -74,6 +74,7 @@ struct FaultStats {
   std::atomic<std::uint64_t> corrupted{0};
   std::atomic<std::uint64_t> released{0};
   std::atomic<std::uint64_t> ring_losses{0};
+  std::atomic<std::uint64_t> kill_drops{0};  ///< packets eaten by a dead rank's links
 };
 
 class FaultInjector {
@@ -106,6 +107,29 @@ class FaultInjector {
   /// Packets currently parked across all links (test/diagnostic hook).
   std::size_t held() const noexcept;
 
+  // --- peer-death mode (ft; permanent link-down) ---
+
+  /// Kill `r` immediately: every subsequent packet with src or dst == r is
+  /// eaten by the wire (counted in stats().kill_drops). Irreversible.
+  void kill_rank(int r) noexcept { kill_at(r).store(0, std::memory_order_relaxed); }
+
+  /// Kill `r` once it has injected `at_seq` packets in total (absolute
+  /// count across all of r's links since construction): the death point is
+  /// a packet index, not a wall-clock instant, so it is seeded and
+  /// reproducible like every other fault. An at_seq already passed kills
+  /// immediately.
+  void kill_rank_at(int r, std::uint64_t at_seq) noexcept {
+    kill_at(r).store(at_seq, std::memory_order_relaxed);
+  }
+
+  /// True once `r`'s death point has been reached.
+  bool rank_dead(int r) const noexcept {
+    const std::uint64_t at = kill_[static_cast<std::size_t>(r)].value.load(
+        std::memory_order_relaxed);
+    return injected_by_[static_cast<std::size_t>(r)].value.load(
+               std::memory_order_relaxed) >= at;
+  }
+
  private:
   struct LinkState {
     RankedLock<Spinlock> lock{debug::LockRank::kFaultInject, "fabric.fault-link"};
@@ -125,10 +149,19 @@ class FaultInjector {
                    static_cast<std::size_t>(dst)];
   }
 
+  std::atomic<std::uint64_t>& kill_at(int r) noexcept {
+    return kill_[static_cast<std::size_t>(r)].value;
+  }
+
   const FaultParams params_;
   const std::size_t num_ranks_;
   std::vector<std::unique_ptr<LinkState>> links_;
   FaultStats stats_;
+  /// Death point per rank (~0 = immortal; see kill_rank_at) and the running
+  /// count of packets each rank has injected. Padded: the counter is bumped
+  /// on every injection by whichever thread carries the packet.
+  std::vector<Padded<std::atomic<std::uint64_t>>> kill_;
+  std::vector<Padded<std::atomic<std::uint64_t>>> injected_by_;
 };
 
 }  // namespace fairmpi::fabric

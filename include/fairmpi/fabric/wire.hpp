@@ -29,10 +29,11 @@ enum class Opcode : std::uint16_t {
   kRndvAck,      ///< rendezvous clear-to-send
   kRndvData,     ///< rendezvous payload fragment
   kAck,          ///< reliability acknowledgement (echoes the acked key)
+  kHeartbeat,    ///< ft liveness probe (header-only; never acked or tracked)
 };
 
 /// Last opcode value that is valid on the wire (header validation).
-inline constexpr std::uint16_t kMaxOpcode = static_cast<std::uint16_t>(Opcode::kAck);
+inline constexpr std::uint16_t kMaxOpcode = static_cast<std::uint16_t>(Opcode::kHeartbeat);
 
 /// The matching envelope. POD, fixed 32 bytes. The old 32-bit src_ctx
 /// diagnostic field donates its upper half to the reliability checksum so

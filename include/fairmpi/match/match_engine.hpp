@@ -139,6 +139,24 @@ class MatchEngine {
   /// in the reorder buffer are not yet matchable and are not reported.
   bool probe(int src, int tag, p2p::Status* status);
 
+  /// ft propagation: `src` is confirmed dead. Fails every source-specific
+  /// posted receive from it with kPeerFailed, drops its parked
+  /// reorder-ring/spill packets (they can never become in-order — the
+  /// stream is severed), and marks the source dead so *future* posted
+  /// receives filtered on it fail immediately once no matchable unexpected
+  /// message remains. Already-arrived unexpected messages stay matchable
+  /// (they were delivered by the wire before the death). ANY_SOURCE
+  /// receives are untouched — another peer may still satisfy them.
+  /// Returns the number of receives failed.
+  std::size_t fail_source(int src);
+
+  /// Communicator revocation: fail every posted receive — source-specific
+  /// and ANY_SOURCE — with kCommRevoked, and latch the engine revoked so a
+  /// concurrently posting thread that read the CommState flag early fails
+  /// under the match lock instead of enqueueing forever. Subsequent
+  /// incoming packets are dropped. Returns the number failed.
+  std::size_t fail_all_posted();
+
   /// Diagnostics. Each takes lock_, so the count is internally consistent,
   /// but may of course be stale by the time the caller reads it; exact only
   /// when externally quiesced. Safe to call concurrently with matching.
@@ -193,6 +211,7 @@ class MatchEngine {
     std::unique_ptr<SeenTracker> seen;  ///< dedup, reliable+overtaking only (lazy)
     UnexpectedList unexpected;
     PostedList posted;  ///< source-specific posted receives
+    bool dead = false;  ///< ft: source confirmed dead (fail_source ran)
   };
 
   // The private pipeline below threads a spc::CounterSet::Cursor through so
@@ -234,6 +253,7 @@ class MatchEngine {
   std::uint64_t post_stamp_ FAIRMPI_GUARDED_BY(lock_) = 0;
   std::uint64_t arrival_stamp_ FAIRMPI_GUARDED_BY(lock_) = 0;
   std::uint64_t reorder_total_ FAIRMPI_GUARDED_BY(lock_) = 0;  ///< ring + spill entries
+  bool revoked_ FAIRMPI_GUARDED_BY(lock_) = false;  ///< ft: comm revoked (terminal)
 };
 
 }  // namespace fairmpi::match

@@ -25,10 +25,17 @@ inline constexpr CommId kWorldComm = 0;
 
 class CommState {
  public:
+  /// `members`: the communicator's group as *universe* (global) rank ids in
+  /// local-rank order; empty = span every rank (a dup of world, the only
+  /// shape PRs 1–7 had). The matching engine and the sequence counters stay
+  /// sized/indexed by global rank — packets carry global ids on the wire —
+  /// and the group is consulted only at the Communicator boundary
+  /// (rank/size and dst/src translation). This is what Universe::shrink
+  /// builds the survivor communicator from (DESIGN.md §5g).
   CommState(CommId id, int num_ranks, bool allow_overtaking, spc::CounterSet& counters,
-            bool reliable = false)
+            bool reliable = false, std::vector<int> members = {})
       : id_(id), match_(num_ranks, allow_overtaking, counters, reliable),
-        send_seq_(static_cast<std::size_t>(num_ranks)) {}
+        send_seq_(static_cast<std::size_t>(num_ranks)), members_(std::move(members)) {}
 
   CommState(const CommState&) = delete;
   CommState& operator=(const CommState&) = delete;
@@ -37,9 +44,36 @@ class CommState {
   match::MatchEngine& match() noexcept { return match_; }
 
   /// Ticket the next sequence number toward `dst` (Alg. 1 precursor).
+  /// `dst` is a global rank.
   std::uint32_t next_seq(int dst) noexcept {
     return send_seq_[static_cast<std::size_t>(dst)]->fetch_add(1, std::memory_order_relaxed);
   }
+
+  // --- group (empty = all ranks of the universe) ---
+
+  bool has_group() const noexcept { return !members_.empty(); }
+  int group_size() const noexcept { return static_cast<int>(members_.size()); }
+  /// Global rank of group member `local`.
+  int to_global(int local) const noexcept {
+    return members_[static_cast<std::size_t>(local)];
+  }
+  /// Local rank of global rank `global`; -1 when not a member. Linear scan:
+  /// groups are small and translation sits outside the packet hot path.
+  int to_local(int global) const noexcept {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == global) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  // --- ft revocation (ULFM MPI_Comm_revoke analog) ---
+
+  /// Once revoked, every subsequent operation on this communicator fails
+  /// fast with kCommRevoked. One-way; release pairs with revoked()'s
+  /// acquire so op entry checks see the flag before fail_all_posted's
+  /// purge could race them (the match lock closes the posting race).
+  void revoke() noexcept { revoked_.store(true, std::memory_order_release); }
+  bool revoked() const noexcept { return revoked_.load(std::memory_order_acquire); }
 
  private:
   const CommId id_;
@@ -47,6 +81,8 @@ class CommState {
   /// One padded counter per destination: the counters are deliberately hot
   /// (every sending thread increments them) but must not false-share.
   std::vector<Padded<std::atomic<std::uint32_t>>> send_seq_;
+  std::vector<int> members_;  ///< global ranks in local order; immutable
+  std::atomic<bool> revoked_{false};
 };
 
 }  // namespace fairmpi::p2p

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fairmpi/common/error.hpp"
 #include "fairmpi/common/spinlock.hpp"
 #include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/debug/thread_safety.hpp"
@@ -102,6 +103,9 @@ class ReliabilityTracker {
   struct Failure {
     PacketKey key;
     int retries = 0;
+    /// Why the entry failed: kRetryExhausted for ordinary timeout, or
+    /// kPeerFailed when the destination was confirmed dead (fail_peer).
+    common::ErrorCode code = common::ErrorCode::kRetryExhausted;
   };
 
   /// Collect expired entries: clones to re-inject into `resends` and
@@ -120,6 +124,17 @@ class ReliabilityTracker {
   /// the rto (bounded by rto_max). No-op when the entry was acked between
   /// the sweep and the injection.
   void confirm_retransmit(const PacketKey& key, std::uint64_t now_ns);
+
+  /// Peer-death propagation (ft): mark `peer` permanently failed and move
+  /// every tracked entry destined to it — removed from the table — into
+  /// `failures` with code kPeerFailed, instead of letting each burn its
+  /// retry budget into a dead link. Entries tracked *after* this call (a
+  /// send racing the confirmation) are caught by the next sweep, which
+  /// fails anything destined to a failed peer regardless of deadline.
+  void fail_peer(int peer, std::vector<Failure>& failures);
+
+  /// True once fail_peer(peer) has run (fail-fast gate for new tracks).
+  bool peer_failed(int peer) const noexcept;
 
   /// Earliest deadline across tracked entries (relaxed; ~0 when empty).
   /// Cheap progress-path gate: no lock, no sweep until this passes.
@@ -151,6 +166,9 @@ class ReliabilityTracker {
                                      "p2p.reliability"};
   std::unordered_map<PacketKey, Entry, PacketKeyHash> inflight_
       FAIRMPI_GUARDED_BY(lock_);
+  /// Peers confirmed dead (ft). Grown on fail_peer only; sweeps and tracks
+  /// consult it so no entry to a dead peer ever retransmits.
+  std::vector<bool> failed_peers_ FAIRMPI_GUARDED_BY(lock_);
   std::atomic<std::uint64_t> next_deadline_{~std::uint64_t{0}};
   std::atomic<std::size_t> in_flight_{0};
 };

@@ -71,6 +71,13 @@ struct RndvRecvState {
   Status status{};                          ///< published when remaining hits 0
   std::uint64_t born_ns = 0;   ///< registration time (watchdog stall scan)
   bool stall_flagged = false;  ///< watchdog escalated once (rndv lock held)
+  /// ft: source confirmed dead mid-transfer. Set under the rendezvous
+  /// registry lock; handle_rndv_data checks it there (next to the fragment
+  /// dedup) and discards, so no *new* deliverer touches the buffer after
+  /// the request was failed. The state stays registered (never erased by
+  /// the purge) — erasing could free it under a deliverer that claimed its
+  /// pointer before the death was confirmed.
+  bool failed = false;
 
   // Fragment-seen bitmap, allocated only in reliable mode: a duplicated or
   // retransmitted RndvData fragment must not double-decrement `remaining`.

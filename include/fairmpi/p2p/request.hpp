@@ -48,6 +48,7 @@ class Request {
   void init_send() noexcept {
     kind_ = Kind::kSend;
     error_ = common::ErrorCode::kOk;
+    settled_.store(false, std::memory_order_relaxed);
     done_.store(false, std::memory_order_relaxed);
   }
 
@@ -58,6 +59,7 @@ class Request {
     source_ = source;
     tag_ = tag;
     error_ = common::ErrorCode::kOk;
+    settled_.store(false, std::memory_order_relaxed);
     done_.store(false, std::memory_order_relaxed);
   }
 
@@ -76,19 +78,33 @@ class Request {
   Request* mq_next = nullptr;
 
   /// Publish completion. Must be the last write touching this request.
-  void complete(const Status& status) noexcept {
+  /// Returns true when this call won the one-shot settle race (see
+  /// try_settle): losers must not count the completion in SPCs — the
+  /// classic double-settle is a reliability-sweep failure racing a late
+  /// duplicate ack's delivery.
+  bool complete(const Status& status) noexcept {
+    if (!try_settle()) return false;
     status_ = status;
     done_.store(true, std::memory_order_release);
+    return true;
   }
 
-  void complete() noexcept { done_.store(true, std::memory_order_release); }
+  bool complete() noexcept {
+    if (!try_settle()) return false;
+    done_.store(true, std::memory_order_release);
+    return true;
+  }
 
   /// Publish completion *with* a typed error (graceful degradation: the
   /// operation could not be performed — e.g. the EAGAIN retry budget ran
   /// out). done() becomes true so wait() returns; callers inspect error().
-  void fail(common::ErrorCode code) noexcept {
+  /// One-shot like complete(): a request already settled (either way)
+  /// ignores the fail and reports false.
+  bool fail(common::ErrorCode code) noexcept {
+    if (!try_settle()) return false;
     error_ = code;
     done_.store(true, std::memory_order_release);
+    return true;
   }
 
   /// kOk unless the request completed with fail(). Valid once done().
@@ -96,7 +112,18 @@ class Request {
   bool failed() const noexcept { return error_ != common::ErrorCode::kOk; }
 
  private:
+  /// CAS state guard making completion terminal: exactly one of
+  /// complete()/fail() transitions the request per init_* cycle. acq_rel so
+  /// the winner's result writes are ordered before any loser's observation.
+  bool try_settle() noexcept {
+    bool expected = false;
+    return settled_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+  }
+
   std::atomic<bool> done_{false};
+  std::atomic<bool> settled_{false};
   Kind kind_ = Kind::kNone;
   void* buffer_ = nullptr;
   std::size_t capacity_ = 0;

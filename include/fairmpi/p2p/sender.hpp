@@ -32,6 +32,12 @@ struct SendPolicy {
   /// would deadlock a bidirectional flood.
   std::size_t (*progress)(void* user) = nullptr;
   void* progress_user = nullptr;
+  /// ft hook: non-null when the failure detector runs. Checked at entry and
+  /// inside both wait loops so a send blocked on (or headed for) a peer that
+  /// is confirmed dead mid-wait escapes with kPeerFailed instead of burning
+  /// its whole EAGAIN/backpressure budget into a permanently-down link.
+  bool (*peer_failed)(void* user, int dst) = nullptr;
+  void* peer_failed_user = nullptr;
 };
 
 /// Execute one eager send: ticket the sequence number, acquire a CRI per

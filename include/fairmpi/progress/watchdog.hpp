@@ -63,6 +63,14 @@ class Watchdog {
   }
   void set_stall_probe(StallProbe* probe) noexcept { probe_ = probe; }
 
+  /// ft attribution: point at the failure detector's suspect hint so a
+  /// stall escalation can name the peer the detector currently suspects
+  /// (instead of peer = -1, "something is stuck but I don't know who").
+  /// Install before traffic starts; the hint itself is a lock-free atomic.
+  void set_suspect_hint(const std::atomic<int>* hint) noexcept {
+    suspect_hint_ = hint;
+  }
+
   /// One watchdog check; returns the number of stalls escalated (0 almost
   /// always — including when the interval has not elapsed or another
   /// thread holds the sweep lock).
@@ -91,6 +99,7 @@ class Watchdog {
   void* sink_user_ = nullptr;
   int rank_ = -1;
   StallProbe* probe_ = nullptr;
+  const std::atomic<int>* suspect_hint_ = nullptr;  ///< ft detector's, or null
 
   std::atomic<std::uint64_t> last_sweep_ns_{0};
   RankedLock<Spinlock> lock_{debug::LockRank::kWatchdog, "progress.watchdog"};

@@ -47,16 +47,22 @@ class Window {
   /// Remote write: copy `n` bytes from `src` into `target`'s region at
   /// byte displacement `disp`. Completes (for flush purposes) when the
   /// completion is drained from the initiating CRI's CQ.
+  ///
+  /// ft: an operation targeting a confirmed-dead rank fails fast — no data
+  /// movement, no pending-count increment (so flush never waits on it), a
+  /// typed kPeerFailed through the initiating rank's error sink instead.
   void put(int target, std::size_t disp, const void* src, std::size_t n);
 
-  /// Remote read into `dst`.
+  /// Remote read into `dst`. Same ft fail-fast contract as put(): `dst` is
+  /// left untouched when the target is confirmed dead.
   void get(int target, std::size_t disp, void* dst, std::size_t n);
 
   /// Remote atomic add on an aligned uint64_t at `disp`.
   void accumulate_add_u64(int target, std::size_t disp, std::uint64_t operand);
 
   /// Remote atomic fetch-and-add; the old value is returned immediately
-  /// (synchronous flavour of MPI_Fetch_and_op).
+  /// (synchronous flavour of MPI_Fetch_and_op). Returns 0 (and reports
+  /// kPeerFailed, performing no add) when the target is confirmed dead.
   std::uint64_t fetch_add_u64(int target, std::size_t disp, std::uint64_t operand);
 
   /// Complete the *calling thread's* outstanding operations through this
@@ -89,6 +95,10 @@ class Window {
   /// Active-target fence (MPI_Win_fence): completes all outstanding
   /// operations of every rank and synchronizes all ranks of the window
   /// group. Collective — exactly one thread per rank must call it.
+  ///
+  /// ft: a participant confirmed dead can never arrive, so a survivor's
+  /// spin escapes with a typed kPeerFailed instead of hanging. The barrier
+  /// is then broken for good — rebuild the window group after recovery.
   void fence();
 
   void* base() const noexcept { return base_; }
@@ -113,6 +123,11 @@ class Window {
 
   /// Post one completion to `inst`'s CQ, draining inline if the CQ is full.
   void post_completion(cri::CommResourceInstance& inst);
+
+  /// ft fail-fast gate shared by every initiating op: true when `target`
+  /// is confirmed dead, after counting the failed op and reporting a typed
+  /// kPeerFailed (imm = the window's global key) through the rank's sink.
+  bool fail_if_dead(int target);
 
   RankedLock<Spinlock>& accumulate_lock(std::size_t disp) noexcept {
     return acc_locks_[(disp / kCacheLine) % acc_locks_.size()];
@@ -169,8 +184,10 @@ class WindowGroup {
  private:
   friend class Window;
   /// One fence round: arrive, spin until everyone has arrived. Sense-
-  /// reversing so the barrier is reusable.
-  void fence_arrive();
+  /// reversing so the barrier is reusable. Returns false when the spin
+  /// escaped because `self`'s detector confirmed a participant dead (the
+  /// caller reports the typed error; the barrier is broken thereafter).
+  bool fence_arrive(Rank& self);
 
   std::vector<std::unique_ptr<Window>> windows_;
   std::atomic<int> fence_arrived_{0};

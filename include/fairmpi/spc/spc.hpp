@@ -62,6 +62,12 @@ enum class Counter : int {
   kSubmitDoorbells,        ///< batched doorbells rung by producers
   kSubmitCasRetries,       ///< submission-ring tail-CAS collisions
   kRmaFlushAllBusy,        ///< RMA flush sweeps that found every CRI busy
+  kFtHeartbeatsSent,       ///< ft liveness probes injected on idle links
+  kFtHeartbeatsReceived,   ///< ft liveness probes consumed
+  kFtSuspects,             ///< peers that entered the suspect state
+  kFtDeaths,               ///< peers confirmed dead
+  kFtPeerFailedOps,        ///< operations completed with kPeerFailed
+  kFtRevokedOps,           ///< operations refused/failed on a revoked comm
   kCount
 };
 

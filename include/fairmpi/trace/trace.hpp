@@ -39,6 +39,9 @@ enum class Event : std::uint8_t {
   kAckRecv,     ///< a = peer rank, b = cumulative seq acked (reliability)
   kCsumDrop,    ///< a = peer rank, b = packet seq (checksum fault dropped)
   kCriDrain,    ///< a = instance index, b = batch size (packets+completions)
+  kPeerSuspect, ///< a = peer rank, b = 1 entered suspect / 0 recovered
+  kPeerDead,    ///< a = peer rank, b = detection latency (ms)
+  kCommRevoke,  ///< a = communicator id, b = posted receives failed
 };
 
 const char* event_name(Event e) noexcept;

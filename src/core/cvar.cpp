@@ -138,7 +138,9 @@ bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
     return true;
   }
   if (name == "max_retries") {
-    if (!parse_u64(value, u) || u < 1) return false;
+    // 0 is the fail-fast mode: the first unacked rto expiry fails the send
+    // typed instead of retransmitting.
+    if (!parse_u64(value, u)) return false;
     cfg.max_retries = static_cast<int>(u);
     return true;
   }
@@ -178,6 +180,24 @@ bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
   if (name == "obs") {
     return parse_bool(value, cfg.obs_enabled);
   }
+  if (name == "ft") {
+    return parse_bool(value, cfg.ft_enabled);
+  }
+  if (name == "ft_heartbeat_ns") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.ft_heartbeat_ns = u;
+    return true;
+  }
+  if (name == "ft_suspect_ns") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.ft_suspect_ns = u;
+    return true;
+  }
+  if (name == "ft_strikes") {
+    if (!parse_u64(value, u) || u < 1) return false;
+    cfg.ft_strikes = static_cast<int>(u);
+    return true;
+  }
   return false;
 }
 
@@ -193,6 +213,7 @@ Config config_from_env(Config base) {
       "send_retry_limit",
       "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
       "trace",         "trace_entries",   "obs",
+      "ft",            "ft_heartbeat_ns", "ft_suspect_ns",   "ft_strikes",
   };
   for (const char* name : kNames) {
     std::string env_name = "FAIRMPI_";
@@ -238,7 +259,11 @@ std::string list_cvars(const Config& cfg) {
      << "rndv_stall_ns     = " << cfg.rndv_stall_ns << '\n'
      << "trace             = " << (cfg.trace_enabled ? "true" : "false") << '\n'
      << "trace_entries     = " << cfg.trace_entries << '\n'
-     << "obs               = " << (cfg.obs_enabled ? "true" : "false") << '\n';
+     << "obs               = " << (cfg.obs_enabled ? "true" : "false") << '\n'
+     << "ft                = " << (cfg.ft_enabled ? "true" : "false") << '\n'
+     << "ft_heartbeat_ns   = " << cfg.ft_heartbeat_ns << '\n'
+     << "ft_suspect_ns     = " << cfg.ft_suspect_ns << '\n'
+     << "ft_strikes        = " << cfg.ft_strikes << '\n';
   return os.str();
 }
 

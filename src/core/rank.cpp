@@ -30,6 +30,22 @@ Rank::Rank(Universe& uni, int id)
     watchdog_->set_stall_probe(this);
     watchdog_->set_error_sink(err_sink_, err_user_, id_);
   }
+  if (cfg.ft_enabled) {
+    ft::FtParams fp;
+    fp.heartbeat_ns = cfg.ft_heartbeat_ns;
+    fp.suspect_ns = cfg.ft_suspect_ns;
+    fp.strikes = cfg.ft_strikes;
+    // Sized from the *config*: Universe::num_ranks() counts constructed
+    // ranks, which is still growing while this constructor runs — rank r
+    // would get a detector with only r cells and note_alive would index
+    // past them on the first inbound packet.
+    ft_ = std::make_unique<ft::FailureDetector>(cfg.num_ranks, id, fp, spc_, tracer_);
+    // Scratch sized once: failure propagation must not allocate on the
+    // progress path (a poll that confirms nothing touches neither vector).
+    ft_probes_.reserve(static_cast<std::size_t>(cfg.num_ranks));
+    ft_newly_dead_.reserve(static_cast<std::size_t>(cfg.num_ranks));
+    if (watchdog_ != nullptr) watchdog_->set_suspect_hint(ft_->suspect_hint());
+  }
 }
 
 void Rank::set_error_sink(common::ErrorSink sink, void* user) noexcept {
@@ -48,13 +64,13 @@ Rank::~Rank() {
   }
 }
 
-void Rank::install_comm(CommId id) {
+void Rank::install_comm(CommId id, std::vector<int> members) {
   FAIRMPI_CHECK(id < comms_.size());
   FAIRMPI_CHECK_MSG(comms_[id].load(std::memory_order_relaxed) == nullptr,
                     "communicator id already installed");
   auto* state = new p2p::CommState(id, uni_->num_ranks(),
                                    uni_->config().allow_overtaking, spc_,
-                                   uni_->config().reliable);
+                                   uni_->config().reliable, std::move(members));
   state->match().set_rendezvous_hook(this);
   comms_[id].store(state, std::memory_order_release);
 }
@@ -69,6 +85,21 @@ p2p::CommState& Rank::comm_state(CommId id) {
 void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
                  Request& req) {
   FAIRMPI_CHECK_MSG(dst >= 0 && dst < uni_->num_ranks(), "invalid destination rank");
+  p2p::CommState& cs = comm_state(comm);
+  if (cs.revoked()) {
+    req.init_send();
+    if (req.fail(common::ErrorCode::kCommRevoked)) spc_.add(Counter::kFtRevokedOps);
+    report_error(common::Error{common::ErrorCode::kCommRevoked, id_, dst, comm});
+    return;
+  }
+  if (peer_failed(dst)) {
+    // Confirmed-dead destination: fail fast — uniformly for eager and
+    // rendezvous — instead of feeding a permanently-down link.
+    req.init_send();
+    if (req.fail(common::ErrorCode::kPeerFailed)) spc_.add(Counter::kFtPeerFailedOps);
+    report_error(common::Error{common::ErrorCode::kPeerFailed, id_, dst, 0});
+    return;
+  }
   if (n > uni_->config().eager_limit) {
     FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
     tracer_.record(trace::Event::kRndvRts, static_cast<std::uint32_t>(dst),
@@ -78,13 +109,22 @@ void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
   }
   tracer_.record(trace::Event::kSend, static_cast<std::uint32_t>(dst),
                  static_cast<std::uint32_t>(tag));
-  const p2p::SendPolicy policy{
+  p2p::SendPolicy policy{
       tracker_.get(), uni_->config().send_retry_limit,
       uni_->config().reliability_window,
       [](void* user) { return static_cast<Rank*>(user)->progress(); }, this};
+  if (ft_ != nullptr) {
+    // Mid-wait escape hatch: a send blocked on this peer's window/ring when
+    // the detector confirms its death fails typed instead of burning the
+    // whole retry budget into a severed link.
+    policy.peer_failed = [](void* user, int peer) {
+      return static_cast<Rank*>(user)->peer_failed(peer);
+    };
+    policy.peer_failed_user = this;
+  }
   // Outcome comes back by value: completing `req` hands it back to the
   // waiting owner, which may destroy it before we could read failed().
-  const common::ErrorCode ec = p2p::eager_send(comm_state(comm), pool_, engine_, spc_,
+  const common::ErrorCode ec = p2p::eager_send(cs, pool_, engine_, spc_,
                                                id_, dst, tag, buf, n, req, policy);
   if (ec != common::ErrorCode::kOk) {
     report_error(common::Error{ec, id_, dst, 0});
@@ -179,13 +219,14 @@ std::size_t Rank::progress() {
   // Deferred rendezvous protocol work first (runs with no engine lock
   // held — see p2p/rendezvous.hpp), then the progress engine proper.
   drain_control();
-  if (tracker_ != nullptr || watchdog_ != nullptr) {
+  if (tracker_ != nullptr || watchdog_ != nullptr || ft_ != nullptr) {
     const std::uint64_t now = now_ns();
     // Sweep every rank's tracker, not just ours: retransmission models the
     // NIC's autonomous recovery, so it must run even when the packet's
     // owner has stopped calling progress() (see Universe::sweep_reliability).
     if (tracker_ != nullptr) uni_->sweep_reliability(now);
     if (watchdog_ != nullptr) watchdog_->poll(now);
+    if (ft_ != nullptr) ft_poll(now);
   }
   const std::size_t completions = engine_.progress();
   // Acks enqueued while the engine dispatched packets leave immediately —
@@ -267,11 +308,108 @@ void Rank::reliability_sweep(std::uint64_t now) {
     }
   }
   for (const auto& f : failures) {
-    spc_.add(Counter::kReliabilityErrors);
-    report_error(common::Error{common::ErrorCode::kRetryExhausted, id_,
-                               static_cast<int>(f.key.peer), f.key.seq});
+    // Typed propagation: entries purged because the peer was confirmed dead
+    // carry kPeerFailed (counted separately) — they are not retry failures.
+    spc_.add(f.code == common::ErrorCode::kPeerFailed ? Counter::kFtPeerFailedOps
+                                                      : Counter::kReliabilityErrors);
+    report_error(common::Error{f.code, id_, static_cast<int>(f.key.peer), f.key.seq});
   }
   sweeping_.store(false, std::memory_order_release);
+}
+
+// --- ft layer (DESIGN.md §5g) ---
+
+void Rank::ft_poll(std::uint64_t now) {
+  // One sweeper at a time: the scratch vectors below are single-writer by
+  // this guard, so the steady-state poll allocates nothing.
+  if (ft_polling_.exchange(true, std::memory_order_acquire)) return;
+  ft_probes_.clear();
+  ft_newly_dead_.clear();
+  if (ft_->poll(now, ft_probes_, ft_newly_dead_)) {
+    // Classification done under the detector lock; everything below runs
+    // with NO detector lock held (heartbeat injection takes CRI locks,
+    // propagation takes match/reliability/rndv locks — all ranked away
+    // from kFtDetector in both directions; see lockcheck.hpp).
+    for (const int dst : ft_probes_) send_heartbeat(dst);
+    for (const int peer : ft_newly_dead_) on_peer_dead(peer);
+  }
+  ft_polling_.store(false, std::memory_order_release);
+}
+
+void Rank::send_heartbeat(int dst) {
+  fabric::Packet hb;
+  hb.hdr.opcode = fabric::Opcode::kHeartbeat;
+  hb.hdr.src_rank = static_cast<std::uint16_t>(id_);
+  hb.hdr.comm_id = kWorldComm;
+  // Single attempt, never tracked: a heartbeat lost to backpressure or the
+  // fault model is simply re-sent on the next idle round.
+  if (inject_raw(dst, std::move(hb))) {
+    spc_.add(Counter::kFtHeartbeatsSent);
+  }
+}
+
+void Rank::on_peer_dead(int peer) {
+  // 1. Tracked sends toward the peer fail typed (not retry-burned); the
+  //    tracker also latches the peer so entries tracked by racing senders
+  //    are caught by the next sweep.
+  if (tracker_ != nullptr) {
+    // lint: allow(hotpath-alloc) peer death is a cold, once-per-rank event
+    std::vector<p2p::ReliabilityTracker::Failure> failures;
+    tracker_->fail_peer(peer, failures);
+    for (const auto& f : failures) {
+      spc_.add(Counter::kFtPeerFailedOps);
+      report_error(common::Error{common::ErrorCode::kPeerFailed, id_, peer, f.key.seq});
+    }
+  }
+  // 2. Posted receives filtered on the peer fail on every installed
+  //    communicator (and future ones fail at post; match_engine.cpp).
+  for (auto& slot : comms_) {
+    p2p::CommState* cs = slot.load(std::memory_order_acquire);
+    if (cs != nullptr) {
+      (void)cs->match().fail_source(peer);
+    }
+  }
+  // 3. In-flight rendezvous transfers to/from the peer fail.
+  fail_rendezvous_peer(peer);
+  // 4. One summary error so a sink-only consumer hears about the death
+  //    even with zero outstanding operations.
+  report_error(common::Error{common::ErrorCode::kPeerFailed, id_, peer, 0});
+}
+
+void Rank::fail_rendezvous_peer(int peer) {
+  // lint: allow(hotpath-alloc) peer death is a cold, once-per-rank event
+  std::vector<p2p::Request*> victims;
+  // lint: allow(hotpath-alloc) peer death is a cold, once-per-rank event
+  std::vector<std::unique_ptr<p2p::RndvSendState>> dead_sends;
+  {
+    LockGuard guard(rndv_lock_);
+    for (auto it = rndv_sends_.begin(); it != rndv_sends_.end();) {
+      if (it->second->dst == peer) {
+        // Claim by extraction, exactly like the kSendData drain — whoever
+        // extracts owns the state, so no deliverer can race us here.
+        victims.push_back(it->second->request);
+        dead_sends.push_back(std::move(it->second));
+        it = rndv_sends_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [cookie, st] : rndv_recvs_) {
+      if (st->status.source == peer && !st->failed) {
+        // Receives are tombstoned, NOT erased: a progress thread may hold
+        // the state pointer from before the death was confirmed (see
+        // rendezvous.hpp). handle_rndv_data checks `failed` under this
+        // lock, so no new fragment touches the buffer from here on.
+        st->failed = true;
+        victims.push_back(st->request);
+      }
+    }
+  }
+  for (p2p::Request* req : victims) {
+    if (req->fail(common::ErrorCode::kPeerFailed)) {
+      spc_.add(Counter::kFtPeerFailedOps);
+    }
+  }
 }
 
 std::size_t Rank::scan_stalled(std::uint64_t now, std::uint64_t horizon) {
@@ -314,12 +452,25 @@ std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
     spc_.add(Counter::kHeaderDrops);
     return 0;
   }
+  if (tracker_ != nullptr && !fabric::verify_checksum(pkt)) {
+    spc_.add(Counter::kCsumDrops);
+    tracer_.record(trace::Event::kCsumDrop, pkt.hdr.src_rank, pkt.hdr.seq);
+    return 0;
+  }
+  // Liveness piggybacking: every validated inbound packet — any opcode —
+  // refreshes its source's epoch, so a peer with ANY traffic toward us
+  // never needs explicit heartbeats.
+  if (ft_ != nullptr) {
+    ft_->note_alive(static_cast<int>(pkt.hdr.src_rank), now_ns());
+  }
+  if (pkt.hdr.opcode == fabric::Opcode::kHeartbeat) {
+    // Consumed before the ack path on purpose: heartbeats are pure liveness
+    // evidence — never acked, never tracked; a lost one is recovered by the
+    // next probe round.
+    spc_.add(Counter::kFtHeartbeatsReceived);
+    return 0;
+  }
   if (tracker_ != nullptr) {
-    if (!fabric::verify_checksum(pkt)) {
-      spc_.add(Counter::kCsumDrops);
-      tracer_.record(trace::Event::kCsumDrop, pkt.hdr.src_rank, pkt.hdr.seq);
-      return 0;
-    }
     if (pkt.hdr.opcode == fabric::Opcode::kAck) {
       spc_.add(Counter::kAcksReceived);
       tracer_.record(trace::Event::kAckRecv, pkt.hdr.src_rank, pkt.hdr.seq);
@@ -345,8 +496,9 @@ std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
     case fabric::Opcode::kRndvData:
       return handle_rndv_data(pkt);
     case fabric::Opcode::kAck:
+    case fabric::Opcode::kHeartbeat:
     case fabric::Opcode::kInvalid:
-      break;  // both consumed above; unreachable
+      break;  // all consumed above; unreachable
   }
   FAIRMPI_CHECK_MSG(false, "invalid opcode on the wire");
   return 0;
@@ -374,47 +526,97 @@ std::size_t Rank::handle_completion(const fabric::Completion& c) {
   return 0;
 }
 
-// --- Communicator forwarding ---
+// --- Communicator forwarding (group-local <-> global translation here) ---
 
-int Communicator::rank() const noexcept { return rank_->id(); }
+int Communicator::global_of(int local) const noexcept {
+  const p2p::CommState& cs = rank_->comm_state(id_);
+  return cs.has_group() ? cs.to_global(local) : local;
+}
 
-int Communicator::size() const noexcept { return rank_->universe().num_ranks(); }
+int Communicator::rank() const noexcept {
+  const p2p::CommState& cs = rank_->comm_state(id_);
+  return cs.has_group() ? cs.to_local(rank_->id()) : rank_->id();
+}
+
+int Communicator::size() const noexcept {
+  const p2p::CommState& cs = rank_->comm_state(id_);
+  return cs.has_group() ? cs.group_size() : rank_->universe().num_ranks();
+}
+
+bool Communicator::revoked() const noexcept {
+  return rank_->comm_state(id_).revoked();
+}
 
 void Communicator::isend(int dst, int tag, const void* buf, std::size_t n, Request& req) {
-  rank_->isend(id_, dst, tag, buf, n, req);
+  rank_->isend(id_, global_of(dst), tag, buf, n, req);
 }
 
 void Communicator::irecv(int src, int tag, void* buf, std::size_t capacity, Request& req) {
-  rank_->irecv(id_, src, tag, buf, capacity, req);
+  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req);
 }
 
 void Communicator::send(int dst, int tag, const void* buf, std::size_t n) {
-  rank_->send(id_, dst, tag, buf, n);
+  rank_->send(id_, global_of(dst), tag, buf, n);
 }
 
 Status Communicator::recv(int src, int tag, void* buf, std::size_t capacity) {
-  return rank_->recv(id_, src, tag, buf, capacity);
+  Status status;
+  (void)recv_checked(src, tag, buf, capacity, &status);
+  return status;
 }
 
-void Communicator::barrier() {
+common::ErrorCode Communicator::send_checked(int dst, int tag, const void* buf,
+                                             std::size_t n) {
+  Request req;
+  rank_->isend(id_, global_of(dst), tag, buf, n, req);
+  rank_->wait(req);
+  return req.error();
+}
+
+common::ErrorCode Communicator::recv_checked(int src, int tag, void* buf,
+                                             std::size_t capacity, Status* status) {
+  Request req;
+  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req);
+  rank_->wait(req);
+  if (status != nullptr) {
+    *status = req.status();
+    // Status carries the wire (global) source; hand back the group-local id.
+    const p2p::CommState& cs = rank_->comm_state(id_);
+    if (cs.has_group() && status->source != kAnySource) {
+      status->source = cs.to_local(status->source);
+    }
+  }
+  return req.error();
+}
+
+void Communicator::barrier() { (void)barrier_checked(); }
+
+common::ErrorCode Communicator::barrier_checked() {
   // Dissemination barrier: log2(n) rounds of paired send/recv on reserved
   // tags. Reserved tag space starts at kBarrierTagBase; user tags in the
-  // examples/benches stay far below it.
+  // examples/benches stay far below it. Rank arithmetic is group-local;
+  // translation happens at the isend/irecv boundary below.
   constexpr int kBarrierTagBase = 1 << 30;
   const int n = size();
   const int me = rank();
-  if (n == 1) return;
+  if (n == 1) return common::ErrorCode::kOk;
   unsigned char token = 0;
   for (int step = 0, dist = 1; dist < n; ++step, dist <<= 1) {
+    if (revoked()) return common::ErrorCode::kCommRevoked;
     const int to = (me + dist) % n;
     const int from = ((me - dist) % n + n) % n;
     Request sreq, rreq;
     unsigned char in = 0;
-    rank_->isend(id_, to, kBarrierTagBase + step, &token, 1, sreq);
-    rank_->irecv(id_, from, kBarrierTagBase + step, &in, 1, rreq);
+    rank_->isend(id_, global_of(to), kBarrierTagBase + step, &token, 1, sreq);
+    rank_->irecv(id_, global_of(from), kBarrierTagBase + step, &in, 1, rreq);
     rank_->wait(rreq);
     rank_->wait(sreq);
+    // A dead partner (kPeerFailed) or a concurrent revoke fails the round's
+    // requests typed — surface the first one instead of hanging (§5g).
+    if (rreq.failed()) return rreq.error();
+    if (sreq.failed()) return sreq.error();
   }
+  return common::ErrorCode::kOk;
 }
 
 }  // namespace fairmpi

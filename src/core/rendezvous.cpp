@@ -115,6 +115,13 @@ std::size_t Rank::handle_rndv_data(const Packet& pkt) {
       return 0;
     }
     state = it->second.get();
+    if (state->failed) {
+      // ft tombstone: the transfer's request already failed kPeerFailed;
+      // the user may have freed the buffer, so a straggling fragment (in
+      // an RX ring since before the death was confirmed) must not land.
+      spc_.add(Counter::kDupDiscards);
+      return 0;
+    }
     // Dedup under the registry lock: losers must not touch `state` after
     // release (the transfer may complete and free it); winners keep it
     // alive through `remaining`, which cannot reach zero until they
@@ -138,13 +145,16 @@ std::size_t Rank::handle_rndv_data(const Packet& pkt) {
       state->remaining.fetch_sub(bytes, std::memory_order_acq_rel) - bytes;
   if (left != 0) return 0;
 
-  // Last fragment: publish completion and retire the transfer.
-  spc_.add(Counter::kMessagesReceived);
-  spc_.add(Counter::kBytesReceived, state->total);
-  tracer_.record(trace::Event::kRndvDone,
-                 static_cast<std::uint32_t>(state->status.source),
-                 static_cast<std::uint32_t>(state->total));
-  state->request->complete(state->status);
+  // Last fragment: publish completion and retire the transfer. Counters
+  // only on the settle win — the request may have been failed by a racing
+  // death confirmation (the settled_ CAS in request.hpp arbitrates).
+  if (state->request->complete(state->status)) {
+    spc_.add(Counter::kMessagesReceived);
+    spc_.add(Counter::kBytesReceived, state->total);
+    tracer_.record(trace::Event::kRndvDone,
+                   static_cast<std::uint32_t>(state->status.source),
+                   static_cast<std::uint32_t>(state->total));
+  }
   {
     LockGuard guard(rndv_lock_);
     rndv_recvs_.erase(pkt.hdr.imm);
@@ -168,6 +178,14 @@ void Rank::inject_control(int dst, Packet&& pkt) {
   constexpr std::uint64_t kTrackedAttempts = 64;
   std::uint64_t attempts = 0;
   for (;;) {
+    if (peer_failed(dst)) {
+      // Confirmed-dead destination: a full ring on a severed link never
+      // drains, so the untracked-control loop below would spin forever.
+      // Drop the packet — the owning operation is failed by the death
+      // propagation (on_peer_dead), not by this transmission path.
+      if (tracked) tracker_->untrack(p2p::key_of(dst, pkt.hdr));
+      return;
+    }
     const int k = pool_.id_for_thread();
     cri::CommResourceInstance& inst = pool_.instance(k);
     bool injected = false;
@@ -223,6 +241,14 @@ void Rank::drain_control() {
           state = std::move(it->second);
           rndv_sends_.erase(it);
         }
+        if (peer_failed(msg.peer)) {
+          // Receiver died between its RndvAck and our drain: fail the send
+          // instead of streaming the whole payload into a severed link.
+          if (state->request->fail(common::ErrorCode::kPeerFailed)) {
+            spc_.add(Counter::kFtPeerFailedOps);
+          }
+          break;
+        }
         const std::size_t frag = uni_->config().rndv_frag_bytes;
         std::uint64_t offset = 0;
         std::uint32_t index = 0;
@@ -242,9 +268,10 @@ void Rank::drain_control() {
           inject_control(msg.peer, std::move(data));
           offset += chunk;
         }
-        spc_.add(Counter::kMessagesSent);
-        spc_.add(Counter::kBytesSent, state->total);
-        state->request->complete();
+        if (state->request->complete()) {
+          spc_.add(Counter::kMessagesSent);
+          spc_.add(Counter::kBytesSent, state->total);
+        }
         break;
       }
       case ControlMsg::Kind::kSendPacketAck:

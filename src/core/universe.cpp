@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fairmpi/common/error.hpp"
+#include "fairmpi/common/timing.hpp"
 #include "fairmpi/core/cvar.hpp"
 
 namespace fairmpi {
@@ -30,6 +31,10 @@ Config apply_chaos_env(Config cfg) {
       "reliable",       "rto_ns",           "rto_max_ns",
       "max_retries",    "reliability_window", "send_retry_limit",
       "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
+      // ft knobs ride along so a chaos job can arm the failure detector
+      // (FAIRMPI_FT=1) across a whole suite without touching call sites.
+      "ft",             "ft_heartbeat_ns",  "ft_suspect_ns",
+      "ft_strikes",
       // Observability knobs ride along for the same reason: FAIRMPI_TRACE=1
       // FAIRMPI_OBS=1 must instrument a test/bench binary that builds its
       // Config programmatically, without touching each call site. They are
@@ -62,8 +67,10 @@ Universe::Universe(Config cfg)
   // exist below any one universe, so the profile does too. Never unset —
   // a later obs-less universe must not blind a concurrent profiled one.
   if (cfg_.obs_enabled) obs::set_enabled(true);
-  // Reliability plumbing must exist before any rank can inject.
-  fabric_.configure_reliability(cfg_.faults, cfg_.reliable);
+  // Reliability plumbing must exist before any rank can inject. ft forces
+  // the injector even on a pristine fabric: the detector's kill mode
+  // (FaultInjector::kill_rank) is its ground truth for rank death.
+  fabric_.configure_reliability(cfg_.faults, cfg_.reliable, cfg_.ft_enabled);
   ranks_.reserve(static_cast<std::size_t>(cfg_.num_ranks));
   for (int r = 0; r < cfg_.num_ranks; ++r) {
     // make_unique can't reach the private constructor.
@@ -84,8 +91,92 @@ CommId Universe::create_communicator() {
   return id;
 }
 
-void Universe::sweep_reliability(std::uint64_t now_ns) noexcept {
+CommId Universe::create_communicator(std::vector<int> members) {
+  FAIRMPI_CHECK_MSG(!members.empty(), "communicator group must be non-empty");
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    FAIRMPI_CHECK_MSG(members[i] >= 0 && members[i] < num_ranks(),
+                      "group member out of range");
+    FAIRMPI_CHECK_MSG(i == 0 || members[i] > members[i - 1],
+                      "group members must be strictly increasing");
+  }
+  LockGuard guard(comm_create_lock_);
+  const CommId id = next_comm_.fetch_add(1, std::memory_order_relaxed);
+  FAIRMPI_CHECK_MSG(id < static_cast<CommId>(cfg_.max_communicators),
+                    "communicator table exhausted (raise Config::max_communicators)");
+  // Installed on every rank — members and non-members alike — so any rank
+  // can still resolve the id (non-members simply never operate on it).
+  for (auto& rank : ranks_) rank->install_comm(id, members);
+  return id;
+}
+
+// --- ft: communicator-level recovery (DESIGN.md §5g) ---
+
+void Universe::revoke(CommId id) {
   for (auto& rank : ranks_) {
+    p2p::CommState& cs = rank->comm_state(id);
+    if (cs.revoked()) continue;  // idempotent per rank
+    cs.revoke();
+    const std::size_t failed = cs.match().fail_all_posted();
+    rank->tracer().record(trace::Event::kCommRevoke, id,
+                          static_cast<std::uint32_t>(failed));
+  }
+}
+
+std::vector<int> Universe::survivors() const {
+  fabric::FaultInjector* injector =
+      const_cast<fabric::Fabric&>(fabric_).injector();
+  std::vector<int> alive;
+  alive.reserve(ranks_.size());
+  for (const auto& rank : ranks_) {
+    const int r = rank->id();
+    bool dead = injector != nullptr && injector->rank_dead(r);
+    for (const auto& other : ranks_) {
+      if (dead) break;
+      ft::FailureDetector* det = other->ft_.get();
+      if (other->id() != r && det != nullptr && det->is_dead(r)) dead = true;
+    }
+    if (!dead) alive.push_back(r);
+  }
+  return alive;
+}
+
+bool Universe::quiesce(std::uint64_t timeout_ns) {
+  const std::vector<int> alive = survivors();
+  const std::uint64_t deadline = now_ns() + timeout_ns;
+  // Quiescent = two consecutive all-idle sweeps (one can be a fluke of
+  // approximate ring counts) with every surviving tracker empty. Tracked
+  // entries toward dead peers drain via the sweep's failed_peers purge.
+  int idle_sweeps = 0;
+  while (idle_sweeps < 2) {
+    std::size_t work = 0;
+    bool tracked = false;
+    for (const int r : alive) {
+      Rank& rk = *ranks_[static_cast<std::size_t>(r)];
+      work += rk.progress();
+      if (rk.tracker_ != nullptr && rk.tracker_->in_flight() != 0) tracked = true;
+    }
+    idle_sweeps = work == 0 && !tracked ? idle_sweeps + 1 : 0;
+    if (now_ns() > deadline) return false;
+  }
+  return true;
+}
+
+CommId Universe::shrink(CommId id) {
+  revoke(id);
+  // Bounded drain so no survivor is still blocked inside an operation on
+  // the revoked communicator when the replacement starts talking. 50 ms is
+  // generous next to the detector's defaults (~8 ms to confirm a death).
+  (void)quiesce(50'000'000);
+  return create_communicator(survivors());
+}
+
+void Universe::sweep_reliability(std::uint64_t now_ns) noexcept {
+  fabric::FaultInjector* injector = fabric_.injector();
+  for (auto& rank : ranks_) {
+    // A killed rank's NIC does not retransmit: its outbound packets are
+    // eaten by the injector anyway, so sweeping its tracker would only
+    // burn the survivors' progress cycles on a corpse's retry furnace.
+    if (injector != nullptr && injector->rank_dead(rank->id())) continue;
     p2p::ReliabilityTracker* tracker = rank->tracker_.get();
     // lint: allow(relaxed-sync) next_deadline is a racy fast-path gate; the
     // sweep itself re-checks every deadline under the tracker lock.

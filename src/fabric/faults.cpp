@@ -34,7 +34,8 @@ void corrupt_packet(Xoshiro256& rng, Packet& pkt) {
 }  // namespace
 
 FaultInjector::FaultInjector(int num_ranks, const FaultParams& params)
-    : params_(params), num_ranks_(static_cast<std::size_t>(num_ranks)) {
+    : params_(params), num_ranks_(static_cast<std::size_t>(num_ranks)),
+      kill_(num_ranks_), injected_by_(num_ranks_) {
   FAIRMPI_CHECK(num_ranks >= 1);
   Xoshiro256 master(params.seed);
   // lint: allow(hotpath-alloc) one-time construction of the link table
@@ -45,11 +46,27 @@ FaultInjector::FaultInjector(int num_ranks, const FaultParams& params)
     state->rng = master.fork();
     links_.push_back(std::move(state));
   }
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    kill_[r].value.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  }
 }
 
 void FaultInjector::process(int src, int dst, Packet&& pkt, Batch& out) {
   out.n = 0;
   out.primary = -1;
+  // Peer-death gate. The per-src injection counter is what makes
+  // kill_rank_at deterministic: the rank dies at a packet *index*, not a
+  // time, so a re-run with the same seed and injection order dies at the
+  // same packet. The count is charged before the liveness check so packet
+  // at_seq itself is the first one the wire eats.
+  injected_by_[static_cast<std::size_t>(src)].value.fetch_add(
+      1, std::memory_order_relaxed);
+  if (rank_dead(src) || rank_dead(dst)) {
+    stats_.kill_drops.fetch_add(1, std::memory_order_relaxed);
+    Packet sink = std::move(pkt);  // permanent link-down: the wire ate it
+    static_cast<void>(sink);
+    return;
+  }
   LinkState& ln = link(src, dst);
   LockGuard guard(ln.lock);
   Xoshiro256& rng = ln.rng;

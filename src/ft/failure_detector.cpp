@@ -1,0 +1,115 @@
+// Failure-detector sweep (see include/fairmpi/ft/failure_detector.hpp).
+#include "fairmpi/ft/failure_detector.hpp"
+
+#include "fairmpi/common/error.hpp"
+
+namespace fairmpi::ft {
+
+using spc::Counter;
+
+FailureDetector::FailureDetector(int num_ranks, int self, const FtParams& params,
+                                 spc::CounterSet& counters, trace::Tracer& tracer)
+    : num_ranks_(num_ranks), self_(self), params_(params), spc_(counters),
+      tracer_(tracer), cells_(static_cast<std::size_t>(num_ranks)),
+      cold_(static_cast<std::size_t>(num_ranks)) {
+  FAIRMPI_CHECK(params.strikes >= 1);
+  FAIRMPI_CHECK(params.heartbeat_ns >= 1 && params.suspect_ns >= params.heartbeat_ns);
+}
+
+bool FailureDetector::poll(std::uint64_t now_ns, std::vector<int>& probes,
+                           std::vector<int>& newly_dead) {
+  // Cheap cadence gate before any lock traffic; a sweep observed slightly
+  // late just runs on the next poll. Half the probe interval so a strike
+  // round is never skipped wholesale by gate aliasing.
+  // lint: allow(relaxed-sync) cadence gate only; the try_lock owns the sweep
+  if (now_ns - last_poll_ns_.load(std::memory_order_relaxed) < params_.heartbeat_ns / 2) {
+    return false;
+  }
+  if (!lock_.try_lock()) return false;  // another thread is sweeping
+  LockGuard adopt(lock_, adopt_lock);
+  last_poll_ns_.store(now_ns, std::memory_order_relaxed);
+
+  for (int p = 0; p < num_ranks_; ++p) {
+    if (p == self_) continue;
+    Cold& c = cold_[static_cast<std::size_t>(p)];
+    if (c.state == PeerState::kDead) continue;
+    Cell& cell = cells_[static_cast<std::size_t>(p)].value;
+
+    std::uint64_t heard = cell.last_heard.load(std::memory_order_relaxed);
+    if (heard == 0) {
+      // No contact yet: baseline the epoch at first observation instead of
+      // suspecting a peer we never exchanged a packet with. CAS so a racing
+      // real packet's note_alive is never overwritten.
+      cell.last_heard.compare_exchange_strong(heard, now_ns,
+                                              std::memory_order_relaxed,
+                                              std::memory_order_relaxed);
+      continue;
+    }
+    const std::uint64_t silence = now_ns - heard;
+
+    if (silence < params_.suspect_ns) {
+      if (c.state == PeerState::kSuspect) {
+        // Recovered: traffic resumed before the strikes ran out.
+        c.state = PeerState::kAlive;
+        c.strikes = 0;
+        int hint = p;
+        suspect_hint_.compare_exchange_strong(hint, -1, std::memory_order_relaxed,
+                                              std::memory_order_relaxed);
+        tracer_.record(trace::Event::kPeerSuspect, static_cast<std::uint32_t>(p), 0);
+      }
+      // Advertise our own liveness on a sender-side cadence, NOT gated on
+      // inbound silence. Receive-gated probing deadlocks symmetric
+      // idleness: A's probes keep B's inbound silence low, so B never
+      // probes back and A confirms a perfectly live peer dead.
+      if (now_ns - c.last_probe_ns >= params_.heartbeat_ns) {
+        c.last_probe_ns = now_ns;
+        probes.push_back(p);
+      }
+      continue;
+    }
+
+    if (c.state == PeerState::kAlive) {
+      c.state = PeerState::kSuspect;
+      c.strikes = 0;
+      c.last_strike_ns = now_ns;
+      c.last_probe_ns = now_ns;
+      suspects_.fetch_add(1, std::memory_order_relaxed);
+      spc_.add(Counter::kFtSuspects);
+      tracer_.record(trace::Event::kPeerSuspect, static_cast<std::uint32_t>(p), 1);
+      suspect_hint_.store(p, std::memory_order_relaxed);
+      probes.push_back(p);
+      continue;
+    }
+
+    // kSuspect: one strike per unanswered probe interval.
+    if (now_ns - c.last_strike_ns < params_.heartbeat_ns) continue;
+    c.last_strike_ns = now_ns;
+    if (++c.strikes < params_.strikes) {
+      c.last_probe_ns = now_ns;
+      probes.push_back(p);
+      continue;
+    }
+
+    // Confirmed dead (terminal). Detection latency = last contact to now.
+    c.state = PeerState::kDead;
+    cell.dead.store(true, std::memory_order_release);
+    deaths_.fetch_add(1, std::memory_order_relaxed);
+    spc_.add(Counter::kFtDeaths);
+    const std::uint64_t ms = silence / 1'000'000;
+    int bucket = 0;
+    while (bucket < kLatencyBuckets - 1 && ms >= (std::uint64_t{1} << bucket)) ++bucket;
+    lat_hist_[static_cast<std::size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+    tracer_.record(trace::Event::kPeerDead, static_cast<std::uint32_t>(p),
+                   static_cast<std::uint32_t>(ms));
+    suspect_hint_.store(p, std::memory_order_relaxed);
+    newly_dead.push_back(p);
+  }
+  return true;
+}
+
+PeerState FailureDetector::state(int peer) const {
+  LockGuard guard(lock_);
+  return cold_[static_cast<std::size_t>(peer)].state;
+}
+
+}  // namespace fairmpi::ft

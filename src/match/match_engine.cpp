@@ -1,5 +1,6 @@
 #include "fairmpi/match/match_engine.hpp"
 
+#include <bit>
 #include <cstring>
 #include <limits>
 
@@ -49,9 +50,13 @@ void MatchEngine::deliver(spc::CounterSet::Cursor& ctr, p2p::Request* req,
   const std::size_t n =
       status.truncated ? req->capacity() : static_cast<std::size_t>(pkt.hdr.payload_size);
   if (n != 0) std::memcpy(req->buffer(), pkt.payload(), n);
-  ctr.add(Counter::kMessagesReceived);
-  ctr.add(Counter::kBytesReceived, pkt.hdr.payload_size);
-  req->complete(status);
+  // Count only when this delivery won the settle race: a request already
+  // failed by ft propagation (racing arrival vs. fail_source) must not
+  // inflate the delivery counters.
+  if (req->complete(status)) {
+    ctr.add(Counter::kMessagesReceived);
+    ctr.add(Counter::kBytesReceived, pkt.hdr.payload_size);
+  }
 }
 
 std::size_t MatchEngine::match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt) {
@@ -147,6 +152,13 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
 
   LockGuard guard(lock_);
   auto ctr = spc_.cursor();
+  if (revoked_) {
+    // Revoked communicator: nothing will ever be posted again, so parking
+    // this message as unexpected would just pin pooled payload memory.
+    fabric::Packet sink = std::move(pkt);
+    static_cast<void>(sink);
+    return 0;
+  }
   std::uint64_t cycles = 0;
   std::size_t completions = 0;
   {
@@ -247,6 +259,16 @@ bool MatchEngine::post(p2p::Request* req) {
 
   LockGuard guard(lock_);
   auto ctr = spc_.cursor();
+  if (revoked_) {
+    // Checked under the match lock — the authoritative revocation gate. A
+    // poster that read CommState::revoked() as false just before revoke()
+    // landed must still fail here, never enqueue (it would hang forever:
+    // fail_all_posted already swept the queues).
+    if (req->fail(common::ErrorCode::kCommRevoked)) {
+      ctr.add(Counter::kFtRevokedOps);
+    }
+    return true;
+  }
   std::uint64_t cycles = 0;
   bool matched = false;
   {
@@ -290,6 +312,15 @@ bool MatchEngine::post(p2p::Request* req) {
       best_ps->unexpected.erase(best);
       unexpected_pool_.release(best);
       matched = true;
+    } else if (src != p2p::kAnySource && peer(src).dead) {
+      // ft fail-fast: nothing matchable remains from a confirmed-dead
+      // source and nothing more can arrive — enqueueing would hang the
+      // receiver forever. ANY_SOURCE receives still enqueue: a live peer
+      // may satisfy them.
+      if (req->fail(common::ErrorCode::kPeerFailed)) {
+        ctr.add(Counter::kFtPeerFailedOps);
+      }
+      matched = true;  // completed immediately, albeit with an error
     } else {
       req->post_stamp = post_stamp_++;
       if (src == p2p::kAnySource) {
@@ -338,6 +369,59 @@ bool MatchEngine::probe(int src, int tag, p2p::Status* status) {
     status->truncated = false;
   }
   return true;
+}
+
+std::size_t MatchEngine::fail_source(int src) {
+  FAIRMPI_CHECK_MSG(src >= 0 && src < static_cast<int>(peers_.size()),
+                    "invalid source rank");
+  LockGuard guard(lock_);
+  auto ctr = spc_.cursor();
+  PeerState& ps = peer(src);
+  ps.dead = true;
+
+  // Sever the reorder stream: parked out-of-sequence packets can never
+  // drain (the gaps below them died with the sender), so they would pin
+  // reorder_total_ and leak pooled payloads until teardown.
+  if (ps.reorder != nullptr) {
+    while (ps.reorder->present != 0) {
+      const std::uint32_t idx =
+          static_cast<std::uint32_t>(std::countr_zero(ps.reorder->present));
+      ps.reorder->present &= ~(std::uint64_t{1} << idx);
+      fabric::Packet drop = std::move(ps.reorder->slot[idx]);
+      static_cast<void>(drop);
+      --reorder_total_;
+    }
+  }
+  reorder_total_ -= ps.spill.size();
+  ps.spill.clear();
+
+  // Fail every source-specific posted receive; count on settle win only.
+  std::size_t failed = 0;
+  while (p2p::Request* r = ps.posted.pop_front()) {
+    if (r->fail(common::ErrorCode::kPeerFailed)) {
+      ctr.add(Counter::kFtPeerFailedOps);
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+std::size_t MatchEngine::fail_all_posted() {
+  LockGuard guard(lock_);
+  auto ctr = spc_.cursor();
+  revoked_ = true;
+  std::size_t failed = 0;
+  const auto drain = [&](PostedList& list) {
+    while (p2p::Request* r = list.pop_front()) {
+      if (r->fail(common::ErrorCode::kCommRevoked)) {
+        ctr.add(Counter::kFtRevokedOps);
+        ++failed;
+      }
+    }
+  };
+  for (auto& ps : peers_) drain(ps.posted);
+  drain(posted_any_);
+  return failed;
 }
 
 std::size_t MatchEngine::unexpected_count() const noexcept {

@@ -147,7 +147,8 @@ void Universe::dump_observability(std::ostream& os) const {
      << "    \"assignment\": \"" << cri::assignment_name(cfg_.assignment) << "\",\n"
      << "    \"progress\": \"" << progress::progress_mode_name(cfg_.progress_mode)
      << "\",\n"
-     << "    \"reliable\": " << (cfg_.reliable ? "true" : "false") << "\n  },\n";
+     << "    \"reliable\": " << (cfg_.reliable ? "true" : "false") << ",\n"
+     << "    \"ft\": " << (cfg_.ft_enabled ? "true" : "false") << "\n  },\n";
 
   // Per-class lock contention. Process-global: a process hosting several
   // universes reports one merged table (lock classes are shared anyway).
@@ -189,7 +190,28 @@ void Universe::dump_observability(std::ostream& os) const {
       }
       os << "]}";
     }
-    os << "\n    ], \"spc\": ";
+    os << "\n    ], \"ft\": ";
+    // Liveness view (null with ft off): this rank's verdict on every peer,
+    // plus the detection-latency histogram (bucket i: confirmed < 2^i ms
+    // after last contact; last bucket overflows).
+    ft::FailureDetector* det = rank.failure_detector();
+    if (det == nullptr) {
+      os << "null";
+    } else {
+      os << "{\"peers\": [";
+      for (int p = 0; p < num_ranks(); ++p) {
+        os << (p == 0 ? "" : ", ") << '"'
+           << (p == rank.id() ? "self" : ft::peer_state_name(det->state(p))) << '"';
+      }
+      os << "], \"suspects\": " << det->suspects() << ", \"deaths\": " << det->deaths()
+         << ", \"detection_latency_ms_hist\": [";
+      const auto hist = det->latency_hist();
+      for (int b = 0; b < ft::FailureDetector::kLatencyBuckets; ++b) {
+        os << (b == 0 ? "" : ", ") << hist[static_cast<std::size_t>(b)];
+      }
+      os << "]}";
+    }
+    os << ", \"spc\": ";
     emit_spc(os, rank.counters().snapshot(), "    ");
     os << "}";
   }

@@ -14,7 +14,9 @@ namespace fairmpi::p2p {
 ReliabilityTracker::ReliabilityTracker(std::uint64_t rto_ns, std::uint64_t rto_max_ns,
                                        int max_retries)
     : rto_ns_(rto_ns), rto_max_ns_(rto_max_ns), max_retries_(max_retries) {
-  FAIRMPI_CHECK(rto_ns >= 1 && rto_max_ns >= rto_ns && max_retries >= 1);
+  // max_retries == 0 is the fail-fast mode: the first unacked rto expiry
+  // fails the entry typed without ever retransmitting.
+  FAIRMPI_CHECK(rto_ns >= 1 && rto_max_ns >= rto_ns && max_retries >= 0);
 }
 
 void ReliabilityTracker::track(int dst, const fabric::Packet& pkt,
@@ -59,6 +61,17 @@ void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resend
   std::uint64_t earliest = ~std::uint64_t{0};
   for (auto it = inflight_.begin(); it != inflight_.end();) {
     Entry& e = it->second;
+    if (static_cast<std::size_t>(e.dst) < failed_peers_.size() &&
+        failed_peers_[static_cast<std::size_t>(e.dst)]) {
+      // Tracked after the peer's death was confirmed (racing send):
+      // deadline is irrelevant, the link is permanently down.
+      // lint: allow(hotpath-alloc) failure reporting is the cold outcome
+      failures.push_back(Failure{it->first, e.retries,
+                                 common::ErrorCode::kPeerFailed});
+      it = inflight_.erase(it);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
     if (e.deadline_ns > now_ns) {
       if (e.deadline_ns < earliest) earliest = e.deadline_ns;
       ++it;
@@ -66,7 +79,8 @@ void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resend
     }
     if (e.retries >= max_retries_) {
       // lint: allow(hotpath-alloc) failure reporting is the cold outcome
-      failures.push_back(Failure{it->first, e.retries});
+      failures.push_back(Failure{it->first, e.retries,
+                                 common::ErrorCode::kRetryExhausted});
       it = inflight_.erase(it);
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       continue;
@@ -81,6 +95,32 @@ void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resend
     ++it;
   }
   next_deadline_.store(earliest, std::memory_order_relaxed);
+}
+
+void ReliabilityTracker::fail_peer(int peer, std::vector<Failure>& failures) {
+  LockGuard guard(lock_);
+  if (static_cast<std::size_t>(peer) >= failed_peers_.size()) {
+    // lint: allow(hotpath-alloc) peer death is a cold, once-per-rank event
+    failed_peers_.resize(static_cast<std::size_t>(peer) + 1, false);
+  }
+  failed_peers_[static_cast<std::size_t>(peer)] = true;
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (it->second.dst != peer) {
+      ++it;
+      continue;
+    }
+    // lint: allow(hotpath-alloc) peer death is a cold, once-per-rank event
+    failures.push_back(Failure{it->first, it->second.retries,
+                               common::ErrorCode::kPeerFailed});
+    it = inflight_.erase(it);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool ReliabilityTracker::peer_failed(int peer) const noexcept {
+  LockGuard guard(lock_);
+  return static_cast<std::size_t>(peer) < failed_peers_.size() &&
+         failed_peers_[static_cast<std::size_t>(peer)];
 }
 
 void ReliabilityTracker::confirm_retransmit(const PacketKey& key,

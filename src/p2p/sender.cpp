@@ -17,6 +17,16 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
   FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
   req.init_send();
 
+  const auto dst_dead = [&]() {
+    return policy.peer_failed != nullptr &&
+           policy.peer_failed(policy.peer_failed_user, dst);
+  };
+  if (dst_dead()) {
+    counters.add(Counter::kFtPeerFailedOps);
+    req.fail(common::ErrorCode::kPeerFailed);
+    return common::ErrorCode::kPeerFailed;
+  }
+
   // Sequence ticketing happens before resource acquisition, as in OB1. Two
   // threads that ticket back-to-back can inject in the opposite order (or
   // into different contexts) — this is where out-of-sequence messages come
@@ -49,9 +59,15 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
     while (policy.tracker->in_flight() >= policy.window) {
       counters.add(Counter::kSendBackpressure);
       if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
-        counters.add(Counter::kReliabilityErrors);
-        req.fail(common::ErrorCode::kSendBudgetExhausted);
+        if (req.fail(common::ErrorCode::kSendBudgetExhausted)) {
+          counters.add(Counter::kReliabilityErrors);
+        }
         return common::ErrorCode::kSendBudgetExhausted;
+      }
+      if (dst_dead()) {
+        counters.add(Counter::kFtPeerFailedOps);
+        req.fail(common::ErrorCode::kPeerFailed);
+        return common::ErrorCode::kPeerFailed;
       }
       if (make_progress() == 0) waiter.pause(); else waiter.reset();
     }
@@ -87,9 +103,19 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
       if (policy.tracker != nullptr) {
         policy.tracker->untrack(key_of(dst, pkt.hdr));
       }
-      counters.add(Counter::kReliabilityErrors);
-      req.fail(common::ErrorCode::kSendBudgetExhausted);
+      if (req.fail(common::ErrorCode::kSendBudgetExhausted)) {
+        counters.add(Counter::kReliabilityErrors);
+      }
       return common::ErrorCode::kSendBudgetExhausted;
+    }
+    if (dst_dead()) {
+      // Confirmed dead mid-backpressure: the ring will never drain.
+      if (policy.tracker != nullptr) {
+        policy.tracker->untrack(key_of(dst, pkt.hdr));
+      }
+      counters.add(Counter::kFtPeerFailedOps);
+      req.fail(common::ErrorCode::kPeerFailed);
+      return common::ErrorCode::kPeerFailed;
     }
     if (make_progress() == 0) waiter.pause(); else waiter.reset();
   }

@@ -43,12 +43,21 @@ std::size_t Watchdog::poll(std::uint64_t now_ns) {
     const std::uint64_t consumed = delivered - backlog;
 
     InstanceState& st = instances_[static_cast<std::size_t>(i)];
-    if (backlog == 0 || consumed != st.last_consumed) {
+    // Signed progress delta. A spurious *decrease* is possible (a push
+    // landing between the two reads inflates backlog), and the old
+    // `consumed != last` test treated that phantom as progress — resetting
+    // the strike counter of a genuinely frozen instance every time inbound
+    // traffic raced the sweep, so a flooded-and-stuck CRI was never
+    // escalated. Only a genuine advance (delta > 0, even *partial* — the
+    // backlog need not drain fully) ends the episode.
+    const auto delta = static_cast<std::int64_t>(consumed - st.last_consumed);
+    if (backlog == 0 || delta > 0) {
       st.last_consumed = consumed;
       st.strikes = 0;
       st.escalated = false;  // episode over: draining resumed
       continue;
     }
+    if (delta < 0) continue;  // racy read: inconclusive — no strike, no reset
     if (++st.strikes < stall_sweeps_ || st.escalated) continue;
 
     st.escalated = true;
@@ -58,7 +67,11 @@ std::size_t Watchdog::poll(std::uint64_t now_ns) {
     tracer_.record(trace::Event::kWatchdogStall, static_cast<std::uint32_t>(i),
                    static_cast<std::uint32_t>(st.strikes));
     if (sink_ != nullptr) {
-      sink_(common::Error{common::ErrorCode::kStalledInstance, rank_, -1,
+      // Attribute the stall to the peer the failure detector currently
+      // suspects (if ft is on and suspects someone); -1 = unattributed.
+      const int peer =
+          suspect_hint_ != nullptr ? suspect_hint_->load(std::memory_order_relaxed) : -1;
+      sink_(common::Error{common::ErrorCode::kStalledInstance, rank_, peer,
                           static_cast<std::uint64_t>(i)},
             sink_user_);
     }

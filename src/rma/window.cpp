@@ -82,9 +82,20 @@ void Window::post_completion(cri::CommResourceInstance& inst) {
   }
 }
 
+bool Window::fail_if_dead(int target) {
+  if (!rank_->peer_failed(target)) return false;
+  // No data movement, no pending increment: the op never existed as far as
+  // flush is concerned; the typed error is the whole outcome.
+  rank_->counters().add(Counter::kFtPeerFailedOps);
+  rank_->report_error(common::Error{common::ErrorCode::kPeerFailed, rank_->id(),
+                                    target, window_key_});
+  return true;
+}
+
 void Window::put(int target, std::size_t disp, const void* src, std::size_t n) {
   Window& tw = group_->window(target);
   FAIRMPI_CHECK_MSG(disp + n <= tw.bytes_, "put out of window bounds");
+  if (fail_if_dead(target)) return;
 
   cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
   lock_timed(inst, rank_->counters());
@@ -104,6 +115,7 @@ void Window::put(int target, std::size_t disp, const void* src, std::size_t n) {
 void Window::get(int target, std::size_t disp, void* dst, std::size_t n) {
   Window& tw = group_->window(target);
   FAIRMPI_CHECK_MSG(disp + n <= tw.bytes_, "get out of window bounds");
+  if (fail_if_dead(target)) return;
 
   cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
   lock_timed(inst, rank_->counters());
@@ -129,6 +141,7 @@ std::uint64_t Window::fetch_add_u64(int target, std::size_t disp, std::uint64_t 
   FAIRMPI_CHECK_MSG(disp % alignof(std::uint64_t) == 0, "accumulate needs aligned disp");
   FAIRMPI_CHECK_MSG(disp + sizeof(std::uint64_t) <= tw.bytes_,
                     "accumulate out of window bounds");
+  if (fail_if_dead(target)) return 0;
 
   cri::CommResourceInstance& inst = rank_->pool().instance(rank_->pool().id_for_thread());
   lock_timed(inst, rank_->counters());
@@ -264,18 +277,26 @@ void Window::unlock(int target) {
   }
 }
 
-void WindowGroup::fence_arrive() {
+bool WindowGroup::fence_arrive(Rank& self) {
   const int n = num_ranks();
   const int gen = fence_generation_.load(std::memory_order_acquire);
   if (fence_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
     fence_arrived_.store(0, std::memory_order_relaxed);
     fence_generation_.store(gen + 1, std::memory_order_release);
-  } else {
-    SpinWait waiter;
-    while (fence_generation_.load(std::memory_order_acquire) == gen) {
-      waiter.pause();
-    }
+    return true;
   }
+  SpinWait waiter;
+  while (fence_generation_.load(std::memory_order_acquire) == gen) {
+    // ft escape: a participant confirmed dead by our detector will never
+    // arrive, so this spin would hang every survivor forever. The check is
+    // per-iteration atomic loads only, and always false with ft off (the
+    // detector never confirms anyone), preserving the pure-spin behaviour.
+    for (int r = 0; r < n; ++r) {
+      if (r != self.id() && self.peer_failed(r)) return false;
+    }
+    waiter.pause();
+  }
+  return true;
 }
 
 void Window::fence() {
@@ -283,7 +304,11 @@ void Window::fence() {
   // rendezvous with every rank so all inbound operations are complete too
   // before anyone proceeds.
   flush_process();
-  group_->fence_arrive();
+  if (!group_->fence_arrive(*rank_)) {
+    rank_->counters().add(Counter::kFtPeerFailedOps);
+    rank_->report_error(common::Error{common::ErrorCode::kPeerFailed,
+                                      rank_->id(), /*peer=*/-1, window_key_});
+  }
 }
 
 }  // namespace fairmpi::rma

@@ -39,6 +39,12 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kSubmitDoorbells: return "SubmitDoorbells";
     case Counter::kSubmitCasRetries: return "SubmitCasRetries";
     case Counter::kRmaFlushAllBusy: return "RmaFlushAllBusy";
+    case Counter::kFtHeartbeatsSent: return "FtHeartbeatsSent";
+    case Counter::kFtHeartbeatsReceived: return "FtHeartbeatsReceived";
+    case Counter::kFtSuspects: return "FtSuspects";
+    case Counter::kFtDeaths: return "FtDeaths";
+    case Counter::kFtPeerFailedOps: return "FtPeerFailedOps";
+    case Counter::kFtRevokedOps: return "FtRevokedOps";
     case Counter::kCount: break;
   }
   return "Unknown";

@@ -25,6 +25,9 @@ const char* event_name(Event e) noexcept {
     case Event::kAckRecv: return "AckRecv";
     case Event::kCsumDrop: return "CsumDrop";
     case Event::kCriDrain: return "CriDrain";
+    case Event::kPeerSuspect: return "PeerSuspect";
+    case Event::kPeerDead: return "PeerDead";
+    case Event::kCommRevoke: return "CommRevoke";
   }
   return "Unknown";
 }

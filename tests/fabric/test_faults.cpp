@@ -204,5 +204,74 @@ TEST(FaultInjector, CorruptionIsDetectedByChecksum) {
   EXPECT_GT(detected, 90);
 }
 
+TEST(FaultInjector, KillRankAtEatsFromTheNthInjection) {
+  // kill_rank_at(r, N) pins the death to an injection *index*: the charge
+  // happens before the liveness check, so packet N itself is the first one
+  // the wire eats. No other faults configured — every fate is the kill's.
+  FaultParams params;
+  params.seed = 11;
+  FaultInjector inj(2, params);
+  inj.kill_rank_at(0, 10);
+
+  for (int i = 1; i <= 20; ++i) {
+    FaultInjector::Batch batch;
+    const bool was_dead = inj.rank_dead(0);
+    inj.process(0, 1, make_packet(static_cast<std::uint32_t>(i)), batch);
+    if (i < 10) {
+      EXPECT_FALSE(was_dead) << "packet " << i;
+      ASSERT_EQ(batch.n, 1u) << "packet " << i;
+      EXPECT_EQ(batch.primary, 0);
+    } else {
+      ASSERT_EQ(batch.n, 0u) << "packet " << i;
+      EXPECT_EQ(batch.primary, -1);
+      EXPECT_TRUE(inj.rank_dead(0));
+    }
+  }
+  const auto& s = inj.stats();
+  EXPECT_EQ(s.injected.load(), 9u);     // dead-rank packets never count
+  EXPECT_EQ(s.kill_drops.load(), 11u);  // packets 10..20
+}
+
+TEST(FaultInjector, KillIsDeterministicAcrossSeedReforks) {
+  // The rank-kill must compose with the probabilistic faults without
+  // perturbing determinism: two injectors with the same seed and the same
+  // kill point observe identical fates for the whole sequence.
+  FaultParams params;
+  params.drop = 0.1;
+  params.dup = 0.1;
+  params.delay = 0.1;
+  params.reorder = 0.1;
+  params.seed = 42;
+
+  FaultInjector a(2, params);
+  FaultInjector b(2, params);
+  a.kill_rank_at(0, 100);
+  b.kill_rank_at(0, 100);
+  EXPECT_EQ(run_sequence(a, 300), run_sequence(b, 300));
+  EXPECT_EQ(a.stats().kill_drops.load(), b.stats().kill_drops.load());
+  EXPECT_EQ(a.stats().injected.load(), b.stats().injected.load());
+  EXPECT_GT(a.stats().kill_drops.load(), 0u);
+}
+
+TEST(FaultInjector, DeadDestinationEatsInboundPackets) {
+  // Permanent link-down is bidirectional: packets *to* a corpse vanish too,
+  // and the sender stays alive.
+  FaultParams params;
+  params.seed = 3;
+  FaultInjector inj(2, params);
+  inj.kill_rank(1);
+  EXPECT_TRUE(inj.rank_dead(1));
+  EXPECT_FALSE(inj.rank_dead(0));
+
+  for (int i = 0; i < 5; ++i) {
+    FaultInjector::Batch batch;
+    inj.process(0, 1, make_packet(static_cast<std::uint32_t>(i)), batch);
+    EXPECT_EQ(batch.n, 0u);
+  }
+  EXPECT_FALSE(inj.rank_dead(0));  // sending into the void is not fatal
+  EXPECT_EQ(inj.stats().kill_drops.load(), 5u);
+  EXPECT_EQ(inj.stats().injected.load(), 0u);
+}
+
 }  // namespace
 }  // namespace fairmpi::fabric

@@ -219,5 +219,61 @@ TEST(ReliabilityTracker, UnconfirmedSweepsNeverExhaust) {
   EXPECT_EQ(t.in_flight(), 1u);  // still tracked, still recoverable
 }
 
+TEST(ReliabilityTracker, MaxRetriesZeroFailsFastWithoutResending) {
+  // Fail-fast mode: the first unacked rto expiry fails the entry typed and
+  // never retransmits. No resend clone may be emitted.
+  ReliabilityTracker t(100, 1000, /*max_retries=*/0);
+  const Packet pkt = make_packet(11);
+  const PacketKey key = key_of(1, pkt.hdr);
+  t.track(1, pkt, 0);
+  EXPECT_EQ(t.in_flight(), 1u);
+
+  std::vector<ReliabilityTracker::Resend> resends;
+  std::vector<ReliabilityTracker::Failure> failures;
+  t.sweep(50, resends, failures);  // deadline (100) not reached yet
+  EXPECT_TRUE(resends.empty());
+  EXPECT_TRUE(failures.empty());
+
+  t.sweep(200, resends, failures);
+  EXPECT_TRUE(resends.empty());
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].key, key);
+  EXPECT_EQ(failures[0].retries, 0);
+  EXPECT_EQ(failures[0].code, common::ErrorCode::kRetryExhausted);
+  EXPECT_EQ(t.in_flight(), 0u);
+}
+
+TEST(ReliabilityTracker, FailPeerPurgesTypedAndLatchesDeath) {
+  ReliabilityTracker t(100, 1000, /*max_retries=*/2);
+  t.track(1, make_packet(1), 0);
+  t.track(1, make_packet(2), 0);
+  t.track(2, make_packet(3), 0);
+  EXPECT_EQ(t.in_flight(), 3u);
+
+  std::vector<ReliabilityTracker::Failure> failures;
+  t.fail_peer(1, failures);
+  ASSERT_EQ(failures.size(), 2u);
+  for (const auto& f : failures) {
+    EXPECT_EQ(f.key.peer, 1);
+    EXPECT_EQ(f.code, common::ErrorCode::kPeerFailed);
+  }
+  EXPECT_TRUE(t.peer_failed(1));
+  EXPECT_FALSE(t.peer_failed(2));
+  EXPECT_EQ(t.in_flight(), 1u);  // the peer-2 entry is untouched
+
+  // A track racing the confirmation (registered after fail_peer) is caught
+  // by the next sweep regardless of its deadline — no retry budget burned
+  // into a dead link.
+  t.track(1, make_packet(4), 0);
+  std::vector<ReliabilityTracker::Resend> resends;
+  failures.clear();
+  t.sweep(1, resends, failures);  // nothing has expired at now=1
+  EXPECT_TRUE(resends.empty());
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].code, common::ErrorCode::kPeerFailed);
+  EXPECT_EQ(failures[0].key.peer, 1);
+  EXPECT_EQ(t.in_flight(), 1u);
+}
+
 }  // namespace
 }  // namespace fairmpi::p2p

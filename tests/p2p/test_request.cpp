@@ -1,0 +1,87 @@
+// Regression tests for the Request settle guard: complete()/fail() are a
+// one-shot race per init_* cycle, and the winner's result survives any
+// late loser. The motivating double-settle is a reliability-sweep failure
+// racing the delivery of a late duplicate ack — both sides now report
+// whether they won so SPC counting stays exact.
+#include "fairmpi/p2p/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace fairmpi::p2p {
+namespace {
+
+using common::ErrorCode;
+
+TEST(RequestSettle, CompleteThenFailKeepsSuccess) {
+  Request req;
+  req.init_send();
+  EXPECT_TRUE(req.complete());
+  EXPECT_FALSE(req.fail(ErrorCode::kPeerFailed));  // loser: settled already
+  EXPECT_TRUE(req.done());
+  EXPECT_FALSE(req.failed());
+  EXPECT_EQ(req.error(), ErrorCode::kOk);
+}
+
+TEST(RequestSettle, FailThenCompleteKeepsError) {
+  Request req;
+  char buf[8];
+  req.init_recv(buf, sizeof buf, kAnySource, kAnyTag);
+  EXPECT_TRUE(req.fail(ErrorCode::kPeerFailed));
+  Status st;
+  st.source = 3;
+  st.size = 8;
+  EXPECT_FALSE(req.complete(st));  // the late match must not resurrect it
+  EXPECT_TRUE(req.done());
+  EXPECT_TRUE(req.failed());
+  EXPECT_EQ(req.error(), ErrorCode::kPeerFailed);
+  // The loser's status write never happened.
+  EXPECT_EQ(req.status().source, kAnySource);
+  EXPECT_EQ(req.status().size, 0u);
+}
+
+TEST(RequestSettle, DoubleFailReportsOneWinnerAndFirstCode) {
+  Request req;
+  req.init_send();
+  EXPECT_TRUE(req.fail(ErrorCode::kRetryExhausted));
+  EXPECT_FALSE(req.fail(ErrorCode::kPeerFailed));
+  EXPECT_EQ(req.error(), ErrorCode::kRetryExhausted);
+}
+
+TEST(RequestSettle, ReinitReopensTheOneShot) {
+  Request req;
+  req.init_send();
+  EXPECT_TRUE(req.fail(ErrorCode::kPeerFailed));
+  req.init_send();  // request objects are reused across operations
+  EXPECT_FALSE(req.done());
+  EXPECT_EQ(req.error(), ErrorCode::kOk);
+  EXPECT_TRUE(req.complete());
+  EXPECT_FALSE(req.failed());
+}
+
+TEST(RequestSettle, ConcurrentSettleHasExactlyOneWinner) {
+  // Hammer the CAS from both sides; every iteration must produce exactly
+  // one winner, and error() must agree with who won.
+  for (int iter = 0; iter < 200; ++iter) {
+    Request req;
+    req.init_send();
+    int complete_wins = 0;
+    int fail_wins = 0;
+    std::thread completer([&] {
+      if (req.complete()) complete_wins = 1;
+    });
+    std::thread failer([&] {
+      if (req.fail(ErrorCode::kPeerFailed)) fail_wins = 1;
+    });
+    completer.join();
+    failer.join();
+    ASSERT_EQ(complete_wins + fail_wins, 1);
+    EXPECT_TRUE(req.done());
+    EXPECT_EQ(req.failed(), fail_wins == 1);
+  }
+}
+
+}  // namespace
+}  // namespace fairmpi::p2p
