@@ -26,6 +26,11 @@ enum class ErrorCode : std::uint8_t {
   kStalledRendezvous,     ///< watchdog: rendezvous pending past threshold
   kPeerFailed,            ///< ft: operation targeted a confirmed-dead rank
   kCommRevoked,           ///< ft: operation on a revoked communicator
+  kReceiverOverloaded,    ///< overload: receiver shed the message (NACK)
+  kLocalOverloaded,       ///< overload: local cap refused the op at admission
+  kCancelled,             ///< request cancelled by the application
+  kDeadlineExceeded,      ///< per-op deadline expired before completion
+  kQuiesceTimeout,        ///< quiesce gave up with backlog still pending
 };
 
 inline const char* error_code_name(ErrorCode c) noexcept {
@@ -37,6 +42,11 @@ inline const char* error_code_name(ErrorCode c) noexcept {
     case ErrorCode::kStalledRendezvous: return "StalledRendezvous";
     case ErrorCode::kPeerFailed: return "PeerFailed";
     case ErrorCode::kCommRevoked: return "CommRevoked";
+    case ErrorCode::kReceiverOverloaded: return "ReceiverOverloaded";
+    case ErrorCode::kLocalOverloaded: return "LocalOverloaded";
+    case ErrorCode::kCancelled: return "Cancelled";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kQuiesceTimeout: return "QuiesceTimeout";
   }
   return "Unknown";
 }

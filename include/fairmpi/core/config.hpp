@@ -7,6 +7,7 @@
 
 #include "fairmpi/cri/cri.hpp"
 #include "fairmpi/fabric/fabric.hpp"
+#include "fairmpi/overload/overload.hpp"
 #include "fairmpi/progress/progress.hpp"
 
 namespace fairmpi {
@@ -128,6 +129,40 @@ struct Config {
   /// Unanswered probe rounds while suspect before the peer is confirmed
   /// dead (terminal).
   int ft_strikes = 3;
+
+  // --- overload control & degradation (DESIGN.md §5h) ---
+
+  /// Per-peer unexpected-queue depth cap (0 = unbounded, the historical
+  /// behaviour). At cap, `unexpected_policy` decides: kShed drops the
+  /// message at admission and NACKs the sender (whose tracked op fails
+  /// typed kReceiverOverloaded — requires `reliable`; without it the drop
+  /// is silent, exactly like fabric loss); kQueue latches the peer paused
+  /// and trickles RX drains so the producer backs off on its full ring.
+  std::size_t unexpected_cap = 0;
+  overload::Policy unexpected_policy = overload::Policy::kShed;
+
+  /// Payload-pool in-use byte cap, checked at eager injection (process
+  /// global, like the pool itself; 0 = unbounded). kQueue spins the sender
+  /// (progressing) until buffers recycle; kShed fails the op typed
+  /// kLocalOverloaded.
+  std::uint64_t payload_pool_cap_bytes = 0;
+  overload::Policy payload_pool_policy = overload::Policy::kQueue;
+
+  /// In-flight reliability-tracker entry cap, checked before track() (0 =
+  /// only the reliability_window gate applies). Policies as for the pool.
+  std::size_t tracker_cap = 0;
+  overload::Policy tracker_policy = overload::Policy::kQueue;
+
+  /// Degradation-ladder watermarks, percent of the tightest cap:
+  /// kHealthy -> kPressured at high; back down only at/below low
+  /// (hysteresis so the ladder doesn't flap at a boundary).
+  int overload_high_pct = 75;
+  int overload_low_pct = 50;
+
+  /// Default deadline applied by the *_checked ops (and through them every
+  /// collective) as now + this many ns; 0 = no deadline. Explicit
+  /// Request::set_deadline on an individual op overrides.
+  std::uint64_t op_deadline_ns = 0;
 };
 
 }  // namespace fairmpi

@@ -78,8 +78,15 @@ class Communicator {
   /// subsequent operation fails fast with kCommRevoked.
   bool revoked() const noexcept;
 
-  void isend(int dst, int tag, const void* buf, std::size_t n, Request& req);
-  void irecv(int src, int tag, void* buf, std::size_t capacity, Request& req);
+  /// Nonblocking ops take an optional absolute deadline (engine now_ns
+  /// clock; 0 = none, DESIGN.md §5h): the request settles typed
+  /// kDeadlineExceeded once the deadline passes without completion. The
+  /// deadline must ride in here — not be attached after the fact — so it
+  /// is set before the request becomes visible to the engine.
+  void isend(int dst, int tag, const void* buf, std::size_t n, Request& req,
+             std::uint64_t deadline_ns = 0);
+  void irecv(int src, int tag, void* buf, std::size_t capacity, Request& req,
+             std::uint64_t deadline_ns = 0);
   void send(int dst, int tag, const void* buf, std::size_t n);
   Status recv(int src, int tag, void* buf, std::size_t capacity);
 
@@ -111,7 +118,8 @@ class Communicator {
 /// One simulated MPI process.
 class Rank final : public progress::PacketSink,
                    public p2p::RendezvousHook,
-                   public progress::StallProbe {
+                   public progress::StallProbe,
+                   public p2p::CancelScope {
  public:
   ~Rank() override;
   Rank(const Rank&) = delete;
@@ -124,8 +132,12 @@ class Rank final : public progress::PacketSink,
   Communicator comm(CommId id) noexcept { return Communicator(*this, id); }
 
   // --- two-sided ---
-  void isend(CommId comm, int dst, int tag, const void* buf, std::size_t n, Request& req);
-  void irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity, Request& req);
+  /// deadline_ns: optional absolute per-op deadline (0 = none; §5h). Must
+  /// be passed at submission so it is armed before the request is posted.
+  void isend(CommId comm, int dst, int tag, const void* buf, std::size_t n, Request& req,
+             std::uint64_t deadline_ns = 0);
+  void irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity, Request& req,
+             std::uint64_t deadline_ns = 0);
   void send(CommId comm, int dst, int tag, const void* buf, std::size_t n);
   Status recv(CommId comm, int src, int tag, void* buf, std::size_t capacity);
 
@@ -158,6 +170,12 @@ class Rank final : public progress::PacketSink,
   p2p::ReliabilityTracker* reliability() noexcept { return tracker_.get(); }
   progress::Watchdog* watchdog() noexcept { return watchdog_.get(); }
 
+  /// The overload governor (DESIGN.md §5h): degradation level, paused-peer
+  /// count, resolved caps. Always present; with no caps configured it is
+  /// disabled and the hot path pays one branch.
+  overload::Governor& governor() noexcept { return governor_; }
+  const overload::Governor& governor() const noexcept { return governor_; }
+
   /// The rank-failure detector (null unless Config::ft_enabled).
   ft::FailureDetector* failure_detector() noexcept { return ft_.get(); }
   /// True once the detector confirmed `peer` dead. False with ft off.
@@ -181,6 +199,12 @@ class Rank final : public progress::PacketSink,
   // rendezvous transfers pending since before `horizon_ns`.
   std::size_t scan_stalled(std::uint64_t now_ns, std::uint64_t horizon_ns) override;
 
+  // p2p::CancelScope for requests owned by the rendezvous registries
+  // (posted receives route through their MatchEngine instead): tombstones
+  // the transfer under the registry lock and settles the request
+  // kCancelled, so a cancel can never race a completing fragment drain.
+  bool cancel_request(p2p::Request* req) override;
+
  private:
   friend class Universe;
   friend class rma::Window;  ///< report_error for ft fail-fast RMA ops
@@ -203,7 +227,7 @@ class Rank final : public progress::PacketSink,
 
   // --- rendezvous protocol (see p2p/rendezvous.hpp) ---
   void rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
-                  Request& req);
+                  Request& req, std::uint64_t deadline_ns);
   std::size_t handle_rndv_ack(const fabric::Packet& pkt);
   std::size_t handle_rndv_data(const fabric::Packet& pkt);
   /// Execute deferred protocol sends; called from progress() with no
@@ -219,6 +243,25 @@ class Rank final : public progress::PacketSink,
   bool inject_raw(int dst, fabric::Packet&& pkt);
   /// Defer an ack echoing `hdr`'s key through the ack queue.
   void enqueue_packet_ack(const fabric::WireHeader& hdr);
+  /// Defer an overload NACK (Opcode::kNack) echoing a shed packet's key
+  /// through the same queue (DESIGN.md §5h).
+  void enqueue_packet_nack(const fabric::WireHeader& hdr);
+  /// Process an inbound NACK: retire the named tracker entry, surface the
+  /// failure typed kReceiverOverloaded, and fail the owning rendezvous
+  /// send when the NACKed packet was an RTS.
+  void handle_nack(const fabric::WireHeader& hdr);
+
+  // --- overload control & deadlines (DESIGN.md §5h) ---
+  /// Deadline/ladder poll from progress(): expire posted receives (per
+  /// match engine) and rendezvous transfers past their deadline, then
+  /// re-sample the degradation ladder (throttled). Gated so the
+  /// no-deadline, no-cap configuration pays two relaxed loads.
+  void overload_poll(std::uint64_t now);
+  /// Lower the rank-level deadline gate to `deadline_ns` (CAS-min).
+  void arm_deadline(std::uint64_t deadline_ns) noexcept;
+  /// Tombstone + fail rendezvous transfers past their deadline; lowers
+  /// `*next` to the earliest surviving rendezvous deadline.
+  void expire_rendezvous_deadlines(std::uint64_t now, std::uint64_t* next);
   /// Transmit deferred acks (single injection attempt each; a full ring
   /// stops the flush — the peer retransmits and we re-ack). Kept separate
   /// from drain_control so every backpressure wait loop can call it: acks
@@ -237,6 +280,17 @@ class Rank final : public progress::PacketSink,
   cri::CriPool pool_;
   progress::ProgressEngine engine_;
   std::vector<std::atomic<p2p::CommState*>> comms_;
+
+  /// Overload control block (§5h): constructed from the Config caps;
+  /// atomics-only, so it takes no rank in the lock hierarchy.
+  overload::Governor governor_;
+  /// Earliest sweepable deadline on this rank (~0 = none): posted receives
+  /// and rendezvous transfers arm it; overload_poll's one-relaxed-load
+  /// gate. Raised after a sweep only by a CAS conditioned on the pre-sweep
+  /// value, so a concurrent arm is never lost.
+  std::atomic<std::uint64_t> earliest_deadline_{~std::uint64_t{0}};
+  /// Progress-visit counter throttling governor ladder sampling.
+  std::atomic<std::uint64_t> overload_visits_{0};
 
   std::unique_ptr<p2p::ReliabilityTracker> tracker_;  ///< Config::reliable only
   std::unique_ptr<progress::Watchdog> watchdog_;

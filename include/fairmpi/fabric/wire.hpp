@@ -30,10 +30,11 @@ enum class Opcode : std::uint16_t {
   kRndvData,     ///< rendezvous payload fragment
   kAck,          ///< reliability acknowledgement (echoes the acked key)
   kHeartbeat,    ///< ft liveness probe (header-only; never acked or tracked)
+  kNack,         ///< overload shed notice (echoes the shed packet's key)
 };
 
 /// Last opcode value that is valid on the wire (header validation).
-inline constexpr std::uint16_t kMaxOpcode = static_cast<std::uint16_t>(Opcode::kHeartbeat);
+inline constexpr std::uint16_t kMaxOpcode = static_cast<std::uint16_t>(Opcode::kNack);
 
 /// The matching envelope. POD, fixed 32 bytes. The old 32-bit src_ctx
 /// diagnostic field donates its upper half to the reliability checksum so
@@ -60,18 +61,46 @@ inline constexpr std::size_t kInlineBytes = 64;
 /// PayloadDeleter, possibly on a different thread than acquired the buffer.
 void release_pooled_payload(std::byte* p, int size_class) noexcept;
 
+/// Release a new[] payload (payloads above the largest pool class). The
+/// byte count lives in a small header ahead of the returned pointer, so the
+/// deleter stays one byte and the pool accounting can still credit exactly.
+void release_huge_payload(std::byte* p) noexcept;
+
 /// Deleter carrying the buffer's size class; class -1 means the buffer came
-/// from plain new[] (payloads above the largest pool class).
+/// from plain new[] via the huge-payload path.
 struct PayloadDeleter {
   std::int8_t size_class = -1;
   void operator()(std::byte* p) const noexcept {
     if (size_class < 0) {
-      delete[] p;
+      release_huge_payload(p);
     } else {
       release_pooled_payload(p, size_class);
     }
   }
 };
+
+/// Process-global payload-pool byte accounting: bytes currently checked out
+/// (pooled buffers count their size class's full capacity, new[] payloads
+/// their exact size) and the lifetime high-water mark. The admission layer
+/// reads in_use_bytes with one relaxed load; tests assert high_water stays
+/// within the configured cap.
+struct PayloadPoolStats {
+  std::uint64_t in_use_bytes = 0;
+  std::uint64_t high_water_bytes = 0;
+};
+PayloadPoolStats payload_pool_stats() noexcept;
+
+/// Sticky process-global enable for the per-packet pool byte accounting
+/// (§5h). Off by default — the uncapped fast path pays one relaxed load —
+/// and flipped on by any Universe configured with a payload-pool cap or
+/// with observability enabled. Never unset (a later uncapped universe must
+/// not blind a concurrent capped one); payloads charged before the flip
+/// release with a saturating credit.
+void enable_payload_pool_accounting() noexcept;
+
+/// Rebase the high-water mark to the current in-use level (test isolation;
+/// the pool is process-global, so suites reset between scenarios).
+void reset_payload_pool_high_water() noexcept;
 
 /// Owning heap payload handle; recycles to the pool on destruction.
 using PayloadBuffer = std::unique_ptr<std::byte[], PayloadDeleter>;

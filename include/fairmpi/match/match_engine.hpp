@@ -26,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -38,11 +39,26 @@
 #include "fairmpi/debug/lockcheck.hpp"
 #include "fairmpi/debug/thread_safety.hpp"
 #include "fairmpi/fabric/wire.hpp"
+#include "fairmpi/overload/overload.hpp"
 #include "fairmpi/p2p/rendezvous.hpp"
 #include "fairmpi/p2p/request.hpp"
 #include "fairmpi/spc/spc.hpp"
+#include "fairmpi/trace/trace.hpp"
 
 namespace fairmpi::match {
+
+/// Receiver-side admission verdict for one incoming eager/RTS packet,
+/// reported back to the rank so the ack-vs-NACK decision happens *after*
+/// matching (DESIGN.md §5h): acking a shed packet would silently retire the
+/// sender's reliability entry and the overload would never surface typed.
+enum class Admission : std::uint8_t {
+  kAdmitted = 0,   ///< delivered, parked, or queued unexpected — ack it
+  kDuplicate,      ///< duplicate of an already-accepted packet — re-ack it
+  kShed,           ///< dropped at admission (first time) — NACK it
+  kShedDuplicate,  ///< retransmit of a shed packet — NACK again, no recount
+  kDeferred,       ///< kQueue at cap on a reliable fabric — answer nothing;
+                   ///< the sender's retransmit clock re-presents the packet
+};
 
 /// Reorder window per (comm, src) stream: out-of-sequence arrivals up to
 /// this many messages ahead park in a ring slot; anything further spills to
@@ -108,7 +124,7 @@ class SeenTracker {
   std::set<std::uint32_t> far_;  ///< seen seqs >= floor_ + kWindow
 };
 
-class MatchEngine {
+class MatchEngine : public p2p::CancelScope {
  public:
   /// @param num_ranks   ranks in the communicator's universe (peer table size)
   /// @param allow_overtaking  skip sequence validation (MPI info key
@@ -122,12 +138,15 @@ class MatchEngine {
 
   MatchEngine(const MatchEngine&) = delete;
   MatchEngine& operator=(const MatchEngine&) = delete;
-  ~MatchEngine();
+  ~MatchEngine() override;
 
   /// Handle one incoming eager packet (called from the progress engine).
   /// Returns the number of receive requests completed (out-of-sequence
-  /// drains can complete several at once).
-  std::size_t incoming(fabric::Packet&& pkt);
+  /// drains can complete several at once). When `admission` is non-null it
+  /// receives the overload verdict for *this* packet (ack vs. NACK — see
+  /// Admission above); without a governor installed it is always
+  /// kAdmitted/kDuplicate, preserving the historical contract.
+  std::size_t incoming(fabric::Packet&& pkt, Admission* admission = nullptr);
 
   /// Post a receive. Returns true when the request matched an unexpected
   /// message and completed immediately.
@@ -160,9 +179,44 @@ class MatchEngine {
   /// Diagnostics. Each takes lock_, so the count is internally consistent,
   /// but may of course be stale by the time the caller reads it; exact only
   /// when externally quiesced. Safe to call concurrently with matching.
+  /// unexpected_count is O(1): a counter maintained under lock_ on every
+  /// enqueue/dequeue (the admission watermark check must be hot-path safe).
   std::size_t unexpected_count() const noexcept;
   std::size_t reorder_buffered() const noexcept;
   std::size_t posted_count() const noexcept;
+
+  /// Lock-free unexpected total (relaxed mirror of the counter above) for
+  /// the governor's progress-path pressure sampling.
+  std::size_t unexpected_count_relaxed() const noexcept {
+    return unexpected_mirror_.load(std::memory_order_relaxed);
+  }
+
+  /// Install overload admission (done once by the owning Rank before any
+  /// traffic; null or a governor with no caps keeps the engine bit-exact
+  /// with the historical behaviour). The tracer, when given, records
+  /// kOverloadShed / kOverloadPause events.
+  void set_overload(overload::Governor* gov, trace::Tracer* tracer = nullptr) noexcept {
+    gov_ = gov;
+    tracer_ = tracer;
+  }
+
+  /// Progress-driven deadline sweep: settle every posted receive whose
+  /// deadline passed as kDeadlineExceeded and unlink it. Gated by an
+  /// atomic min-deadline, so a stream with no deadlines costs one relaxed
+  /// load per call. Returns the number of receives expired.
+  std::size_t expire_deadlines(std::uint64_t now_ns);
+
+  /// The expire sweep's gate value (~0 = no posted deadline), for the
+  /// rank-level sweep scheduler.
+  std::uint64_t next_deadline_relaxed() const noexcept {
+    return next_deadline_.load(std::memory_order_relaxed);
+  }
+
+  /// p2p::CancelScope: cancel a posted receive. Takes the match lock,
+  /// scans the posted queue the request would sit on, and only settles
+  /// (kCancelled) while the request is verifiably still linked — so a
+  /// cancel racing a matcher can never lose a consumed message.
+  bool cancel_request(p2p::Request* req) override;
 
   bool allow_overtaking() const noexcept { return allow_overtaking_; }
 
@@ -204,14 +258,33 @@ class MatchEngine {
   };
   static_assert(kReorderWindow <= 64, "present bitmap is one word");
 
+  /// Shed-sequence memory depth per peer. A retransmit of a shed packet
+  /// must be re-NACKed, not re-acked (an ack silently retires the sender's
+  /// tracker entry and the shed never surfaces typed). 64 entries bound the
+  /// memory because the sender's reliability_window bounds how many seqs it
+  /// can have outstanding against us at once.
+  static constexpr std::uint32_t kShedMemory = 64;
+
   struct PeerState {
     std::uint32_t expected_seq = 0;
     std::unique_ptr<ReorderRing> reorder;             ///< window buffer (lazy)
     std::map<std::uint32_t, fabric::Packet> spill;    ///< beyond-window overflow
     std::unique_ptr<SeenTracker> seen;  ///< dedup, reliable+overtaking only (lazy)
     UnexpectedList unexpected;
+    std::size_t unexpected_n = 0;  ///< O(1) depth (admission watermark check)
     PostedList posted;  ///< source-specific posted receives
     bool dead = false;  ///< ft: source confirmed dead (fail_source ran)
+    bool paused = false;  ///< overload kQueue: latched over the cap
+    std::array<std::uint32_t, kShedMemory> shed_seqs{};  ///< re-NACK ring
+    std::uint32_t shed_n = 0;  ///< total sheds (ring write cursor)
+
+    bool was_shed(std::uint32_t seq) const noexcept {
+      const std::uint32_t live = shed_n < kShedMemory ? shed_n : kShedMemory;
+      for (std::uint32_t i = 0; i < live; ++i) {
+        if (shed_seqs[i] == seq) return true;
+      }
+      return false;
+    }
   };
 
   // The private pipeline below threads a spc::CounterSet::Cursor through so
@@ -219,8 +292,17 @@ class MatchEngine {
 
   /// Match one in-order packet against the posted queues; deliver or store
   /// as unexpected. Returns 1 on delivery, 0 otherwise. Lock held.
-  std::size_t match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt)
-      FAIRMPI_REQUIRES(lock_);
+  /// `direct` marks the packet the caller just received off the wire (not
+  /// a reorder-ring drain): only direct packets may be shed, because a
+  /// drained packet was already acked when it parked — shedding it now
+  /// would be silent loss. `admission` (may be null) reports the verdict.
+  std::size_t match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt,
+                        bool direct, Admission* admission) FAIRMPI_REQUIRES(lock_);
+
+  /// Unexpected-queue bookkeeping: per-peer depth, engine total, the
+  /// lock-free mirror, and the governor's cross-engine total. Lock held.
+  void note_unexpected_add(PeerState& ps) FAIRMPI_REQUIRES(lock_);
+  void note_unexpected_sub(PeerState& ps) FAIRMPI_REQUIRES(lock_);
 
   /// Park an out-of-sequence packet (ring slot or spill map). Lock held.
   void park_out_of_sequence(spc::CounterSet::Cursor& ctr, PeerState& ps,
@@ -240,6 +322,8 @@ class MatchEngine {
   const bool reliable_;
   spc::CounterSet& spc_;
   p2p::RendezvousHook* rndv_hook_ = nullptr;
+  overload::Governor* gov_ = nullptr;  ///< admission caps (null = uncapped)
+  trace::Tracer* tracer_ = nullptr;    ///< overload event recording (optional)
 
   /// Acquired under the CRI instance lock on the progress path (rank
   /// kMatch > kCriInstance); never held while acquiring engine resources —
@@ -253,7 +337,13 @@ class MatchEngine {
   std::uint64_t post_stamp_ FAIRMPI_GUARDED_BY(lock_) = 0;
   std::uint64_t arrival_stamp_ FAIRMPI_GUARDED_BY(lock_) = 0;
   std::uint64_t reorder_total_ FAIRMPI_GUARDED_BY(lock_) = 0;  ///< ring + spill entries
+  std::uint64_t unexpected_total_ FAIRMPI_GUARDED_BY(lock_) = 0;  ///< O(1) count
   bool revoked_ FAIRMPI_GUARDED_BY(lock_) = false;  ///< ft: comm revoked (terminal)
+  /// Lock-free mirror of unexpected_total_ (governor pressure sampling).
+  std::atomic<std::size_t> unexpected_mirror_{0};
+  /// Earliest posted-receive deadline (~0 = none): the expire sweep's
+  /// one-relaxed-load gate, maintained on post and recomputed on sweep.
+  std::atomic<std::uint64_t> next_deadline_{~std::uint64_t{0}};
 };
 
 }  // namespace fairmpi::match

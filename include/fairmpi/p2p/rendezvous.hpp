@@ -58,7 +58,15 @@ struct RndvSendState {
   std::uint32_t comm = 0;
   Request* request = nullptr;  ///< completes when all fragments are injected
   std::uint64_t born_ns = 0;   ///< registration time (watchdog stall scan)
+  std::uint32_t rts_seq = 0;   ///< the RTS packet's seq — identifies this
+                               ///< transfer when the receiver NACKs the RTS
+                               ///< (overload shed, DESIGN.md §5h)
   bool stall_flagged = false;  ///< watchdog escalated once (rndv lock held)
+  /// Cancelled / deadline-expired / NACKed before the receiver's ack
+  /// arrived. Set under the rendezvous registry lock; the kSendData drain
+  /// checks it after claiming the state and discards instead of streaming
+  /// fragments from a buffer the settled owner may already have freed.
+  bool failed = false;
 };
 
 /// Receiver-side state of one rendezvous transfer.
@@ -100,9 +108,10 @@ struct RndvRecvState {
 struct ControlMsg {
   enum class Kind : std::uint8_t {
     kNone = 0,
-    kSendAck,        ///< rendezvous clear-to-send
-    kSendData,       ///< rendezvous data burst
-    kSendPacketAck,  ///< reliability ack echoing a received packet's key
+    kSendAck,         ///< rendezvous clear-to-send
+    kSendData,        ///< rendezvous data burst
+    kSendPacketAck,   ///< reliability ack echoing a received packet's key
+    kSendPacketNack,  ///< overload NACK echoing a shed packet's key (§5h)
   };
   Kind kind = Kind::kNone;
   int peer = 0;                     ///< rank to talk to

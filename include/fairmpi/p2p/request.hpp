@@ -27,6 +27,20 @@ struct Status {
   bool truncated = false;     ///< payload exceeded the receive buffer
 };
 
+class Request;
+
+/// Engine-side owner a cancel must route through while the request sits on
+/// internal queues: the matching engine for posted receives, the rank for
+/// registered rendezvous transfers. cancel_request takes the owning lock,
+/// checks the request is still queued, unlinks it and settles kCancelled —
+/// so a cancel can never race a matcher into losing a consumed message.
+/// Returns true when this call cancelled the request.
+class CancelScope {
+ public:
+  virtual ~CancelScope() = default;
+  virtual bool cancel_request(Request* req) = 0;
+};
+
 class Request {
  public:
   enum class Kind : std::uint8_t { kNone, kSend, kRecv };
@@ -42,25 +56,57 @@ class Request {
 
   Kind kind() const noexcept { return kind_; }
 
+  /// Best-effort cancellation (DESIGN.md §5h). Routed through the engine
+  /// owner while the request is queued (posted receive, rendezvous
+  /// transfer) so cancel-vs-match races settle exactly once; otherwise the
+  /// request is failed kCancelled directly. Returns true when this call
+  /// cancelled it; false when the operation already completed (or another
+  /// settle won — the MPI caveat applies: a cancelled *send* may still
+  /// have been delivered). wait() must still be called as usual.
+  bool cancel() {
+    if (done()) return false;
+    CancelScope* scope = cancel_scope_.load(std::memory_order_acquire);
+    if (scope != nullptr) return scope->cancel_request(this);
+    return fail(common::ErrorCode::kCancelled);
+  }
+
+  /// Absolute per-op deadline in engine time (0 = none); settled
+  /// kDeadlineExceeded by the progress-driven expiry sweep once passed.
+  std::uint64_t deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
   // --- engine-internal below (set up by Rank::isend/irecv, completed by the
   //     matching engine / progress) ---
 
-  void init_send() noexcept {
+  void init_send(std::uint64_t deadline_ns = 0) noexcept {
     kind_ = Kind::kSend;
     error_ = common::ErrorCode::kOk;
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+    cancel_scope_.store(nullptr, std::memory_order_relaxed);
     settled_.store(false, std::memory_order_relaxed);
     done_.store(false, std::memory_order_relaxed);
   }
 
-  void init_recv(void* buffer, std::size_t capacity, int source, int tag) noexcept {
+  void init_recv(void* buffer, std::size_t capacity, int source, int tag,
+                 std::uint64_t deadline_ns = 0) noexcept {
     kind_ = Kind::kRecv;
     buffer_ = buffer;
     capacity_ = capacity;
     source_ = source;
     tag_ = tag;
     error_ = common::ErrorCode::kOk;
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+    cancel_scope_.store(nullptr, std::memory_order_relaxed);
     settled_.store(false, std::memory_order_relaxed);
     done_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Install the engine owner cancels route through (match engine on post,
+  /// rank on rendezvous registration). Release: the owner must be fully
+  /// set up before a concurrent cancel() can reach it.
+  void set_cancel_scope(CancelScope* scope) noexcept {
+    cancel_scope_.store(scope, std::memory_order_release);
   }
 
   void* buffer() const noexcept { return buffer_; }
@@ -124,6 +170,8 @@ class Request {
 
   std::atomic<bool> done_{false};
   std::atomic<bool> settled_{false};
+  std::atomic<std::uint64_t> deadline_ns_{0};
+  std::atomic<CancelScope*> cancel_scope_{nullptr};
   Kind kind_ = Kind::kNone;
   void* buffer_ = nullptr;
   std::size_t capacity_ = 0;

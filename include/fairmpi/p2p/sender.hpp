@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "fairmpi/cri/cri.hpp"
+#include "fairmpi/overload/overload.hpp"
 #include "fairmpi/p2p/comm_state.hpp"
 #include "fairmpi/p2p/reliability.hpp"
 #include "fairmpi/p2p/request.hpp"
@@ -38,6 +39,15 @@ struct SendPolicy {
   /// its whole EAGAIN/backpressure budget into a permanently-down link.
   bool (*peer_failed)(void* user, int dst) = nullptr;
   void* peer_failed_user = nullptr;
+  /// Overload admission (DESIGN.md §5h): non-null consults the payload-pool
+  /// and reliability-tracker caps *before* the sequence number is ticketed,
+  /// so a refused send never leaves a hole in the peer's ordered stream.
+  /// kQueue caps wait (progressing) like the window gate; kShed caps fail
+  /// the op typed kLocalOverloaded.
+  overload::Governor* governor = nullptr;
+  /// Absolute per-op deadline on the engine clock (now_ns; 0 = none): every
+  /// wait loop abandons the send typed kDeadlineExceeded once passed.
+  std::uint64_t deadline_ns = 0;
 };
 
 /// Execute one eager send: ticket the sequence number, acquire a CRI per
@@ -49,6 +59,12 @@ struct SendPolicy {
 /// (kOk or the failure code): once `req` is completed the waiting owner
 /// may destroy it, so callers must consult the return value rather than
 /// read `req` back.
+///
+/// Cancellation: another thread may Request::cancel() `req` while a wait
+/// loop is blocked; the loop observes the settle and abandons the send
+/// (untracking it). The caller must keep `req` alive until this function
+/// returns — the handle hasn't been handed back yet, so that is the
+/// natural ownership anyway.
 common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
                              progress::ProgressEngine& engine,
                              spc::CounterSet& counters, int src_rank, int dst, int tag,

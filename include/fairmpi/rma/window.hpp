@@ -101,6 +101,13 @@ class Window {
   /// is then broken for good — rebuild the window group after recovery.
   void fence();
 
+  /// fence() with a typed outcome and deadline enforcement (§5h): when
+  /// Config::op_deadline_ns is nonzero the arrival spin gives up after
+  /// that long and returns kDeadlineExceeded (also reported through the
+  /// error sink). A deadline-abandoned fence leaves the barrier broken,
+  /// exactly like the ft escape — rebuild the window group.
+  common::ErrorCode fence_checked();
+
   void* base() const noexcept { return base_; }
   std::size_t size() const noexcept { return bytes_; }
   /// Outstanding operations across all threads (diagnostics).
@@ -187,7 +194,7 @@ class WindowGroup {
   /// reversing so the barrier is reusable. Returns false when the spin
   /// escaped because `self`'s detector confirmed a participant dead (the
   /// caller reports the typed error; the barrier is broken thereafter).
-  bool fence_arrive(Rank& self);
+  common::ErrorCode fence_arrive(Rank& self, std::uint64_t deadline_ns);
 
   std::vector<std::unique_ptr<Window>> windows_;
   std::atomic<int> fence_arrived_{0};

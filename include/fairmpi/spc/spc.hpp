@@ -68,6 +68,15 @@ enum class Counter : int {
   kFtDeaths,               ///< peers confirmed dead
   kFtPeerFailedOps,        ///< operations completed with kPeerFailed
   kFtRevokedOps,           ///< operations refused/failed on a revoked comm
+  kOverloadShedMessages,   ///< messages dropped at admission (kShed policy)
+  kOverloadNacksSent,      ///< receiver-side NACKs queued for shed packets
+  kOverloadNacksReceived,  ///< sender-side NACKs processed (op failed typed)
+  kOverloadPausedPeers,    ///< peer RX pauses latched (kQueue backpressure)
+  kOverloadLevelChanges,   ///< degradation-ladder transitions (any direction)
+  kOverloadPoolPeak,       ///< payload-pool in-use bytes high-water (max)
+  kCancelledOps,           ///< requests settled kCancelled
+  kDeadlineExceededOps,    ///< requests settled kDeadlineExceeded
+  kQuiesceTimeouts,        ///< quiesce calls that gave up with backlog
   kCount
 };
 
@@ -78,7 +87,9 @@ const char* counter_name(Counter c) noexcept;
 
 /// True for max-style (high-water) counters, which merge/reset differently
 /// from sums.
-constexpr bool is_high_water(Counter c) noexcept { return c == Counter::kOosBufferPeak; }
+constexpr bool is_high_water(Counter c) noexcept {
+  return c == Counter::kOosBufferPeak || c == Counter::kOverloadPoolPeak;
+}
 
 /// Point-in-time copy of all counters; supports delta and merge so benches
 /// can report per-phase numbers (Table II is the delta over the timed loop).

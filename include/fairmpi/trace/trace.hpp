@@ -42,6 +42,11 @@ enum class Event : std::uint8_t {
   kPeerSuspect, ///< a = peer rank, b = 1 entered suspect / 0 recovered
   kPeerDead,    ///< a = peer rank, b = detection latency (ms)
   kCommRevoke,  ///< a = communicator id, b = posted receives failed
+  kOverloadShed,   ///< a = source rank, b = packet seq (admission drop)
+  kOverloadLevel,  ///< a = new degradation level, b = previous level
+  kOverloadPause,  ///< a = peer rank, b = 1 paused / 0 resumed (kQueue)
+  kCancel,         ///< a = peer rank (+1, 0 = ANY), b = tag
+  kDeadline,       ///< a = peer rank (+1, 0 = ANY), b = tag
 };
 
 const char* event_name(Event e) noexcept;

@@ -33,6 +33,18 @@ bool parse_prob(std::string_view text, double& out) {
   return true;
 }
 
+bool parse_policy(std::string_view text, overload::Policy& out) {
+  if (text == "queue") {
+    out = overload::Policy::kQueue;
+    return true;
+  }
+  if (text == "shed") {
+    out = overload::Policy::kShed;
+    return true;
+  }
+  return false;
+}
+
 bool parse_bool(std::string_view text, bool& out) {
   if (text == "0" || text == "false" || text == "off") {
     out = false;
@@ -198,6 +210,41 @@ bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
     cfg.ft_strikes = static_cast<int>(u);
     return true;
   }
+  if (name == "unexpected_cap") {
+    if (!parse_u64(value, u)) return false;
+    cfg.unexpected_cap = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "unexpected_policy") return parse_policy(value, cfg.unexpected_policy);
+  if (name == "payload_pool_cap") {
+    if (!parse_u64(value, u)) return false;
+    cfg.payload_pool_cap_bytes = u;
+    return true;
+  }
+  if (name == "payload_pool_policy") {
+    return parse_policy(value, cfg.payload_pool_policy);
+  }
+  if (name == "tracker_cap") {
+    if (!parse_u64(value, u)) return false;
+    cfg.tracker_cap = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "tracker_policy") return parse_policy(value, cfg.tracker_policy);
+  if (name == "overload_high_pct") {
+    if (!parse_u64(value, u) || u < 1 || u > 100) return false;
+    cfg.overload_high_pct = static_cast<int>(u);
+    return true;
+  }
+  if (name == "overload_low_pct") {
+    if (!parse_u64(value, u) || u > 100) return false;
+    cfg.overload_low_pct = static_cast<int>(u);
+    return true;
+  }
+  if (name == "op_deadline_ns") {
+    if (!parse_u64(value, u)) return false;
+    cfg.op_deadline_ns = u;
+    return true;
+  }
   return false;
 }
 
@@ -214,6 +261,10 @@ Config config_from_env(Config base) {
       "watchdog_interval_ns", "watchdog_stall_sweeps", "rndv_stall_ns",
       "trace",         "trace_entries",   "obs",
       "ft",            "ft_heartbeat_ns", "ft_suspect_ns",   "ft_strikes",
+      "unexpected_cap", "unexpected_policy",
+      "payload_pool_cap", "payload_pool_policy",
+      "tracker_cap",   "tracker_policy",
+      "overload_high_pct", "overload_low_pct", "op_deadline_ns",
   };
   for (const char* name : kNames) {
     std::string env_name = "FAIRMPI_";
@@ -263,7 +314,17 @@ std::string list_cvars(const Config& cfg) {
      << "ft                = " << (cfg.ft_enabled ? "true" : "false") << '\n'
      << "ft_heartbeat_ns   = " << cfg.ft_heartbeat_ns << '\n'
      << "ft_suspect_ns     = " << cfg.ft_suspect_ns << '\n'
-     << "ft_strikes        = " << cfg.ft_strikes << '\n';
+     << "ft_strikes        = " << cfg.ft_strikes << '\n'
+     << "unexpected_cap    = " << cfg.unexpected_cap << '\n'
+     << "unexpected_policy = " << overload::policy_name(cfg.unexpected_policy) << '\n'
+     << "payload_pool_cap  = " << cfg.payload_pool_cap_bytes << '\n'
+     << "payload_pool_policy = " << overload::policy_name(cfg.payload_pool_policy)
+     << '\n'
+     << "tracker_cap       = " << cfg.tracker_cap << '\n'
+     << "tracker_policy    = " << overload::policy_name(cfg.tracker_policy) << '\n'
+     << "overload_high_pct = " << cfg.overload_high_pct << '\n'
+     << "overload_low_pct  = " << cfg.overload_low_pct << '\n'
+     << "op_deadline_ns    = " << cfg.op_deadline_ns << '\n';
   return os.str();
 }
 

@@ -10,12 +10,30 @@ namespace fairmpi {
 
 using spc::Counter;
 
+namespace {
+
+overload::Limits limits_from(const Config& cfg) noexcept {
+  overload::Limits lim;
+  lim.unexpected_cap = cfg.unexpected_cap;
+  lim.unexpected_policy = cfg.unexpected_policy;
+  lim.pool_cap_bytes = cfg.payload_pool_cap_bytes;
+  lim.pool_policy = cfg.payload_pool_policy;
+  lim.tracker_cap = cfg.tracker_cap;
+  lim.tracker_policy = cfg.tracker_policy;
+  lim.high_pct = cfg.overload_high_pct;
+  lim.low_pct = cfg.overload_low_pct;
+  return lim;
+}
+
+}  // namespace
+
 Rank::Rank(Universe& uni, int id)
     : uni_(&uni), id_(id), tracer_(uni.config().trace_entries),
       pool_(uni.fabric(), id, uni.config().assignment, uni.config().submit_ring_entries),
       engine_(pool_, *this, uni.config().progress_mode, spc_, uni.config().progress_batch,
               &tracer_),
-      comms_(static_cast<std::size_t>(uni.config().max_communicators)) {
+      comms_(static_cast<std::size_t>(uni.config().max_communicators)),
+      governor_(limits_from(uni.config())) {
   for (auto& slot : comms_) slot.store(nullptr, std::memory_order_relaxed);
   const Config& cfg = uni.config();
   if (cfg.trace_enabled) tracer_.enable(true);
@@ -72,6 +90,7 @@ void Rank::install_comm(CommId id, std::vector<int> members) {
                                    uni_->config().allow_overtaking, spc_,
                                    uni_->config().reliable, std::move(members));
   state->match().set_rendezvous_hook(this);
+  state->match().set_overload(&governor_, &tracer_);
   comms_[id].store(state, std::memory_order_release);
 }
 
@@ -83,7 +102,7 @@ p2p::CommState& Rank::comm_state(CommId id) {
 }
 
 void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
-                 Request& req) {
+                 Request& req, std::uint64_t deadline_ns) {
   FAIRMPI_CHECK_MSG(dst >= 0 && dst < uni_->num_ranks(), "invalid destination rank");
   p2p::CommState& cs = comm_state(comm);
   if (cs.revoked()) {
@@ -104,7 +123,7 @@ void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
     FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
     tracer_.record(trace::Event::kRndvRts, static_cast<std::uint32_t>(dst),
                    static_cast<std::uint32_t>(n));
-    rndv_isend(comm, dst, tag, buf, n, req);
+    rndv_isend(comm, dst, tag, buf, n, req, deadline_ns);
     return;
   }
   tracer_.record(trace::Event::kSend, static_cast<std::uint32_t>(dst),
@@ -122,6 +141,8 @@ void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
     };
     policy.peer_failed_user = this;
   }
+  policy.governor = &governor_;
+  policy.deadline_ns = deadline_ns;
   // Outcome comes back by value: completing `req` hands it back to the
   // waiting owner, which may destroy it before we could read failed().
   const common::ErrorCode ec = p2p::eager_send(cs, pool_, engine_, spc_,
@@ -132,13 +153,17 @@ void Rank::isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
 }
 
 void Rank::irecv(CommId comm, int src, int tag, void* buf, std::size_t capacity,
-                 Request& req) {
+                 Request& req, std::uint64_t deadline_ns) {
   FAIRMPI_CHECK_MSG(src == kAnySource || (src >= 0 && src < uni_->num_ranks()),
                     "invalid source rank");
   FAIRMPI_CHECK_MSG(tag == kAnyTag || tag >= 0, "invalid tag filter");
-  req.init_recv(buf, capacity, src, tag);
+  req.init_recv(buf, capacity, src, tag, deadline_ns);
   tracer_.record(trace::Event::kRecvPost, static_cast<std::uint32_t>(src + 1),
                  static_cast<std::uint32_t>(tag));
+  // Arm the rank-level sweep gate before the request becomes visible to the
+  // engine: overload_poll must not be able to observe a posted deadline the
+  // gate does not yet cover.
+  if (deadline_ns != 0) arm_deadline(deadline_ns);
   comm_state(comm).match().post(&req);
 }
 
@@ -228,7 +253,16 @@ std::size_t Rank::progress() {
     if (watchdog_ != nullptr) watchdog_->poll(now);
     if (ft_ != nullptr) ft_poll(now);
   }
-  const std::size_t completions = engine_.progress();
+  // §5h sweeps are pay-for-what-you-use: a run with no caps and no armed
+  // deadlines takes this branch on two relaxed loads and skips the call.
+  if (governor_.enabled() ||
+      earliest_deadline_.load(std::memory_order_relaxed) != ~std::uint64_t{0}) {
+    overload_poll(now_ns());
+  }
+  // kQueue backpressure (RX trickle): while any peer is latched paused the
+  // governor admits only 1-in-kRxTrickle receive rounds, throttling the
+  // flood without starving acks/heartbeats entirely (ft liveness).
+  const std::size_t completions = governor_.defer_rx() ? 0 : engine_.progress();
   // Acks enqueued while the engine dispatched packets leave immediately —
   // waiting for the next drain_control would add an rto of latency per hop
   // under load.
@@ -256,6 +290,14 @@ void Rank::enqueue_packet_ack(const fabric::WireHeader& hdr) {
                                   hdr.seq, static_cast<std::uint16_t>(hdr.opcode)});
 }
 
+void Rank::enqueue_packet_nack(const fabric::WireHeader& hdr) {
+  LockGuard guard(control_lock_);
+  acks_.push_back(p2p::ControlMsg{p2p::ControlMsg::Kind::kSendPacketNack,
+                                  static_cast<int>(hdr.src_rank), hdr.comm_id,
+                                  /*local_cookie=*/0, /*remote_cookie=*/hdr.imm,
+                                  hdr.seq, static_cast<std::uint16_t>(hdr.opcode)});
+}
+
 void Rank::flush_acks() {
   for (;;) {
     p2p::ControlMsg msg;
@@ -267,9 +309,13 @@ void Rank::flush_acks() {
     }
     // Reliability ack: echo the received packet's identifying key so the
     // sender can retire its tracked clone. Unreliable by design — if this
-    // ack is lost the peer retransmits and we re-ack.
+    // ack is lost the peer retransmits and we re-ack. A NACK (overload
+    // shed, §5h) rides the same queue and carries the same key; only the
+    // opcode differs, so the sender can fail the op typed instead of
+    // retiring it.
+    const bool is_nack = msg.kind == p2p::ControlMsg::Kind::kSendPacketNack;
     fabric::Packet ack;
-    ack.hdr.opcode = fabric::Opcode::kAck;
+    ack.hdr.opcode = is_nack ? fabric::Opcode::kNack : fabric::Opcode::kAck;
     ack.hdr.src_rank = static_cast<std::uint16_t>(id_);
     ack.hdr.comm_id = msg.comm;
     ack.hdr.tag = static_cast<std::int32_t>(msg.ack_opcode);
@@ -281,9 +327,11 @@ void Rank::flush_acks() {
       acks_.push_front(msg);
       return;
     }
-    spc_.add(Counter::kAcksSent);
-    tracer_.record(trace::Event::kAckSent, static_cast<std::uint32_t>(msg.peer),
-                   msg.seq);
+    if (!is_nack) {
+      spc_.add(Counter::kAcksSent);
+      tracer_.record(trace::Event::kAckSent, static_cast<std::uint32_t>(msg.peer),
+                     msg.seq);
+    }
   }
 }
 
@@ -412,6 +460,167 @@ void Rank::fail_rendezvous_peer(int peer) {
   }
 }
 
+// --- overload control & deadlines (DESIGN.md §5h) ---
+
+void Rank::handle_nack(const fabric::WireHeader& hdr) {
+  const p2p::PacketKey key = p2p::key_of_ack(hdr);
+  p2p::ReliabilityTracker::Failure f;
+  if (!tracker_->nack(key, &f)) return;  // duplicate NACK, or an ack raced in
+  report_error(common::Error{common::ErrorCode::kReceiverOverloaded, id_,
+                             static_cast<int>(key.peer), key.seq});
+  if (key.opcode != static_cast<std::uint16_t>(fabric::Opcode::kRndvRts)) return;
+  // The receiver shed our RTS at admission: no RndvAck will ever arrive,
+  // so the NACK is this transfer's only possible terminal event — claim
+  // the send state by extraction (same ownership rule as the kSendData
+  // drain) and fail the request typed.
+  p2p::Request* victim = nullptr;
+  std::unique_ptr<p2p::RndvSendState> dead;
+  {
+    LockGuard guard(rndv_lock_);
+    for (auto it = rndv_sends_.begin(); it != rndv_sends_.end(); ++it) {
+      if (it->second->dst == static_cast<int>(key.peer) &&
+          it->second->comm == key.comm && it->second->rts_seq == key.seq &&
+          !it->second->failed) {
+        victim = it->second->request;
+        dead = std::move(it->second);
+        rndv_sends_.erase(it);
+        break;
+      }
+    }
+  }
+  if (victim != nullptr) {
+    (void)victim->fail(common::ErrorCode::kReceiverOverloaded);
+  }
+}
+
+void Rank::arm_deadline(std::uint64_t deadline_ns) noexcept {
+  std::uint64_t cur = earliest_deadline_.load(std::memory_order_relaxed);
+  while (deadline_ns < cur &&
+         !earliest_deadline_.compare_exchange_weak(cur, deadline_ns,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+void Rank::expire_rendezvous_deadlines(std::uint64_t now, std::uint64_t* next) {
+  struct Victim {
+    p2p::Request* req;
+    int peer;
+  };
+  // lint: allow(hotpath-alloc) only reached when a deadline is armed
+  std::vector<Victim> victims;
+  {
+    LockGuard guard(rndv_lock_);
+    for (auto& [cookie, st] : rndv_sends_) {
+      if (st->failed || st->request == nullptr) continue;
+      const std::uint64_t dl = st->request->deadline();
+      if (dl == 0) continue;
+      if (dl <= now) {
+        // Tombstone, not extraction: the receiver's ack may still arrive,
+        // and the kSendData drain must find the state to discard it
+        // instead of streaming from a buffer the owner already reclaimed.
+        st->failed = true;
+        victims.push_back(Victim{st->request, st->dst});
+      } else if (dl < *next) {
+        *next = dl;
+      }
+    }
+    for (auto& [cookie, st] : rndv_recvs_) {
+      if (st->failed || st->request == nullptr) continue;
+      const std::uint64_t dl = st->request->deadline();
+      if (dl == 0) continue;
+      if (dl <= now) {
+        st->failed = true;  // same tombstone rule as the ft purge
+        victims.push_back(Victim{st->request, st->status.source});
+      } else if (dl < *next) {
+        *next = dl;
+      }
+    }
+  }
+  for (const Victim& v : victims) {
+    if (v.req->fail(common::ErrorCode::kDeadlineExceeded)) {
+      spc_.add(Counter::kDeadlineExceededOps);
+      tracer_.record(trace::Event::kDeadline,
+                     static_cast<std::uint32_t>(v.peer + 1), 0);
+      report_error(common::Error{common::ErrorCode::kDeadlineExceeded, id_,
+                                 v.peer, 0});
+    }
+  }
+}
+
+void Rank::overload_poll(std::uint64_t now) {
+  // Deadline expiry sweep, gated on the rank-level CAS-min gate.
+  const std::uint64_t observed = earliest_deadline_.load(std::memory_order_relaxed);
+  if (observed != ~std::uint64_t{0} && now >= observed) {
+    std::uint64_t next = ~std::uint64_t{0};
+    for (auto& slot : comms_) {
+      p2p::CommState* cs = slot.load(std::memory_order_acquire);
+      if (cs == nullptr) continue;
+      cs->match().expire_deadlines(now);
+      const std::uint64_t d = cs->match().next_deadline_relaxed();
+      if (d < next) next = d;
+    }
+    expire_rendezvous_deadlines(now, &next);
+    // Raise the gate only past the value observed before the sweep: a
+    // concurrent arm_deadline that lowered it mid-sweep wins the CAS, the
+    // gate stays conservatively low, and the next poll re-sweeps — an arm
+    // is never lost, at worst one sweep runs early.
+    std::uint64_t expected = observed;
+    (void)earliest_deadline_.compare_exchange_strong(expected, next,
+                                                     std::memory_order_relaxed);
+  }
+  // Degradation ladder, sampled 1-in-64 progress visits — resource sums
+  // walk every communicator, too heavy for every visit.
+  if (!governor_.enabled()) return;
+  if ((overload_visits_.fetch_add(1, std::memory_order_relaxed) & 63) != 0) return;
+  std::uint64_t unexpected = 0;
+  for (auto& slot : comms_) {
+    p2p::CommState* cs = slot.load(std::memory_order_acquire);
+    if (cs != nullptr) unexpected += cs->match().unexpected_count_relaxed();
+  }
+  const fabric::PayloadPoolStats pool = fabric::payload_pool_stats();
+  const std::uint64_t in_flight =
+      tracker_ != nullptr ? tracker_->in_flight() : 0;
+  const overload::Governor::Transition t =
+      governor_.sample(unexpected, pool.in_use_bytes, in_flight);
+  if (t.changed) {
+    spc_.add(Counter::kOverloadLevelChanges);
+    tracer_.record(trace::Event::kOverloadLevel, static_cast<std::uint32_t>(t.to),
+                   static_cast<std::uint32_t>(t.from));
+  }
+  spc_.update_max(Counter::kOverloadPoolPeak, pool.high_water_bytes);
+}
+
+bool Rank::cancel_request(p2p::Request* req) {
+  // Rendezvous cancel: tombstone whichever registry holds the request
+  // (ack/data may still arrive; the drains discard against `failed`), then
+  // settle outside the lock.
+  int peer = -1;
+  {
+    LockGuard guard(rndv_lock_);
+    for (auto& [cookie, st] : rndv_sends_) {
+      if (st->request == req && !st->failed) {
+        st->failed = true;
+        peer = st->dst;
+        break;
+      }
+    }
+    if (peer < 0) {
+      for (auto& [cookie, st] : rndv_recvs_) {
+        if (st->request == req && !st->failed) {
+          st->failed = true;
+          peer = st->status.source;
+          break;
+        }
+      }
+    }
+  }
+  if (peer < 0) return false;  // completed/failed concurrently, or not ours
+  if (!req->fail(common::ErrorCode::kCancelled)) return false;
+  spc_.add(Counter::kCancelledOps);
+  tracer_.record(trace::Event::kCancel, static_cast<std::uint32_t>(peer + 1), 0);
+  return true;
+}
+
 std::size_t Rank::scan_stalled(std::uint64_t now, std::uint64_t horizon) {
   (void)now;
   struct Stalled {
@@ -477,25 +686,59 @@ std::size_t Rank::handle_packet(fabric::Packet&& pkt) {
       (void)tracker_->ack(p2p::key_of_ack(pkt.hdr));
       return 0;
     }
+    if (pkt.hdr.opcode == fabric::Opcode::kNack) {
+      // Receiver shed the packet at admission (§5h): fail the tracked op
+      // typed kReceiverOverloaded instead of retrying into the overload.
+      spc_.add(Counter::kOverloadNacksReceived);
+      handle_nack(pkt.hdr);
+      return 0;
+    }
     // Ack every structurally valid packet — duplicates included, because
     // the duplicate usually means our previous ack was the casualty.
-    enqueue_packet_ack(pkt.hdr);
-  } else if (pkt.hdr.opcode == fabric::Opcode::kAck) {
-    // Reliability off: there is no tracker to retire the ack against.
+    // Matchable envelopes (kEager/kRndvRts) are the exception: their
+    // ack-or-NACK decision belongs to the admission verdict below, so
+    // acking here would silently retire a packet the engine then sheds.
+    if (pkt.hdr.opcode != fabric::Opcode::kEager &&
+        pkt.hdr.opcode != fabric::Opcode::kRndvRts) {
+      enqueue_packet_ack(pkt.hdr);
+    }
+  } else if (pkt.hdr.opcode == fabric::Opcode::kAck ||
+             pkt.hdr.opcode == fabric::Opcode::kNack) {
+    // Reliability off: there is no tracker to retire the (n)ack against.
     spc_.add(Counter::kHeaderDrops);
     return 0;
   }
   switch (pkt.hdr.opcode) {
     case fabric::Opcode::kEager:
-    case fabric::Opcode::kRndvRts:
+    case fabric::Opcode::kRndvRts: {
       // Both carry a matching envelope; RTS delivery diverts to the
-      // rendezvous hook inside the engine.
-      return comm_state(pkt.hdr.comm_id).match().incoming(std::move(pkt));
+      // rendezvous hook inside the engine. The header outlives the move so
+      // the admission verdict can be answered on the wire afterwards.
+      const fabric::WireHeader hdr = pkt.hdr;
+      fairmpi::match::Admission adm = fairmpi::match::Admission::kAdmitted;
+      const std::size_t delivered =
+          comm_state(hdr.comm_id).match().incoming(std::move(pkt), &adm);
+      if (tracker_ != nullptr) {
+        if (adm == fairmpi::match::Admission::kShed ||
+            adm == fairmpi::match::Admission::kShedDuplicate) {
+          if (adm == fairmpi::match::Admission::kShed) {
+            spc_.add(Counter::kOverloadNacksSent);
+          }
+          enqueue_packet_nack(hdr);
+        } else if (adm != fairmpi::match::Admission::kDeferred) {
+          enqueue_packet_ack(hdr);
+        }
+        // kDeferred: answer nothing — the sender's retransmit clock is the
+        // backpressure (§5h kQueue).
+      }
+      return delivered;
+    }
     case fabric::Opcode::kRndvAck:
       return handle_rndv_ack(pkt);
     case fabric::Opcode::kRndvData:
       return handle_rndv_data(pkt);
     case fabric::Opcode::kAck:
+    case fabric::Opcode::kNack:
     case fabric::Opcode::kHeartbeat:
     case fabric::Opcode::kInvalid:
       break;  // all consumed above; unreachable
@@ -547,12 +790,15 @@ bool Communicator::revoked() const noexcept {
   return rank_->comm_state(id_).revoked();
 }
 
-void Communicator::isend(int dst, int tag, const void* buf, std::size_t n, Request& req) {
-  rank_->isend(id_, global_of(dst), tag, buf, n, req);
+void Communicator::isend(int dst, int tag, const void* buf, std::size_t n, Request& req,
+                         std::uint64_t deadline_ns) {
+  rank_->isend(id_, global_of(dst), tag, buf, n, req, deadline_ns);
 }
 
-void Communicator::irecv(int src, int tag, void* buf, std::size_t capacity, Request& req) {
-  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req);
+void Communicator::irecv(int src, int tag, void* buf, std::size_t capacity, Request& req,
+                         std::uint64_t deadline_ns) {
+  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req,
+               deadline_ns);
 }
 
 void Communicator::send(int dst, int tag, const void* buf, std::size_t n) {
@@ -565,10 +811,18 @@ Status Communicator::recv(int src, int tag, void* buf, std::size_t capacity) {
   return status;
 }
 
+// Checked ops honour Config::op_deadline_ns (§5h): 0 keeps the historical
+// wait-forever semantics; nonzero turns every checked op into a bounded
+// call that fails typed kDeadlineExceeded instead of hanging.
+static std::uint64_t checked_deadline(Rank& rank) {
+  const std::uint64_t rel = rank.universe().config().op_deadline_ns;
+  return rel == 0 ? 0 : now_ns() + rel;
+}
+
 common::ErrorCode Communicator::send_checked(int dst, int tag, const void* buf,
                                              std::size_t n) {
   Request req;
-  rank_->isend(id_, global_of(dst), tag, buf, n, req);
+  rank_->isend(id_, global_of(dst), tag, buf, n, req, checked_deadline(*rank_));
   rank_->wait(req);
   return req.error();
 }
@@ -576,7 +830,8 @@ common::ErrorCode Communicator::send_checked(int dst, int tag, const void* buf,
 common::ErrorCode Communicator::recv_checked(int src, int tag, void* buf,
                                              std::size_t capacity, Status* status) {
   Request req;
-  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req);
+  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req,
+               checked_deadline(*rank_));
   rank_->wait(req);
   if (status != nullptr) {
     *status = req.status();
@@ -600,6 +855,9 @@ common::ErrorCode Communicator::barrier_checked() {
   const int n = size();
   const int me = rank();
   if (n == 1) return common::ErrorCode::kOk;
+  // One deadline for the whole barrier, computed at entry: the rounds are
+  // serial, so per-round deadlines would let a barrier overrun by log2(n)×.
+  const std::uint64_t deadline = checked_deadline(*rank_);
   unsigned char token = 0;
   for (int step = 0, dist = 1; dist < n; ++step, dist <<= 1) {
     if (revoked()) return common::ErrorCode::kCommRevoked;
@@ -607,8 +865,8 @@ common::ErrorCode Communicator::barrier_checked() {
     const int from = ((me - dist) % n + n) % n;
     Request sreq, rreq;
     unsigned char in = 0;
-    rank_->isend(id_, global_of(to), kBarrierTagBase + step, &token, 1, sreq);
-    rank_->irecv(id_, global_of(from), kBarrierTagBase + step, &in, 1, rreq);
+    rank_->isend(id_, global_of(to), kBarrierTagBase + step, &token, 1, sreq, deadline);
+    rank_->irecv(id_, global_of(from), kBarrierTagBase + step, &in, 1, rreq, deadline);
     rank_->wait(rreq);
     rank_->wait(sreq);
     // A dead partner (kPeerFailed) or a concurrent revoke fails the round's

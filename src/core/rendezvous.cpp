@@ -16,8 +16,13 @@ using p2p::RtsBody;
 using spc::Counter;
 
 void Rank::rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_t n,
-                      Request& req) {
-  req.init_send();
+                      Request& req, std::uint64_t deadline_ns) {
+  req.init_send(deadline_ns);
+  // Cancel/deadline route through the rendezvous registry (tombstone the
+  // state, then settle — Rank::cancel_request). Installed before the state
+  // is registered: a cancel racing this call may observe neither and
+  // report false, which is the documented best-effort window.
+  req.set_cancel_scope(this);
 
   auto state = std::make_unique<RndvSendState>();
   state->data = static_cast<const std::byte*>(buf);
@@ -26,6 +31,11 @@ void Rank::rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_
   state->comm = comm;
   state->request = &req;
   state->born_ns = now_ns();
+  // Seq is ticketed before registration so the state records its RTS key:
+  // a receiver-side shed NACKs {kRndvRts, dst, comm, rts_seq} and
+  // handle_nack must find this transfer by exactly that key.
+  state->rts_seq = comm_state(comm).next_seq(dst);
+  const std::uint32_t rts_seq = state->rts_seq;
 
   std::uint64_t cookie = 0;
   {
@@ -33,6 +43,7 @@ void Rank::rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_
     cookie = next_cookie_++;
     rndv_sends_.emplace(cookie, std::move(state));
   }
+  if (deadline_ns != 0) arm_deadline(deadline_ns);
 
   // The RTS is a sequence-numbered envelope like any eager message — it is
   // what the receiver matches, preserving the non-overtaking guarantee for
@@ -42,7 +53,7 @@ void Rank::rndv_isend(CommId comm, int dst, int tag, const void* buf, std::size_
   rts.hdr.src_rank = static_cast<std::uint16_t>(id_);
   rts.hdr.comm_id = comm;
   rts.hdr.tag = tag;
-  rts.hdr.seq = comm_state(comm).next_seq(dst);
+  rts.hdr.seq = rts_seq;
   const RtsBody body{n, cookie};
   rts.set_payload(&body, sizeof body);
   inject_control(dst, std::move(rts));
@@ -80,6 +91,12 @@ void Rank::on_rts_matched(p2p::Request* req, const Packet& rts) {
     cookie = next_cookie_++;
     rndv_recvs_.emplace(cookie, std::move(state));
   }
+  // Scope handoff: the request left the engine's posted lists when it
+  // matched, so cancel/deadline now belong to the rendezvous registry.
+  req->set_cancel_scope(this);
+  // Re-arm the rank gate: the engine sweep may have raised it past this
+  // request's deadline between the match and this registration.
+  if (req->deadline() != 0) arm_deadline(req->deadline());
   {
     LockGuard guard(control_lock_);
     control_.push_back(ControlMsg{ControlMsg::Kind::kSendAck,
@@ -241,6 +258,13 @@ void Rank::drain_control() {
           state = std::move(it->second);
           rndv_sends_.erase(it);
         }
+        if (state->failed) {
+          // Cancelled / deadline-expired tombstone: the request is already
+          // settled and the owner may have reclaimed the buffer — discard
+          // instead of streaming stale memory (rendezvous.hpp).
+          spc_.add(Counter::kDupDiscards);
+          break;
+        }
         if (peer_failed(msg.peer)) {
           // Receiver died between its RndvAck and our drain: fail the send
           // instead of streaming the whole payload into a severed link.
@@ -275,8 +299,9 @@ void Rank::drain_control() {
         break;
       }
       case ControlMsg::Kind::kSendPacketAck:
-        // Handled by flush_acks (acks ride their own queue); kept in the
-        // enum so the message layout stays shared.
+      case ControlMsg::Kind::kSendPacketNack:
+        // Handled by flush_acks ((n)acks ride their own queue); kept in
+        // the enum so the message layout stays shared.
         break;
       case ControlMsg::Kind::kNone:
         FAIRMPI_CHECK_MSG(false, "empty control message");

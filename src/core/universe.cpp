@@ -40,6 +40,12 @@ Config apply_chaos_env(Config cfg) {
       // Config programmatically, without touching each call site. They are
       // additive-only (never alter the communication design under test).
       "trace",          "trace_entries",    "obs",
+      // Overload-control caps (§5h) ride along so a memory-pressure chaos
+      // job can squeeze a whole suite under tiny caps without touching
+      // call sites. Additive: unset means uncapped, exactly as before.
+      "unexpected_cap", "unexpected_policy", "payload_pool_cap",
+      "payload_pool_policy", "tracker_cap",  "tracker_policy",
+      "overload_high_pct", "overload_low_pct", "op_deadline_ns",
   };
   for (const char* name : kChaosKnobs) {
     std::string env_name = "FAIRMPI_";
@@ -67,6 +73,11 @@ Universe::Universe(Config cfg)
   // exist below any one universe, so the profile does too. Never unset —
   // a later obs-less universe must not blind a concurrent profiled one.
   if (cfg_.obs_enabled) obs::set_enabled(true);
+  // Same sticky-switch discipline for the payload-pool byte accounting
+  // (§5h): the uncapped fast path skips the per-packet RMWs entirely.
+  if (cfg_.payload_pool_cap_bytes != 0 || cfg_.obs_enabled) {
+    fabric::enable_payload_pool_accounting();
+  }
   // Reliability plumbing must exist before any rank can inject. ft forces
   // the injector even on a pristine fabric: the detector's kill mode
   // (FaultInjector::kill_rank) is its ground truth for rank death.
@@ -156,7 +167,37 @@ bool Universe::quiesce(std::uint64_t timeout_ns) {
       if (rk.tracker_ != nullptr && rk.tracker_->in_flight() != 0) tracked = true;
     }
     idle_sweeps = work == 0 && !tracked ? idle_sweeps + 1 : 0;
-    if (now_ns() > deadline) return false;
+    if (now_ns() > deadline) {
+      // Say WHY the drain failed (§5h satellite): every rank still holding
+      // backlog reports a typed kQuiesceTimeout through its error sink,
+      // with the three resource counts packed into `detail` (16 bits each,
+      // saturating: [tracked in-flight | unexpected queued | rndv pending])
+      // so a sink can tell a stuck retransmit from a flooded queue.
+      const auto sat16 = [](std::size_t v) -> std::uint64_t {
+        return v > 0xffff ? 0xffff : static_cast<std::uint64_t>(v);
+      };
+      for (const int r : alive) {
+        Rank& rk = *ranks_[static_cast<std::size_t>(r)];
+        const std::size_t in_flight =
+            rk.tracker_ != nullptr ? rk.tracker_->in_flight() : 0;
+        std::size_t unexpected = 0;
+        for (auto& slot : rk.comms_) {
+          p2p::CommState* cs = slot.load(std::memory_order_acquire);
+          if (cs != nullptr) unexpected += cs->match().unexpected_count();
+        }
+        std::size_t rndv = 0;
+        {
+          LockGuard guard(rk.rndv_lock_);
+          rndv = rk.rndv_sends_.size() + rk.rndv_recvs_.size();
+        }
+        if (in_flight == 0 && unexpected == 0 && rndv == 0) continue;
+        rk.spc_.add(spc::Counter::kQuiesceTimeouts);
+        rk.report_error(common::Error{
+            common::ErrorCode::kQuiesceTimeout, r, -1,
+            (sat16(in_flight) << 32) | (sat16(unexpected) << 16) | sat16(rndv)});
+      }
+      return false;
+    }
   }
   return true;
 }

@@ -9,6 +9,7 @@
 
 #include "fairmpi/fabric/wire.hpp"
 
+#include <atomic>
 #include <bit>
 
 #include "fairmpi/common/slab_pool.hpp"
@@ -46,18 +47,107 @@ common::SlabArena& arena(int cls) {
   return *(*arenas)[static_cast<std::size_t>(cls)];
 }
 
+/// In-use / high-water byte accounting (overload admission reads these).
+/// Process-global like the arenas; relaxed — the counts gate admission and
+/// feed observability, they order nothing.
+std::atomic<std::uint64_t> pool_in_use_bytes{0};
+std::atomic<std::uint64_t> pool_high_water_bytes{0};
+
+/// Sticky process-global switch (like obs::set_enabled): the per-packet
+/// byte accounting costs two shared-cache-line RMWs per make/release, which
+/// the uncapped fast path must not pay. A Universe flips it on when a pool
+/// cap or observability is configured; until then make/release pay one
+/// relaxed load + a never-taken branch to a cold out-of-line body.
+std::atomic<bool> pool_accounting_on{false};
+
+#if defined(__GNUC__)
+#define FAIRMPI_COLD __attribute__((noinline, cold))
+#else
+#define FAIRMPI_COLD
+#endif
+
+FAIRMPI_COLD void charge_pool_bytes_slow(std::uint64_t n) noexcept {
+  const std::uint64_t now =
+      pool_in_use_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+  // lint: allow(relaxed-sync) monotone high-water mark, no ordering needed
+  std::uint64_t hw = pool_high_water_bytes.load(std::memory_order_relaxed);
+  while (now > hw &&
+         !pool_high_water_bytes.compare_exchange_weak(hw, now,
+                                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// Saturating un-charge: a payload created before the accounting switch
+/// flipped on was never charged, so its release must not wrap the gauge
+/// negative — clamp at zero (at worst the gauge undercounts briefly).
+FAIRMPI_COLD void uncharge_pool_bytes_slow(std::uint64_t n) noexcept {
+  std::uint64_t cur = pool_in_use_bytes.load(std::memory_order_relaxed);
+  while (!pool_in_use_bytes.compare_exchange_weak(cur, cur >= n ? cur - n : 0,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+inline void charge_pool_bytes(std::uint64_t n) noexcept {
+  // lint: allow(relaxed-sync) sticky diagnostics gate; counts order nothing
+  if (pool_accounting_on.load(std::memory_order_relaxed)) [[unlikely]] {
+    charge_pool_bytes_slow(n);
+  }
+}
+
+inline void uncharge_pool_bytes(std::uint64_t n) noexcept {
+  // lint: allow(relaxed-sync) sticky diagnostics gate; counts order nothing
+  if (pool_accounting_on.load(std::memory_order_relaxed)) [[unlikely]] {
+    uncharge_pool_bytes_slow(n);
+  }
+}
+
+/// Huge (>64 KiB) payloads come from plain new[] with their byte count in a
+/// 16-byte header ahead of the caller-visible pointer: the deleter then
+/// stays a single byte (PayloadBuffer fits in a register pair) while the
+/// release can still credit the exact size. 16 keeps the payload's
+/// effective alignment at new[]'s.
+constexpr std::size_t kHugeHeader = 16;
+
 }  // namespace
+
+void enable_payload_pool_accounting() noexcept {
+  pool_accounting_on.store(true, std::memory_order_relaxed);
+}
 
 void release_pooled_payload(std::byte* p, int size_class) noexcept {
   arena(size_class).release(p);
+  uncharge_pool_bytes(std::uint64_t{1} << (kMinShift + size_class));
+}
+
+void release_huge_payload(std::byte* p) noexcept {
+  std::byte* raw = p - kHugeHeader;
+  std::uint64_t n = 0;
+  std::memcpy(&n, raw, sizeof n);
+  delete[] raw;
+  uncharge_pool_bytes(n);
+}
+
+PayloadPoolStats payload_pool_stats() noexcept {
+  return PayloadPoolStats{pool_in_use_bytes.load(std::memory_order_relaxed),
+                          pool_high_water_bytes.load(std::memory_order_relaxed)};
+}
+
+void reset_payload_pool_high_water() noexcept {
+  pool_high_water_bytes.store(pool_in_use_bytes.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
 }
 
 PayloadBuffer make_payload(std::size_t n) {
   const int cls = class_for(n);
   if (cls < 0) {
+    charge_pool_bytes(n);
     // lint: allow(hotpath-alloc) >64KiB payloads exceed every pool class
-    return PayloadBuffer(new std::byte[n], PayloadDeleter{-1});
+    auto* raw = new std::byte[n + kHugeHeader];
+    const std::uint64_t bytes = n;
+    std::memcpy(raw, &bytes, sizeof bytes);
+    return PayloadBuffer(raw + kHugeHeader, PayloadDeleter{-1});
   }
+  charge_pool_bytes(std::uint64_t{1} << (kMinShift + cls));
   return PayloadBuffer(static_cast<std::byte*>(arena(cls).acquire()),
                        PayloadDeleter{static_cast<std::int8_t>(cls)});
 }

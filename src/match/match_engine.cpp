@@ -59,7 +59,20 @@ void MatchEngine::deliver(spc::CounterSet::Cursor& ctr, p2p::Request* req,
   }
 }
 
-std::size_t MatchEngine::match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt) {
+void MatchEngine::note_unexpected_add(PeerState& ps) {
+  ++ps.unexpected_n;
+  ++unexpected_total_;
+  unexpected_mirror_.store(unexpected_total_, std::memory_order_relaxed);
+}
+
+void MatchEngine::note_unexpected_sub(PeerState& ps) {
+  --ps.unexpected_n;
+  --unexpected_total_;
+  unexpected_mirror_.store(unexpected_total_, std::memory_order_relaxed);
+}
+
+std::size_t MatchEngine::match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&& pkt,
+                                   bool direct, Admission* admission) {
   const int src = static_cast<int>(pkt.hdr.src_rank);
   const int tag = pkt.hdr.tag;
   PeerState& ps = peer(src);
@@ -112,11 +125,56 @@ std::size_t MatchEngine::match_one(spc::CounterSet::Cursor& ctr, fabric::Packet&
     return 1;
   }
 
+  // No posted receive: the message goes unexpected — the resource bounded
+  // admission caps (DESIGN.md §5h). The uncapped configuration pays one
+  // null-pointer branch here.
+  if (gov_ != nullptr) {
+    const overload::Limits& lim = gov_->limits();
+    if (lim.unexpected_cap != 0 && ps.unexpected_n >= lim.unexpected_cap) {
+      if (lim.unexpected_policy == overload::Policy::kShed) {
+        if (direct) {
+          // Shed at admission. The sequence number stays consumed (the
+          // caller already advanced expected_seq), so the retransmit hits
+          // the duplicate path — the shed ring there re-NACKs it. The rank
+          // answers this packet with kNack instead of an ack, failing the
+          // sender's tracked op typed kReceiverOverloaded.
+          ps.shed_seqs[ps.shed_n % kShedMemory] = pkt.hdr.seq;
+          ++ps.shed_n;
+          ctr.add(Counter::kOverloadShedMessages);
+          if (tracer_ != nullptr) {
+            tracer_->record(trace::Event::kOverloadShed,
+                            static_cast<std::uint32_t>(src), pkt.hdr.seq);
+          }
+          if (admission != nullptr) *admission = Admission::kShed;
+          fabric::Packet drop = std::move(pkt);
+          static_cast<void>(drop);
+          return 0;
+        }
+        // Reorder-drain packet under kShed: it was already acked when it
+        // parked, so shedding now would be silent loss. Admit — the
+        // overshoot is bounded by the reorder window.
+      } else if (!ps.paused) {
+        // kQueue: latch the peer paused; the rank's progress loop trickles
+        // its RX drains until post() observes the low watermark. The
+        // message itself is admitted — backpressure lands on the
+        // producer's ring, not on this already-delivered packet.
+        ps.paused = true;
+        gov_->pause_peer();
+        ctr.add(Counter::kOverloadPausedPeers);
+        if (tracer_ != nullptr) {
+          tracer_->record(trace::Event::kOverloadPause,
+                          static_cast<std::uint32_t>(src), 1);
+        }
+      }
+    }
+  }
+
   ctr.add(Counter::kUnexpectedMessages);
   Unexpected* node = unexpected_pool_.acquire();
   node->arrival = arrival_stamp_++;
   node->pkt = std::move(pkt);
   ps.unexpected.push_back(node);
+  note_unexpected_add(ps);
   return 0;
 }
 
@@ -145,19 +203,47 @@ void MatchEngine::park_out_of_sequence(spc::CounterSet::Cursor& ctr, PeerState& 
   ctr.update_max(Counter::kOosBufferPeak, reorder_total_);
 }
 
-std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
+std::size_t MatchEngine::incoming(fabric::Packet&& pkt, Admission* admission) {
   const int src = static_cast<int>(pkt.hdr.src_rank);
   FAIRMPI_CHECK_MSG(src >= 0 && src < static_cast<int>(peers_.size()),
                     "packet from unknown rank");
 
   LockGuard guard(lock_);
   auto ctr = spc_.cursor();
+  if (admission != nullptr) *admission = Admission::kAdmitted;
   if (revoked_) {
     // Revoked communicator: nothing will ever be posted again, so parking
     // this message as unexpected would just pin pooled payload memory.
+    // Still acked (kAdmitted): the drop is deliberate, not overload.
     fabric::Packet sink = std::move(pkt);
     static_cast<void>(sink);
     return 0;
+  }
+  // §5h kQueue on a reliable fabric: defer at admission *before* the
+  // sequence stream consumes this packet. The rank answers with neither
+  // ack nor NACK, so the sender's retransmit clock re-presents it after the
+  // queue drains below cap — the unexpected backlog is hard-bounded at the
+  // cap and nothing is lost. A lossy fabric cannot defer (an unanswered
+  // drop there is silent loss), so it falls through to the latch-and-
+  // trickle soft throttle in match_one instead.
+  if (admission != nullptr && gov_ != nullptr && reliable_) {
+    const overload::Limits& lim = gov_->limits();
+    PeerState& ps = peer(src);
+    if (lim.unexpected_cap != 0 &&
+        lim.unexpected_policy == overload::Policy::kQueue &&
+        ps.unexpected_n >= lim.unexpected_cap) {
+      if (!ps.paused) {
+        ps.paused = true;
+        gov_->pause_peer();
+        ctr.add(Counter::kOverloadPausedPeers);
+        if (tracer_ != nullptr) {
+          tracer_->record(trace::Event::kOverloadPause,
+                          static_cast<std::uint32_t>(src), 1);
+        }
+      }
+      *admission = Admission::kDeferred;
+      return 0;
+    }
   }
   std::uint64_t cycles = 0;
   std::size_t completions = 0;
@@ -179,8 +265,17 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
         fresh = ps.seen->mark(pkt.hdr.seq);
       }
       if (fresh) {
-        completions = match_one(ctr, std::move(pkt));
+        completions = match_one(ctr, std::move(pkt), /*direct=*/true, admission);
       } else {
+        // The SeenTracker marked the seq when the original arrived — which
+        // includes originals that were then shed. Those must be re-NACKed,
+        // not re-acked (an ack would retire the sender's tracker entry and
+        // the shed would never surface typed).
+        if (admission != nullptr && peer(src).was_shed(pkt.hdr.seq)) {
+          *admission = Admission::kShedDuplicate;
+        } else if (admission != nullptr) {
+          *admission = Admission::kDuplicate;
+        }
         ctr.add(Counter::kDupDiscards);
       }
     } else {
@@ -202,6 +297,14 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
           const bool parked_in_spill =
               future && delta >= kReorderWindow && ps.spill.contains(seq);
           if (!future || parked_in_ring || parked_in_spill) {
+            // A shed consumes its seq (expected_seq advanced past it), so a
+            // retransmit of a shed packet lands here as !future. Re-NACK it
+            // from the shed ring; any other repeat re-acks as a duplicate.
+            if (admission != nullptr && !future && ps.was_shed(seq)) {
+              *admission = Admission::kShedDuplicate;
+            } else if (admission != nullptr) {
+              *admission = Admission::kDuplicate;
+            }
             ctr.add(Counter::kDupDiscards);
           } else {
             ctr.add(Counter::kOutOfSequence);
@@ -214,9 +317,11 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
         }
       } else {
         ++ps.expected_seq;
-        completions += match_one(ctr, std::move(pkt));
+        completions += match_one(ctr, std::move(pkt), /*direct=*/true, admission);
         // Drain parked messages that are now in order: ring first (the
         // common case — one shift+test per message), then the spill map.
+        // Drained packets were acked when they parked, so they pass
+        // direct=false (never shed) and report no admission verdict.
         ReorderRing* ring = ps.reorder.get();
         for (;;) {
           const std::uint32_t e = ps.expected_seq;
@@ -226,7 +331,7 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
             fabric::Packet next = std::move(ring->slot[idx]);
             --reorder_total_;
             ++ps.expected_seq;
-            completions += match_one(ctr, std::move(next));
+            completions += match_one(ctr, std::move(next), /*direct=*/false, nullptr);
             continue;
           }
           if (!ps.spill.empty()) {
@@ -236,7 +341,7 @@ std::size_t MatchEngine::incoming(fabric::Packet&& pkt) {
               ps.spill.erase(it);
               --reorder_total_;
               ++ps.expected_seq;
-              completions += match_one(ctr, std::move(next));
+              completions += match_one(ctr, std::move(next), /*direct=*/false, nullptr);
               continue;
             }
           }
@@ -308,9 +413,25 @@ bool MatchEngine::post(p2p::Request* req) {
     ctr.add(Counter::kUnexpectedQueueDepth, scanned);
 
     if (best != nullptr) {
+      const int consumed_src = static_cast<int>(best->pkt.hdr.src_rank);
       deliver(ctr, req, best->pkt);
       best_ps->unexpected.erase(best);
       unexpected_pool_.release(best);
+      note_unexpected_sub(*best_ps);
+      // kQueue re-admission: unlatch once the peer drained to the low
+      // watermark (hysteresis — not at cap-1, or the latch would flap).
+      if (best_ps->paused && gov_ != nullptr) {
+        const overload::Limits& lim = gov_->limits();
+        if (best_ps->unexpected_n * 100 <=
+            static_cast<std::size_t>(lim.low_pct) * lim.unexpected_cap) {
+          best_ps->paused = false;
+          gov_->resume_peer();
+          if (tracer_ != nullptr) {
+            tracer_->record(trace::Event::kOverloadPause,
+                            static_cast<std::uint32_t>(consumed_src), 0);
+          }
+        }
+      }
       matched = true;
     } else if (src != p2p::kAnySource && peer(src).dead) {
       // ft fail-fast: nothing matchable remains from a confirmed-dead
@@ -323,10 +444,23 @@ bool MatchEngine::post(p2p::Request* req) {
       matched = true;  // completed immediately, albeit with an error
     } else {
       req->post_stamp = post_stamp_++;
+      // Route cancels through this engine while the request is linked
+      // (cancel-vs-match settles under lock_, exactly once). Installed
+      // before the request becomes matchable; the caller still holds it.
+      req->set_cancel_scope(this);
       if (src == p2p::kAnySource) {
         posted_any_.push_back(req);
       } else {
         peer(src).posted.push_back(req);
+      }
+      // Deadline gate: keep next_deadline_ a lower bound for every posted
+      // deadline so expire_deadlines costs one relaxed load when idle.
+      const std::uint64_t dl = req->deadline();
+      if (dl != 0) {
+        std::uint64_t cur = next_deadline_.load(std::memory_order_relaxed);
+        while (dl < cur && !next_deadline_.compare_exchange_weak(
+                               cur, dl, std::memory_order_relaxed)) {
+        }
       }
     }
   }
@@ -424,11 +558,75 @@ std::size_t MatchEngine::fail_all_posted() {
   return failed;
 }
 
+std::size_t MatchEngine::expire_deadlines(std::uint64_t now_ns) {
+  // One relaxed load answers the common case: nothing posted has a
+  // deadline, or the earliest one is still in the future.
+  // lint: allow(relaxed-sync) sweep-cadence gate only; authoritative state is under lock_
+  if (next_deadline_.load(std::memory_order_relaxed) > now_ns) return 0;
+
+  LockGuard guard(lock_);
+  auto ctr = spc_.cursor();
+  std::uint64_t next = ~std::uint64_t{0};
+  std::size_t expired = 0;
+  const auto sweep = [&](PostedList& list) {
+    p2p::Request* r = list.front();
+    while (r != nullptr) {
+      p2p::Request* nxt = PostedList::next(r);
+      const std::uint64_t dl = r->deadline();
+      if (dl != 0 && dl <= now_ns) {
+        list.erase(r);
+        if (r->fail(common::ErrorCode::kDeadlineExceeded)) {
+          ctr.add(Counter::kDeadlineExceededOps);
+          if (tracer_ != nullptr) {
+            tracer_->record(trace::Event::kDeadline,
+                            static_cast<std::uint32_t>(r->source_filter() + 1),
+                            static_cast<std::uint32_t>(r->tag_filter()));
+          }
+          ++expired;
+        }
+      } else if (dl != 0 && dl < next) {
+        next = dl;
+      }
+      r = nxt;
+    }
+  };
+  for (auto& ps : peers_) sweep(ps.posted);
+  sweep(posted_any_);
+  next_deadline_.store(next, std::memory_order_relaxed);
+  return expired;
+}
+
+bool MatchEngine::cancel_request(p2p::Request* req) {
+  const int src = req->source_filter();
+  FAIRMPI_CHECK_MSG(src == p2p::kAnySource ||
+                        (src >= 0 && src < static_cast<int>(peers_.size())),
+                    "cancel of a request this engine never posted");
+  LockGuard guard(lock_);
+  auto ctr = spc_.cursor();
+  // Settle only while the request is verifiably still linked: a matcher
+  // that consumed it (under this same lock) already owns the completion,
+  // and a cancel must never turn a delivered message into a lost one.
+  PostedList& list = src == p2p::kAnySource ? posted_any_ : peer(src).posted;
+  for (p2p::Request* r = list.front(); r != nullptr; r = PostedList::next(r)) {
+    if (r != req) continue;
+    list.erase(req);
+    if (req->fail(common::ErrorCode::kCancelled)) {
+      ctr.add(Counter::kCancelledOps);
+      if (tracer_ != nullptr) {
+        tracer_->record(trace::Event::kCancel,
+                        static_cast<std::uint32_t>(src + 1),
+                        static_cast<std::uint32_t>(req->tag_filter()));
+      }
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
 std::size_t MatchEngine::unexpected_count() const noexcept {
   LockGuard guard(lock_);
-  std::size_t n = 0;
-  for (const auto& ps : peers_) n += ps.unexpected.size();
-  return n;
+  return unexpected_total_;
 }
 
 std::size_t MatchEngine::reorder_buffered() const noexcept {

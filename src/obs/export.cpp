@@ -211,11 +211,37 @@ void Universe::dump_observability(std::ostream& os) const {
       }
       os << "]}";
     }
+    os << ", \"overload\": ";
+    // Overload-control view (§5h; null when no cap is configured): the
+    // degradation level, latched-paused peer count, and the active limits
+    // so a report is self-describing.
+    const overload::Governor& gov = rank.governor();
+    if (!gov.enabled()) {
+      os << "null";
+    } else {
+      const overload::Limits& lim = gov.limits();
+      os << "{\"level\": \"" << overload::level_name(gov.level())
+         << "\", \"paused_peers\": " << gov.paused_peers()
+         << ", \"unexpected_cap\": " << lim.unexpected_cap
+         << ", \"unexpected_policy\": \"" << overload::policy_name(lim.unexpected_policy)
+         << "\", \"pool_cap_bytes\": " << lim.pool_cap_bytes
+         << ", \"pool_policy\": \"" << overload::policy_name(lim.pool_policy)
+         << "\", \"tracker_cap\": " << lim.tracker_cap
+         << ", \"tracker_policy\": \"" << overload::policy_name(lim.tracker_policy)
+         << "\", \"high_pct\": " << lim.high_pct << ", \"low_pct\": " << lim.low_pct
+         << "}";
+    }
     os << ", \"spc\": ";
     emit_spc(os, rank.counters().snapshot(), "    ");
     os << "}";
   }
   os << "\n  ],\n";
+
+  // Process-global payload-pool accounting (§5h): shared by every rank in
+  // the process, so it reports once, not per rank.
+  const fabric::PayloadPoolStats pool_stats = fabric::payload_pool_stats();
+  os << "  \"payload_pool\": {\"in_use_bytes\": " << pool_stats.in_use_bytes
+     << ", \"high_water_bytes\": " << pool_stats.high_water_bytes << "},\n";
 
   os << "  \"spc_total\": ";
   emit_spc(os, aggregate_counters(), "  ");

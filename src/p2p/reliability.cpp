@@ -55,6 +55,18 @@ void ReliabilityTracker::untrack(const PacketKey& key) {
   }
 }
 
+bool ReliabilityTracker::nack(const PacketKey& key, Failure* out) {
+  LockGuard guard(lock_);
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return false;
+  if (out != nullptr) {
+    *out = Failure{key, it->second.retries, common::ErrorCode::kReceiverOverloaded};
+  }
+  inflight_.erase(it);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
 void ReliabilityTracker::sweep(std::uint64_t now_ns, std::vector<Resend>& resends,
                                std::vector<Failure>& failures) {
   LockGuard guard(lock_);

@@ -15,7 +15,7 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
                              const void* buf, std::size_t n, Request& req,
                              const SendPolicy& policy) {
   FAIRMPI_CHECK_MSG(tag >= 0, "negative tags are reserved (wildcards/internal)");
-  req.init_send();
+  req.init_send(policy.deadline_ns);
 
   const auto dst_dead = [&]() {
     return policy.peer_failed != nullptr &&
@@ -25,6 +25,87 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
     counters.add(Counter::kFtPeerFailedOps);
     req.fail(common::ErrorCode::kPeerFailed);
     return common::ErrorCode::kPeerFailed;
+  }
+
+  const auto make_progress = [&]() -> std::size_t {
+    return policy.progress != nullptr ? policy.progress(policy.progress_user)
+                                      : engine.progress();
+  };
+  const auto expired = [&]() {
+    return policy.deadline_ns != 0 && now_ns() >= policy.deadline_ns;
+  };
+
+  std::uint64_t attempts = 0;
+  // Adaptive spin-then-backoff (SNIPPETS.md §1 idiom) instead of the old
+  // fixed SpinWait: backpressure waits are holder-length-unknown, so the
+  // probe cadence should stretch while the backlog persists and snap back
+  // on any progress.
+  common::Backoff waiter;
+
+  // One iteration of any wait loop: charge the retry budget, escape typed
+  // on peer death / external cancel / deadline expiry, otherwise progress
+  // and back off. `tracked` non-null = the packet is in the reliability
+  // table and an abandoned send must untrack it (it never reached the
+  // wire from this loop's point of view; a clone a concurrent sweep
+  // already re-injected is at-least-once semantics as usual).
+  const auto wait_tick = [&](const PacketKey* tracked) -> common::ErrorCode {
+    counters.add(Counter::kSendBackpressure);
+    if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
+      if (tracked != nullptr) policy.tracker->untrack(*tracked);
+      if (req.fail(common::ErrorCode::kSendBudgetExhausted)) {
+        counters.add(Counter::kReliabilityErrors);
+      }
+      return common::ErrorCode::kSendBudgetExhausted;
+    }
+    if (dst_dead()) {
+      if (tracked != nullptr) policy.tracker->untrack(*tracked);
+      counters.add(Counter::kFtPeerFailedOps);
+      req.fail(common::ErrorCode::kPeerFailed);
+      return common::ErrorCode::kPeerFailed;
+    }
+    if (req.done()) {
+      // Another thread settled the request under us — Request::cancel().
+      if (tracked != nullptr) policy.tracker->untrack(*tracked);
+      return req.error();
+    }
+    if (expired()) {
+      if (tracked != nullptr) policy.tracker->untrack(*tracked);
+      if (req.fail(common::ErrorCode::kDeadlineExceeded)) {
+        counters.add(Counter::kDeadlineExceededOps);
+      }
+      return common::ErrorCode::kDeadlineExceeded;
+    }
+    if (make_progress() == 0) waiter.pause(); else waiter.reset();
+    return common::ErrorCode::kOk;
+  };
+
+  // Sender-side overload admission (DESIGN.md §5h), consulted before the
+  // sequence number is ticketed so a refused send never leaves a hole in
+  // the peer's ordered stream. Uncapped configurations pay one branch.
+  if (policy.governor != nullptr && policy.governor->enabled()) {
+    const overload::Limits& lim = policy.governor->limits();
+    if (lim.pool_cap_bytes != 0) {
+      while (policy.governor->pool_at_cap(fabric::payload_pool_stats().in_use_bytes)) {
+        if (lim.pool_policy == overload::Policy::kShed) {
+          req.fail(common::ErrorCode::kLocalOverloaded);
+          return common::ErrorCode::kLocalOverloaded;
+        }
+        const common::ErrorCode rc = wait_tick(nullptr);
+        if (rc != common::ErrorCode::kOk) return rc;
+      }
+      waiter.reset();
+    }
+    if (lim.tracker_cap != 0 && policy.tracker != nullptr) {
+      while (policy.governor->tracker_at_cap(policy.tracker->in_flight())) {
+        if (lim.tracker_policy == overload::Policy::kShed) {
+          req.fail(common::ErrorCode::kLocalOverloaded);
+          return common::ErrorCode::kLocalOverloaded;
+        }
+        const common::ErrorCode rc = wait_tick(nullptr);
+        if (rc != common::ErrorCode::kOk) return rc;
+      }
+      waiter.reset();
+    }
   }
 
   // Sequence ticketing happens before resource acquisition, as in OB1. Two
@@ -39,37 +120,14 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
   pkt.hdr.seq = comm.next_seq(dst);
   pkt.set_payload(buf, n);
 
-  const auto make_progress = [&]() -> std::size_t {
-    return policy.progress != nullptr ? policy.progress(policy.progress_user)
-                                      : engine.progress();
-  };
-
-  std::uint64_t attempts = 0;
-  // Adaptive spin-then-backoff (SNIPPETS.md §1 idiom) instead of the old
-  // fixed SpinWait: backpressure waits are holder-length-unknown, so the
-  // probe cadence should stretch while the backlog persists and snap back
-  // on any progress.
-  common::Backoff waiter;
-
   // Send-window gate: block (progressing, so acks keep flowing both ways)
   // while the unacked backlog is at the window. Charged against the same
   // retry budget as ring backpressure — a peer that never acks is the same
   // livelock as a peer that never drains.
   if (policy.tracker != nullptr && policy.window != 0) {
     while (policy.tracker->in_flight() >= policy.window) {
-      counters.add(Counter::kSendBackpressure);
-      if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
-        if (req.fail(common::ErrorCode::kSendBudgetExhausted)) {
-          counters.add(Counter::kReliabilityErrors);
-        }
-        return common::ErrorCode::kSendBudgetExhausted;
-      }
-      if (dst_dead()) {
-        counters.add(Counter::kFtPeerFailedOps);
-        req.fail(common::ErrorCode::kPeerFailed);
-        return common::ErrorCode::kPeerFailed;
-      }
-      if (make_progress() == 0) waiter.pause(); else waiter.reset();
+      const common::ErrorCode rc = wait_tick(nullptr);
+      if (rc != common::ErrorCode::kOk) return rc;
     }
     waiter.reset();
   }
@@ -96,28 +154,10 @@ common::ErrorCode eager_send(CommState& comm, cri::CriPool& pool,
     // make progress on our own resources (the peer may be blocked on *our*
     // ring in a bidirectional flood), then retry — spinning while young,
     // yielding once saturated so a descheduled peer can run.
-    counters.add(Counter::kSendBackpressure);
-    if (policy.retry_limit != 0 && ++attempts >= policy.retry_limit) {
-      // Graceful degradation: the peer never drained its ring within the
-      // budget. Surface a typed error instead of livelocking the sender.
-      if (policy.tracker != nullptr) {
-        policy.tracker->untrack(key_of(dst, pkt.hdr));
-      }
-      if (req.fail(common::ErrorCode::kSendBudgetExhausted)) {
-        counters.add(Counter::kReliabilityErrors);
-      }
-      return common::ErrorCode::kSendBudgetExhausted;
-    }
-    if (dst_dead()) {
-      // Confirmed dead mid-backpressure: the ring will never drain.
-      if (policy.tracker != nullptr) {
-        policy.tracker->untrack(key_of(dst, pkt.hdr));
-      }
-      counters.add(Counter::kFtPeerFailedOps);
-      req.fail(common::ErrorCode::kPeerFailed);
-      return common::ErrorCode::kPeerFailed;
-    }
-    if (make_progress() == 0) waiter.pause(); else waiter.reset();
+    const PacketKey key = key_of(dst, pkt.hdr);
+    const common::ErrorCode rc =
+        wait_tick(policy.tracker != nullptr ? &key : nullptr);
+    if (rc != common::ErrorCode::kOk) return rc;
   }
 
   counters.add(Counter::kMessagesSent);

@@ -277,13 +277,13 @@ void Window::unlock(int target) {
   }
 }
 
-bool WindowGroup::fence_arrive(Rank& self) {
+common::ErrorCode WindowGroup::fence_arrive(Rank& self, std::uint64_t deadline_ns) {
   const int n = num_ranks();
   const int gen = fence_generation_.load(std::memory_order_acquire);
   if (fence_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
     fence_arrived_.store(0, std::memory_order_relaxed);
     fence_generation_.store(gen + 1, std::memory_order_release);
-    return true;
+    return common::ErrorCode::kOk;
   }
   SpinWait waiter;
   while (fence_generation_.load(std::memory_order_acquire) == gen) {
@@ -292,23 +292,40 @@ bool WindowGroup::fence_arrive(Rank& self) {
     // per-iteration atomic loads only, and always false with ft off (the
     // detector never confirms anyone), preserving the pure-spin behaviour.
     for (int r = 0; r < n; ++r) {
-      if (r != self.id() && self.peer_failed(r)) return false;
+      if (r != self.id() && self.peer_failed(r)) {
+        return common::ErrorCode::kPeerFailed;
+      }
+    }
+    // Deadline escape (§5h): a straggler-stuck fence fails typed instead
+    // of hanging. The abandoned arrival leaves the barrier broken — this
+    // is an exit ramp, not a recoverable timeout.
+    if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+      return common::ErrorCode::kDeadlineExceeded;
     }
     waiter.pause();
   }
-  return true;
+  return common::ErrorCode::kOk;
 }
 
-void Window::fence() {
+void Window::fence() { (void)fence_checked(); }
+
+common::ErrorCode Window::fence_checked() {
   // Complete our outbound operations (all threads of this rank), then
   // rendezvous with every rank so all inbound operations are complete too
   // before anyone proceeds.
   flush_process();
-  if (!group_->fence_arrive(*rank_)) {
+  const std::uint64_t rel = rank_->universe().config().op_deadline_ns;
+  const common::ErrorCode ec =
+      group_->fence_arrive(*rank_, rel == 0 ? 0 : now_ns() + rel);
+  if (ec == common::ErrorCode::kPeerFailed) {
     rank_->counters().add(Counter::kFtPeerFailedOps);
-    rank_->report_error(common::Error{common::ErrorCode::kPeerFailed,
-                                      rank_->id(), /*peer=*/-1, window_key_});
+  } else if (ec == common::ErrorCode::kDeadlineExceeded) {
+    rank_->counters().add(Counter::kDeadlineExceededOps);
   }
+  if (ec != common::ErrorCode::kOk) {
+    rank_->report_error(common::Error{ec, rank_->id(), /*peer=*/-1, window_key_});
+  }
+  return ec;
 }
 
 }  // namespace fairmpi::rma

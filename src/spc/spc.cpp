@@ -45,6 +45,15 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kFtDeaths: return "FtDeaths";
     case Counter::kFtPeerFailedOps: return "FtPeerFailedOps";
     case Counter::kFtRevokedOps: return "FtRevokedOps";
+    case Counter::kOverloadShedMessages: return "OverloadShedMessages";
+    case Counter::kOverloadNacksSent: return "OverloadNacksSent";
+    case Counter::kOverloadNacksReceived: return "OverloadNacksReceived";
+    case Counter::kOverloadPausedPeers: return "OverloadPausedPeers";
+    case Counter::kOverloadLevelChanges: return "OverloadLevelChanges";
+    case Counter::kOverloadPoolPeak: return "OverloadPoolPeak";
+    case Counter::kCancelledOps: return "CancelledOps";
+    case Counter::kDeadlineExceededOps: return "DeadlineExceededOps";
+    case Counter::kQuiesceTimeouts: return "QuiesceTimeouts";
     case Counter::kCount: break;
   }
   return "Unknown";

@@ -33,7 +33,17 @@ EXPECTED_EVENT_NAMES = {
     "Send", "RecvPost", "RecvDone", "Progress", "RmaPut", "RmaGet", "RmaFlush",
     "RndvRts", "RndvDone", "Retransmit", "WatchdogStall",
     "AckSent", "AckRecv", "CsumDrop", "CriDrain",
+    "OverloadShed", "OverloadLevel", "OverloadPause", "Cancel", "Deadline",
 }
+
+# Overload-control SPCs (DESIGN.md §5h): --report fails if a snapshot's
+# spc_total is missing any of these — exporter/schema drift would otherwise
+# silently blind the memory-pressure chaos job's accounting.
+OVERLOAD_SPC_NAMES = (
+    "OverloadShedMessages", "OverloadNacksSent", "OverloadNacksReceived",
+    "OverloadPausedPeers", "OverloadLevelChanges", "OverloadPoolPeak",
+    "CancelledOps", "DeadlineExceededOps", "QuiesceTimeouts",
+)
 
 
 def fail(msg: str) -> None:
@@ -223,8 +233,44 @@ def report_obs(path: str, require_wait: list[str]) -> None:
              "flush-hist(1/2/4/8/16/32/33+)"],
             submit_rows))
 
+    # --- overload control (DESIGN.md §5h) ---
+    # Older snapshots (pre-§5h) have no overload/payload_pool keys; the
+    # per-rank view is null when no cap is configured.
+    overload_rows = []
+    for rank in doc["ranks"]:
+        ov = rank.get("overload")
+        if ov is None:
+            continue
+        spc = rank.get("spc", {})
+        overload_rows.append([
+            f"r{rank['rank']}", ov["level"], str(ov["paused_peers"]),
+            f"{ov['unexpected_cap']}/{ov['unexpected_policy']}",
+            f"{ov['pool_cap_bytes']}/{ov['pool_policy']}",
+            f"{ov['tracker_cap']}/{ov['tracker_policy']}",
+            str(spc.get("OverloadShedMessages", 0)),
+            str(spc.get("OverloadNacksSent", 0)),
+            str(spc.get("CancelledOps", 0)),
+            str(spc.get("DeadlineExceededOps", 0)),
+        ])
+    if overload_rows:
+        print("overload control (per capped rank):")
+        print(render_table(
+            ["rank", "level", "paused", "unexp-cap", "pool-cap", "trk-cap",
+             "shed", "nacks", "cancels", "deadlines"],
+            overload_rows))
+        pool = doc.get("payload_pool", {})
+        print(f"  payload_pool: in_use={pool.get('in_use_bytes')}B "
+              f"high_water={pool.get('high_water_bytes')}B")
+        print()
+
     # --- requirements ---
     failures = []
+    # Schema-drift guard: a snapshot that carries spc_total must carry the
+    # §5h counters — the chaos jobs' accounting depends on them.
+    spc_total = doc.get("spc_total", {})
+    for name in OVERLOAD_SPC_NAMES:
+        if name not in spc_total:
+            failures.append(f"spc_total is missing overload counter {name!r}")
     by_name = {c["name"]: c for c in doc["contention"]}
     for want in require_wait:
         c = by_name.get(want)
