@@ -1,17 +1,29 @@
-// Collective operations over fairmpi communicators (substrate extension:
-// the paper's benchmarks are point-to-point/RMA, but a library a
-// downstream application can adopt needs the collective basics).
+// Multithreaded collective operations over fairmpi communicators.
 //
-// Semantics follow blocking MPI collectives: exactly one thread per rank
-// participates in a given collective call, every rank of the communicator
-// must participate, and at most one collective is in flight per
-// communicator at a time (use distinct communicators for concurrent
-// collectives — cheap here, and exactly the paper's §III-F trick).
+// Tag-parallel concurrency (DESIGN.md §5i): every communicator carries
+// p2p::kMaxCollLanes independent *tag lanes* — disjoint tag blocks inside
+// the reserved space starting at kCollTagBase. Each collective runs
+// entirely inside one lane, so collectives on different lanes never match
+// each other's traffic:
 //
-// Algorithms: binomial trees for broadcast/reduce (log2(n) rounds),
-// reduce+broadcast for allreduce, linear gather/scatter. Internal traffic
-// uses the reserved tag block starting at kCollTagBase, far above user
-// tags.
+//   - N threads on N per-thread communicators (the paper's §III-F trick)
+//     each use lane 0 of their own communicator — fully concurrent.
+//   - Multiple outstanding collectives on ONE communicator use explicit
+//     CollHandle reservations. Lane assignment is lowest-free-bit, so
+//     handles acquired in the same order on every rank agree on the lane
+//     number everywhere — that ordering is the caller's contract, exactly
+//     like the MPI requirement that ranks enter collectives in the same
+//     order. Calls without a handle take a scoped lane internally; with
+//     one collective in flight per communicator (the pre-§5i rule) that
+//     is always lane 0 and nothing changes.
+//
+// Algorithms: binomial trees for broadcast/reduce (log2(n) rounds) with
+// pipelined segmentation above Config::coll_segment_bytes (cvar
+// `coll_segment_bytes`, env FAIRMPI_COLL_SEGMENT_BYTES); allreduce is
+// reduce+broadcast below Config::coll_rsag_min_bytes (cvar
+// `coll_rsag_min_bytes`) and a bandwidth-optimal ring reduce-scatter +
+// allgather at or above it; linear gather/scatter. Segmentation relies on
+// in-order matching and turns itself off under allow_overtaking.
 //
 // Failure tolerance (DESIGN.md §5g): every collective returns a typed
 // common::ErrorCode. kOk on success; kPeerFailed when a partner rank died
@@ -20,30 +32,57 @@
 // complete — output buffers may be partially written and the communicator
 // should be revoked (then shrunk) before further use, since other ranks may
 // be stranded mid-tree. Callers that predate ft can keep ignoring the
-// return value: with ft off the codes can never occur.
+// return value: with ft off the codes can never occur. Every internal
+// round honours Config::op_deadline_ns with ONE deadline computed at
+// collective entry (the barrier_checked rule).
+//
+// Observability: collectives account kCollOps/kCollRounds/kCollSegments/
+// kCollLane* and per-algorithm SPCs (exported by dump_observability and
+// rendered by tools/obs_report.py) and record a kCollOp trace event.
 #pragma once
 
 #include <cstddef>
 #include <cstring>
-#include <vector>
+#include <type_traits>
 
 #include "fairmpi/common/error.hpp"
 #include "fairmpi/core/universe.hpp"
 
 namespace fairmpi::coll {
 
-/// Reserved tag block for collective traffic (user tags must stay below).
-inline constexpr int kCollTagBase = 1 << 29;
+/// Reserved tag block for collective traffic. User tags must stay below:
+/// Communicator::isend/irecv fail tags >= this typed kReservedTag.
+inline constexpr int kCollTagBase = p2p::kReservedTagBase;
+
+/// Tags consumed per lane (operation offsets within a lane).
+inline constexpr int kCollLaneStride = 8;
+
+/// Concurrent collectives per communicator (one lane each).
+inline constexpr int kMaxCollLanes = p2p::kMaxCollLanes;
 
 enum class ReduceOp { kSum, kMin, kMax };
 
 namespace detail {
 
-inline constexpr int kTagBcast = kCollTagBase + 0;
-inline constexpr int kTagReduce = kCollTagBase + 1;
-inline constexpr int kTagGather = kCollTagBase + 2;
-inline constexpr int kTagScatter = kCollTagBase + 3;
-inline constexpr int kTagAllreduce = kCollTagBase + 4;
+// Per-lane tag offsets. Kept stable so traces are readable: tag =
+// kCollTagBase + lane * kCollLaneStride + offset.
+inline constexpr int kOffBcast = 0;
+inline constexpr int kOffReduce = 1;
+inline constexpr int kOffGather = 2;
+inline constexpr int kOffScatter = 3;
+inline constexpr int kOffAllreduceRs = 4;  ///< ring reduce-scatter phase
+inline constexpr int kOffAllreduceAg = 5;  ///< ring allgather phase
+
+inline constexpr int lane_tag(int lane, int offset) noexcept {
+  return kCollTagBase + lane * kCollLaneStride + offset;
+}
+
+// Back-compat aliases for the pre-lane fixed tags (lane 0).
+inline constexpr int kTagBcast = kCollTagBase + kOffBcast;
+inline constexpr int kTagReduce = kCollTagBase + kOffReduce;
+inline constexpr int kTagGather = kCollTagBase + kOffGather;
+inline constexpr int kTagScatter = kCollTagBase + kOffScatter;
+inline constexpr int kTagAllreduce = kCollTagBase + kOffAllreduceRs;
 
 template <typename T>
 void apply(ReduceOp op, T* acc, const T* in, std::size_t count) {
@@ -61,6 +100,106 @@ void apply(ReduceOp op, T* acc, const T* in, std::size_t count) {
   FAIRMPI_CHECK_MSG(false, "unknown reduce op");
 }
 
+/// Type-erased elementwise reduction, the bridge between the typed public
+/// templates and the byte-level cores in src/coll/coll.cpp.
+using ReduceFn = void (*)(void* acc, const void* in, std::size_t count);
+
+template <typename T>
+ReduceFn reduce_fn(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return [](void* acc, const void* in, std::size_t count) {
+        apply(ReduceOp::kSum, static_cast<T*>(acc), static_cast<const T*>(in), count);
+      };
+    case ReduceOp::kMin:
+      return [](void* acc, const void* in, std::size_t count) {
+        apply(ReduceOp::kMin, static_cast<T*>(acc), static_cast<const T*>(in), count);
+      };
+    case ReduceOp::kMax:
+      return [](void* acc, const void* in, std::size_t count) {
+        apply(ReduceOp::kMax, static_cast<T*>(acc), static_cast<const T*>(in), count);
+      };
+  }
+  FAIRMPI_CHECK_MSG(false, "unknown reduce op");
+  return nullptr;
+}
+
+// Byte-level algorithm cores (src/coll/coll.cpp). `lane` selects the tag
+// lane; element counts are bytes / elem_size.
+common::ErrorCode broadcast_bytes(Communicator comm, int root, void* data,
+                                  std::size_t bytes, int lane);
+common::ErrorCode reduce_bytes(Communicator comm, int root, const void* in, void* out,
+                               std::size_t bytes, std::size_t elem_size, ReduceFn fn,
+                               int lane);
+common::ErrorCode allreduce_bytes(Communicator comm, const void* in, void* out,
+                                  std::size_t bytes, std::size_t elem_size, ReduceFn fn,
+                                  int lane);
+common::ErrorCode gather_bytes(Communicator comm, int root, const void* in,
+                               std::size_t bytes, void* out, int lane);
+common::ErrorCode scatter_bytes(Communicator comm, int root, const void* in, void* out,
+                                std::size_t bytes, int lane);
+
+/// Blocking lane acquire: spins (counting kCollLaneWaits) while all
+/// kMaxCollLanes lanes of the communicator are busy.
+int acquire_lane(Communicator comm);
+void release_lane(Communicator comm, int lane);
+
+}  // namespace detail
+
+/// RAII reservation of one collective tag lane on a communicator, enabling
+/// multiple outstanding collectives per communicator. Concurrency contract:
+/// every rank must acquire its CollHandles for a communicator in the same
+/// order (lowest-free-bit allocation then yields the same lane everywhere),
+/// and each handle must be used by one thread at a time with all ranks
+/// issuing the same collective sequence on it. Blocks while all lanes are
+/// busy; destroying the handle frees the lane.
+class CollHandle {
+ public:
+  explicit CollHandle(Communicator comm)
+      : comm_(comm), lane_(detail::acquire_lane(comm)) {}
+  ~CollHandle() {
+    if (lane_ >= 0) detail::release_lane(comm_, lane_);
+  }
+  CollHandle(const CollHandle&) = delete;
+  CollHandle& operator=(const CollHandle&) = delete;
+  CollHandle(CollHandle&& other) noexcept : comm_(other.comm_), lane_(other.lane_) {
+    other.lane_ = -1;
+  }
+  CollHandle& operator=(CollHandle&&) = delete;
+
+  int lane() const noexcept { return lane_; }
+  Communicator comm() const noexcept { return comm_; }
+
+ private:
+  Communicator comm_;
+  int lane_;
+};
+
+namespace detail {
+
+/// Lane for one collective call: the handle's reservation, or a scoped
+/// acquire for handle-less calls (which yields lane 0 in the classic
+/// one-collective-per-communicator usage).
+class LaneScope {
+ public:
+  LaneScope(Communicator comm, const CollHandle* handle)
+      : comm_(comm),
+        lane_(handle != nullptr ? handle->lane() : acquire_lane(comm)),
+        owned_(handle == nullptr) {}
+  ~LaneScope() {
+    if (owned_) release_lane(comm_, lane_);
+  }
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+
+  int lane() const noexcept { return lane_; }
+
+ private:
+  Communicator comm_;
+  int lane_;
+  bool owned_;
+};
+
 }  // namespace detail
 
 /// Block until every rank of the communicator has entered the barrier (or
@@ -68,36 +207,17 @@ void apply(ReduceOp op, T* acc, const T* in, std::size_t count) {
 inline common::ErrorCode barrier(Communicator comm) { return comm.barrier_checked(); }
 
 /// Broadcast `count` elements from `root`'s `data` to every rank's `data`.
-/// Binomial tree: O(log n) rounds.
+/// Binomial tree, O(log n) rounds; payloads above Config::coll_segment_bytes
+/// are pipelined through the tree in segments.
 template <typename T>
-common::ErrorCode broadcast(Communicator comm, int root, T* data, std::size_t count) {
+common::ErrorCode broadcast(Communicator comm, int root, T* data, std::size_t count,
+                            const CollHandle* handle = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
-  const int me = comm.rank();
   FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid broadcast root");
   if (n == 1) return common::ErrorCode::kOk;
-  const std::size_t bytes = count * sizeof(T);
-
-  // Virtual ranks put the root at 0. A rank receives from the parent that
-  // differs in its lowest set bit, then forwards to children at every
-  // lower bit position (standard binomial broadcast).
-  const int vr = (me - root + n) % n;
-  int mask = 1;
-  while (mask < n && (vr & mask) == 0) mask <<= 1;  // lowest set bit (or >= n at root)
-  if (vr != 0) {
-    const int parent = ((vr - mask) + root) % n;  // clear the lowest set bit
-    const auto rc = comm.recv_checked(parent, detail::kTagBcast, data, bytes);
-    if (rc != common::ErrorCode::kOk) return rc;
-  }
-  mask >>= 1;
-  for (; mask > 0; mask >>= 1) {
-    if (vr + mask < n) {
-      const int child = (vr + mask + root) % n;
-      const auto rc = comm.send_checked(child, detail::kTagBcast, data, bytes);
-      if (rc != common::ErrorCode::kOk) return rc;
-    }
-  }
-  return common::ErrorCode::kOk;
+  detail::LaneScope lane(comm, handle);
+  return detail::broadcast_bytes(comm, root, data, count * sizeof(T), lane.lane());
 }
 
 /// Reduce `count` elements from every rank's `in` into `root`'s `out`
@@ -105,99 +225,74 @@ common::ErrorCode broadcast(Communicator comm, int root, T* data, std::size_t co
 /// written at the root (may be null elsewhere).
 template <typename T>
 common::ErrorCode reduce(Communicator comm, int root, const T* in, T* out,
-                         std::size_t count, ReduceOp op) {
+                         std::size_t count, ReduceOp op,
+                         const CollHandle* handle = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
-  const int me = comm.rank();
   FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid reduce root");
-  const std::size_t bytes = count * sizeof(T);
-
-  std::vector<T> acc(in, in + count);
-  std::vector<T> incoming(count);
-  const int vr = (me - root + n) % n;
-  // Combine children (who differ from us in one higher bit), lowest
-  // distance first; then forward the partial result to the parent.
-  for (int mask = 1; mask < n; mask <<= 1) {
-    if ((vr & mask) == 0) {
-      if (vr + mask < n) {
-        const int child = (vr + mask + root) % n;
-        const auto rc = comm.recv_checked(child, detail::kTagReduce, incoming.data(), bytes);
-        if (rc != common::ErrorCode::kOk) return rc;
-        detail::apply(op, acc.data(), incoming.data(), count);
-      }
-    } else {
-      const int parent = ((vr ^ mask) + root) % n;
-      const auto rc = comm.send_checked(parent, detail::kTagReduce, acc.data(), bytes);
-      if (rc != common::ErrorCode::kOk) return rc;
-      break;
-    }
-  }
-  if (me == root) {
+  if (comm.rank() == root) {
     FAIRMPI_CHECK_MSG(out != nullptr, "reduce root needs an output buffer");
-    std::memcpy(out, acc.data(), bytes);
   }
-  return common::ErrorCode::kOk;
+  if (n == 1) {
+    std::memcpy(out, in, count * sizeof(T));
+    return common::ErrorCode::kOk;
+  }
+  detail::LaneScope lane(comm, handle);
+  return detail::reduce_bytes(comm, root, in, out, count * sizeof(T), sizeof(T),
+                              detail::reduce_fn<T>(op), lane.lane());
 }
 
-/// Allreduce = reduce to rank 0 + broadcast. `out` is written everywhere.
+/// Allreduce: `out` is written everywhere. Reduce+broadcast below
+/// Config::coll_rsag_min_bytes, ring reduce-scatter + allgather above.
 template <typename T>
 common::ErrorCode allreduce(Communicator comm, const T* in, T* out, std::size_t count,
-                            ReduceOp op) {
-  common::ErrorCode rc;
-  if (comm.rank() == 0) {
-    rc = reduce(comm, 0, in, out, count, op);
-  } else {
-    std::vector<T> scratch(count);
-    rc = reduce(comm, 0, in, scratch.data(), count, op);
+                            ReduceOp op, const CollHandle* handle = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (comm.size() == 1) {
+    std::memcpy(out, in, count * sizeof(T));
+    return common::ErrorCode::kOk;
   }
-  if (rc != common::ErrorCode::kOk) return rc;
-  return broadcast(comm, 0, out, count);
+  detail::LaneScope lane(comm, handle);
+  return detail::allreduce_bytes(comm, in, out, count * sizeof(T), sizeof(T),
+                                 detail::reduce_fn<T>(op), lane.lane());
 }
 
 /// Gather `count` elements from every rank into `root`'s `out`
 /// (rank i's block lands at out + i*count). Linear.
 template <typename T>
 common::ErrorCode gather(Communicator comm, int root, const T* in, std::size_t count,
-                         T* out) {
+                         T* out, const CollHandle* handle = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
-  const int me = comm.rank();
-  const std::size_t bytes = count * sizeof(T);
-  if (me == root) {
+  FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid gather root");
+  if (comm.rank() == root) {
     FAIRMPI_CHECK_MSG(out != nullptr, "gather root needs an output buffer");
-    std::memcpy(out + static_cast<std::size_t>(me) * count, in, bytes);
-    for (int r = 0; r < n; ++r) {
-      if (r == root) continue;
-      const auto rc = comm.recv_checked(
-          r, detail::kTagGather, out + static_cast<std::size_t>(r) * count, bytes);
-      if (rc != common::ErrorCode::kOk) return rc;
-    }
+  }
+  if (n == 1) {
+    std::memcpy(out, in, count * sizeof(T));
     return common::ErrorCode::kOk;
   }
-  return comm.send_checked(root, detail::kTagGather, in, bytes);
+  detail::LaneScope lane(comm, handle);
+  return detail::gather_bytes(comm, root, in, count * sizeof(T), out, lane.lane());
 }
 
 /// Scatter `count` elements per rank from `root`'s `in` (rank i's block at
 /// in + i*count) into every rank's `out`. Linear.
 template <typename T>
 common::ErrorCode scatter(Communicator comm, int root, const T* in, T* out,
-                          std::size_t count) {
+                          std::size_t count, const CollHandle* handle = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int n = comm.size();
-  const int me = comm.rank();
-  const std::size_t bytes = count * sizeof(T);
-  if (me == root) {
+  FAIRMPI_CHECK_MSG(root >= 0 && root < n, "invalid scatter root");
+  if (comm.rank() == root) {
     FAIRMPI_CHECK_MSG(in != nullptr, "scatter root needs an input buffer");
-    for (int r = 0; r < n; ++r) {
-      if (r == root) continue;
-      const auto rc = comm.send_checked(
-          r, detail::kTagScatter, in + static_cast<std::size_t>(r) * count, bytes);
-      if (rc != common::ErrorCode::kOk) return rc;
-    }
-    std::memcpy(out, in + static_cast<std::size_t>(me) * count, bytes);
+  }
+  if (n == 1) {
+    std::memcpy(out, in, count * sizeof(T));
     return common::ErrorCode::kOk;
   }
-  return comm.recv_checked(root, detail::kTagScatter, out, bytes);
+  detail::LaneScope lane(comm, handle);
+  return detail::scatter_bytes(comm, root, in, out, count * sizeof(T), lane.lane());
 }
 
 }  // namespace fairmpi::coll

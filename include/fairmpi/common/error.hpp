@@ -31,6 +31,7 @@ enum class ErrorCode : std::uint8_t {
   kCancelled,             ///< request cancelled by the application
   kDeadlineExceeded,      ///< per-op deadline expired before completion
   kQuiesceTimeout,        ///< quiesce gave up with backlog still pending
+  kReservedTag,           ///< user op posted a tag inside the reserved block
 };
 
 inline const char* error_code_name(ErrorCode c) noexcept {
@@ -47,6 +48,7 @@ inline const char* error_code_name(ErrorCode c) noexcept {
     case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ErrorCode::kQuiesceTimeout: return "QuiesceTimeout";
+    case ErrorCode::kReservedTag: return "ReservedTag";
   }
   return "Unknown";
 }

@@ -163,6 +163,21 @@ struct Config {
   /// collective) as now + this many ns; 0 = no deadline. Explicit
   /// Request::set_deadline on an individual op overrides.
   std::uint64_t op_deadline_ns = 0;
+
+  // --- collectives (DESIGN.md §5i) ---
+
+  /// Pipeline segment size for large-payload broadcast/reduce trees: a
+  /// payload strictly larger than this is cut into segments of this many
+  /// bytes so interior tree nodes forward segment k while receiving k+1.
+  /// 0 disables segmentation. Ignored (single-shot) with allow_overtaking,
+  /// which drops the in-order matching the pipeline relies on.
+  std::size_t coll_segment_bytes = 32 * 1024;
+
+  /// Smallest payload routed to the reduce-scatter + allgather (ring)
+  /// allreduce; below it the latency-bound reduce+broadcast binomial pair
+  /// wins. ~0 (the default here is bytes) — 0 sends everything through the
+  /// ring, a large value keeps everything binomial.
+  std::size_t coll_rsag_min_bytes = 4096;
 };
 
 }  // namespace fairmpi

@@ -83,6 +83,11 @@ class Communicator {
   /// kDeadlineExceeded once the deadline passes without completion. The
   /// deadline must ride in here — not be attached after the fact — so it
   /// is set before the request becomes visible to the engine.
+  ///
+  /// Tags at or above p2p::kReservedTagBase belong to the engine
+  /// (collective lanes, barrier rounds): posting one here settles the
+  /// request typed kReservedTag instead of silently colliding with
+  /// collective traffic. Engine internals bypass via the Rank-level ops.
   void isend(int dst, int tag, const void* buf, std::size_t n, Request& req,
              std::uint64_t deadline_ns = 0);
   void irecv(int src, int tag, void* buf, std::size_t capacity, Request& req,
@@ -107,9 +112,22 @@ class Communicator {
   /// failure mode this PR exists to remove (DESIGN.md §5g).
   common::ErrorCode barrier_checked();
 
- private:
+  /// The endpoint Rank behind this handle — substrate access (the coll
+  /// subsystem routes its reserved-tag traffic through the Rank-level ops,
+  /// which the reserved-tag guard above does not apply to). No new power:
+  /// Universe::rank() already hands out every Rank.
+  Rank& owner() const noexcept { return *rank_; }
+
   /// Group-local -> global translation (identity on world-spanning comms).
+  /// Public for substrates (coll) that address Rank-level ops, which speak
+  /// global ids.
   int global_of(int local) const noexcept;
+
+ private:
+  /// The reserved-tag guard body: settles `req` typed kReservedTag and
+  /// reports to the error sink when `tag` is inside the engine block.
+  /// Returns true when the op was rejected.
+  bool reject_reserved_tag(Request& req, int tag, int peer, bool is_send) const;
 
   Rank* rank_;
   CommId id_;
@@ -207,6 +225,7 @@ class Rank final : public progress::PacketSink,
 
  private:
   friend class Universe;
+  friend class Communicator;  ///< report_error for the reserved-tag guard
   friend class rma::Window;  ///< report_error for ft fail-fast RMA ops
   Rank(Universe& uni, int id);
   void install_comm(CommId id, std::vector<int> members = {});

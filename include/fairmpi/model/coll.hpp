@@ -1,0 +1,49 @@
+// Analytic latency model of the §5i collective algorithms.
+//
+// Closed-form LogGP-style estimates (no discrete-event simulation): each
+// algorithm's round structure is walked symbolically and charged per-hop
+// overhead + per-byte bandwidth from the CostModel, plus a serialization
+// term for threads contending on one communicator's matching lock. The
+// point is the *shape* the OSU-MT bench compares against — concurrent
+// collectives on per-thread communicators scale with threads, serialized
+// collectives on one communicator do not — and determinism: identical
+// config => identical nanoseconds, so BENCH_osu_coll_mt.json baselines
+// never jitter on the model series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fairmpi/model/costs.hpp"
+
+namespace fairmpi::model {
+
+/// Which collective algorithm to price.
+enum class CollAlgo {
+  kBinomialBcast,    ///< log2(n) forwarding rounds
+  kPipelinedBcast,   ///< segmented binomial (latency ≈ segs + log2(n) - 1 hops)
+  kBinomialReduce,   ///< log2(n) combine rounds toward the root
+  kReduceBcast,      ///< small allreduce: reduce to 0 + broadcast
+  kRsagAllreduce,    ///< ring reduce-scatter + allgather, 2(n-1) steps
+};
+
+struct CollModelConfig {
+  CostModel costs = alembert();
+  CollAlgo algo = CollAlgo::kBinomialBcast;
+  int ranks = 8;
+  std::uint64_t payload_bytes = 8;
+  std::size_t segment_bytes = 32 * 1024;  ///< pipelined bcast segment size
+  /// Threads issuing collectives at once. comm_per_thread == true models
+  /// the tag-lane design (each thread on its own communicator: matching
+  /// contention only within one tree); false serializes all threads on one
+  /// communicator's matching lock — the baseline the bench's
+  /// Serialized1Comm series measures.
+  int threads = 1;
+  bool comm_per_thread = true;
+};
+
+/// Nanoseconds for one collective to complete across all participants
+/// under `threads` concurrent issuers. Deterministic.
+double coll_latency_ns(const CollModelConfig& cfg);
+
+}  // namespace fairmpi::model

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,17 @@ using CommId = std::uint32_t;
 
 /// Id of the predefined world communicator.
 inline constexpr CommId kWorldComm = 0;
+
+/// First tag of the engine-reserved block. User traffic posted through the
+/// Communicator API must stay strictly below; collective tag lanes
+/// (coll::kCollTagBase == this) and the dissemination barrier (1 << 30)
+/// both live above it, and Communicator::isend/irecv refuse user tags in
+/// the block with a typed kReservedTag failure (silent collision with
+/// collective traffic was the alternative).
+inline constexpr int kReservedTagBase = 1 << 29;
+
+/// Concurrent collective tag lanes per communicator (one bitmap word).
+inline constexpr int kMaxCollLanes = 64;
 
 class CommState {
  public:
@@ -66,6 +78,30 @@ class CommState {
     return -1;
   }
 
+  // --- collective tag lanes (DESIGN.md §5i) ---
+
+  /// Claim the lowest free collective lane; -1 when all kMaxCollLanes are
+  /// busy. Lowest-free-bit allocation is what makes lane agreement across
+  /// ranks deterministic: when every rank acquires handles in the same
+  /// order, each acquisition yields the same lane number everywhere.
+  int try_acquire_coll_lane() noexcept {
+    std::uint64_t cur = coll_lanes_.load(std::memory_order_relaxed);
+    while (~cur != 0) {
+      const int lane = std::countr_one(cur);
+      if (coll_lanes_.compare_exchange_weak(cur, cur | (std::uint64_t{1} << lane),
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+        return lane;
+      }
+    }
+    return -1;
+  }
+
+  /// Release a lane claimed by try_acquire_coll_lane.
+  void release_coll_lane(int lane) noexcept {
+    coll_lanes_.fetch_and(~(std::uint64_t{1} << lane), std::memory_order_release);
+  }
+
   // --- ft revocation (ULFM MPI_Comm_revoke analog) ---
 
   /// Once revoked, every subsequent operation on this communicator fails
@@ -83,6 +119,9 @@ class CommState {
   std::vector<Padded<std::atomic<std::uint32_t>>> send_seq_;
   std::vector<int> members_;  ///< global ranks in local order; immutable
   std::atomic<bool> revoked_{false};
+  /// Collective lane bitmap (bit set = lane busy). Lock-free: acquire is a
+  /// lowest-clear-bit CAS, release a fetch_and — no rank in the lock order.
+  std::atomic<std::uint64_t> coll_lanes_{0};
 };
 
 }  // namespace fairmpi::p2p

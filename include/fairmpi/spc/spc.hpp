@@ -77,6 +77,15 @@ enum class Counter : int {
   kCancelledOps,           ///< requests settled kCancelled
   kDeadlineExceededOps,    ///< requests settled kDeadlineExceeded
   kQuiesceTimeouts,        ///< quiesce calls that gave up with backlog
+  kCollOps,                ///< collective operations entered (any algorithm)
+  kCollRounds,             ///< tree/ring rounds executed across collectives
+  kCollSegments,           ///< pipeline segments sent (segmented algorithms)
+  kCollLaneAcquires,       ///< collective tag lanes acquired
+  kCollLaneWaits,          ///< lane acquisitions that had to spin for a free lane
+  kCollBinomialOps,        ///< collectives run with the binomial-tree algorithm
+  kCollRsagOps,            ///< allreduces run as reduce-scatter + allgather
+  kCollPipelinedOps,       ///< collectives run with pipelined segmentation
+  kReservedTagRejects,     ///< user ops refused for a tag in the reserved block
   kCount
 };
 

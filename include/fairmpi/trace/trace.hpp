@@ -47,6 +47,7 @@ enum class Event : std::uint8_t {
   kOverloadPause,  ///< a = peer rank, b = 1 paused / 0 resumed (kQueue)
   kCancel,         ///< a = peer rank (+1, 0 = ANY), b = tag
   kDeadline,       ///< a = peer rank (+1, 0 = ANY), b = tag
+  kCollOp,         ///< a = collective op id (coll::detail), b = tag lane
 };
 
 const char* event_name(Event e) noexcept;

@@ -1,0 +1,455 @@
+// Byte-level collective algorithm cores (DESIGN.md §5i).
+//
+// The public templates in coll/coll.hpp erase the element type into
+// (bytes, elem_size, ReduceFn) and dispatch here, so the tree/ring logic
+// compiles once instead of per datatype. All internal traffic runs on the
+// caller's tag lane through the Rank-level ops (the Communicator-level
+// reserved-tag guard does not apply to the engine itself).
+//
+// Error discipline: one deadline per collective computed at entry (the
+// rounds are serial — per-round deadlines would let a collective overrun
+// by rounds×), a revocation check before every round, and on any typed
+// failure every still-outstanding request is cancelled and awaited before
+// returning — a posted receive referencing a stack frame we are about to
+// unwind is the alternative.
+#include "fairmpi/coll/coll.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "fairmpi/common/spinlock.hpp"
+#include "fairmpi/common/timing.hpp"
+
+namespace fairmpi::coll::detail {
+
+namespace {
+
+using common::ErrorCode;
+using spc::Counter;
+
+/// Operation ids recorded in the kCollOp trace event (`a` field).
+enum OpId : std::uint32_t {
+  kOpBcast = 0,
+  kOpReduce = 1,
+  kOpAllreduce = 2,
+  kOpGather = 3,
+  kOpScatter = 4,
+};
+
+/// Posting window for pipelined trees: how many segment receives are kept
+/// posted ahead of consumption. Bounds posted-queue depth (and the match
+/// engine's scan cost) while still overlapping receive s+1 with the
+/// forwarding of segment s.
+constexpr std::size_t kPipelineWindow = 4;
+
+/// Per-collective context: identity, lane, the single entry deadline, and
+/// round/segment accounting flushed to the SPCs on scope exit (any return
+/// path).
+struct Ctx {
+  Communicator comm;
+  Rank& rank;
+  p2p::CommState& cs;
+  const Config& cfg;
+  int lane;
+  std::uint64_t deadline;
+  std::uint64_t rounds = 0;
+  std::uint64_t segments = 0;
+
+  Ctx(Communicator c, int lane_, OpId op)
+      : comm(c),
+        rank(c.owner()),
+        cs(rank.comm_state(c.id())),
+        cfg(rank.universe().config()),
+        lane(lane_) {
+    const std::uint64_t rel = cfg.op_deadline_ns;
+    deadline = rel == 0 ? 0 : now_ns() + rel;
+    rank.counters().add(Counter::kCollOps);
+    rank.tracer().record(trace::Event::kCollOp, op, static_cast<std::uint32_t>(lane_));
+  }
+
+  ~Ctx() {
+    auto spc = rank.counters().cursor();
+    if (rounds != 0) spc.add(Counter::kCollRounds, rounds);
+    if (segments != 0) spc.add(Counter::kCollSegments, segments);
+  }
+
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+
+  bool revoked() const noexcept { return cs.revoked(); }
+
+  int tag(int offset) const noexcept { return lane_tag(lane, offset); }
+
+  // dst/src are group-local; the Rank-level ops speak global ids.
+  void isend(int dst, int offset, const void* buf, std::size_t n, Request& req) {
+    rank.isend(comm.id(), comm.global_of(dst), tag(offset), buf, n, req, deadline);
+  }
+  void irecv(int src, int offset, void* buf, std::size_t capacity, Request& req) {
+    rank.irecv(comm.id(), comm.global_of(src), tag(offset), buf, capacity, req,
+               deadline);
+  }
+
+  ErrorCode wait(Request& req) {
+    rank.wait(req);
+    return req.error();
+  }
+
+  ErrorCode send(int dst, int offset, const void* buf, std::size_t n) {
+    Request req;
+    isend(dst, offset, buf, n, req);
+    return wait(req);
+  }
+  ErrorCode recv(int src, int offset, void* buf, std::size_t capacity) {
+    Request req;
+    irecv(src, offset, buf, capacity, req);
+    return wait(req);
+  }
+
+  /// Error-path cleanup: settle every still-outstanding request before the
+  /// frame that owns it unwinds. Cancel routes through the engine-side
+  /// owner (match engine / rendezvous registry), so a cancel-vs-match race
+  /// settles exactly once; whichever way it lands, wait() then returns.
+  void drain(Request* reqs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reqs[i].done()) (void)reqs[i].cancel();
+    }
+    for (std::size_t i = 0; i < n; ++i) rank.wait(reqs[i]);
+  }
+};
+
+/// Binomial-tree shape for virtual rank `vr` of `n` (root at vr 0):
+/// parent (or -1 at the root) and children in send order.
+struct BinomialTree {
+  int parent = -1;
+  int children[32];
+  int num_children = 0;
+};
+
+BinomialTree binomial_tree(int vr, int n) {
+  BinomialTree t;
+  int mask = 1;
+  while (mask < n && (vr & mask) == 0) mask <<= 1;  // lowest set bit (>= n at root)
+  if (vr != 0) t.parent = vr - mask;                // clear the lowest set bit
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if (vr + mask < n) t.children[t.num_children++] = vr + mask;
+  }
+  return t;
+}
+
+/// Segment count for a payload under the configured segment size; 1 means
+/// single-shot (no pipeline). allow_overtaking drops the in-order matching
+/// the segment streams rely on, so it forces single-shot.
+std::size_t segment_count(const Ctx& ctx, std::size_t bytes) {
+  const std::size_t seg = ctx.cfg.coll_segment_bytes;
+  if (seg == 0 || bytes <= seg || ctx.cfg.allow_overtaking) return 1;
+  return (bytes + seg - 1) / seg;
+}
+
+}  // namespace
+
+int acquire_lane(Communicator comm) {
+  Rank& rank = comm.owner();
+  p2p::CommState& cs = rank.comm_state(comm.id());
+  int lane = cs.try_acquire_coll_lane();
+  if (lane < 0) {
+    // All lanes busy: another thread's collective must retire first. Count
+    // the contention once, then spin-progress — lanes free without any
+    // network event, but progressing keeps the collectives that hold them
+    // moving.
+    rank.counters().add(Counter::kCollLaneWaits);
+    SpinWait waiter;
+    while ((lane = cs.try_acquire_coll_lane()) < 0) {
+      rank.progress();
+      waiter.pause();
+    }
+  }
+  rank.counters().add(Counter::kCollLaneAcquires);
+  return lane;
+}
+
+void release_lane(Communicator comm, int lane) {
+  comm.owner().comm_state(comm.id()).release_coll_lane(lane);
+}
+
+ErrorCode broadcast_bytes(Communicator comm, int root, void* data, std::size_t bytes,
+                          int lane) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  if (n == 1) return ErrorCode::kOk;
+  Ctx ctx(comm, lane, kOpBcast);
+
+  const int vr = (me - root + n) % n;
+  const BinomialTree tree = binomial_tree(vr, n);
+  const auto to_real = [&](int v) { return (v + root) % n; };
+  auto* bytes_data = static_cast<unsigned char*>(data);
+
+  const std::size_t num_segs = segment_count(ctx, bytes);
+  ctx.rank.counters().add(num_segs > 1 ? Counter::kCollPipelinedOps
+                                       : Counter::kCollBinomialOps);
+  const std::size_t seg = num_segs > 1 ? ctx.cfg.coll_segment_bytes : bytes;
+
+  // Pipelined binomial broadcast: interior nodes forward segment s to
+  // their children while (up to kPipelineWindow) later segments are
+  // already posted toward the parent. Single-shot is the num_segs == 1
+  // degenerate case of the same loop.
+  Request rreqs[kPipelineWindow];
+  const std::size_t posted_ahead = std::min(num_segs, kPipelineWindow);
+  const auto seg_len = [&](std::size_t s) {
+    return s + 1 == num_segs ? bytes - s * seg : seg;
+  };
+  if (tree.parent >= 0) {
+    for (std::size_t s = 0; s < posted_ahead; ++s) {
+      ctx.irecv(to_real(tree.parent), kOffBcast, bytes_data + s * seg, seg_len(s),
+                rreqs[s]);
+    }
+  }
+  for (std::size_t s = 0; s < num_segs; ++s) {
+    if (ctx.revoked()) {
+      if (tree.parent >= 0) ctx.drain(rreqs, posted_ahead);
+      return ErrorCode::kCommRevoked;
+    }
+    if (tree.parent >= 0) {
+      const ErrorCode rc = ctx.wait(rreqs[s % kPipelineWindow]);
+      if (rc != ErrorCode::kOk) {
+        ctx.drain(rreqs, posted_ahead);
+        return rc;
+      }
+      ++ctx.rounds;
+    }
+    for (int c = 0; c < tree.num_children; ++c) {
+      const ErrorCode rc =
+          ctx.send(to_real(tree.children[c]), kOffBcast, bytes_data + s * seg, seg_len(s));
+      if (rc != ErrorCode::kOk) {
+        if (tree.parent >= 0) ctx.drain(rreqs, posted_ahead);
+        return rc;
+      }
+      ++ctx.rounds;
+    }
+    if (tree.parent >= 0 && s + kPipelineWindow < num_segs) {
+      const std::size_t next = s + kPipelineWindow;
+      ctx.irecv(to_real(tree.parent), kOffBcast, bytes_data + next * seg, seg_len(next),
+                rreqs[next % kPipelineWindow]);
+    }
+  }
+  if (num_segs > 1) ctx.segments += num_segs;
+  return ErrorCode::kOk;
+}
+
+ErrorCode reduce_bytes(Communicator comm, int root, const void* in, void* out,
+                       std::size_t bytes, std::size_t elem_size, ReduceFn fn, int lane) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  if (n == 1) {
+    std::memcpy(out, in, bytes);
+    return ErrorCode::kOk;
+  }
+  Ctx ctx(comm, lane, kOpReduce);
+
+  const int vr = (me - root + n) % n;
+  const BinomialTree tree = binomial_tree(vr, n);
+  const auto to_real = [&](int v) { return (v + root) % n; };
+
+  // Accumulate into the root's `out` directly; everyone else combines in a
+  // scratch accumulator sized to the payload.
+  std::vector<unsigned char> scratch_acc;
+  unsigned char* acc;
+  if (me == root) {
+    acc = static_cast<unsigned char*>(out);
+    std::memcpy(acc, in, bytes);
+  } else {
+    scratch_acc.assign(static_cast<const unsigned char*>(in),
+                       static_cast<const unsigned char*>(in) + bytes);
+    acc = scratch_acc.data();
+  }
+
+  const std::size_t num_segs = segment_count(ctx, bytes);
+  ctx.rank.counters().add(num_segs > 1 ? Counter::kCollPipelinedOps
+                                       : Counter::kCollBinomialOps);
+  const std::size_t seg = num_segs > 1 ? ctx.cfg.coll_segment_bytes : bytes;
+  const auto seg_len = [&](std::size_t s) {
+    return s + 1 == num_segs ? bytes - s * seg : seg;
+  };
+
+  // Pipelined binomial reduce: per segment, combine every child's
+  // contribution, then forward the partial segment to the parent — the
+  // parent can fold segment s while the subtree is still producing s+1.
+  // Children are combined in tree order (deterministic result for
+  // non-commutative float rounding).
+  std::vector<unsigned char> incoming(seg);
+  for (std::size_t s = 0; s < num_segs; ++s) {
+    if (ctx.revoked()) return ErrorCode::kCommRevoked;
+    const std::size_t len = seg_len(s);
+    for (int c = 0; c < tree.num_children; ++c) {
+      const ErrorCode rc =
+          ctx.recv(to_real(tree.children[c]), kOffReduce, incoming.data(), len);
+      if (rc != ErrorCode::kOk) return rc;
+      fn(acc + s * seg, incoming.data(), len / elem_size);
+      ++ctx.rounds;
+    }
+    if (tree.parent >= 0) {
+      const ErrorCode rc = ctx.send(to_real(tree.parent), kOffReduce, acc + s * seg, len);
+      if (rc != ErrorCode::kOk) return rc;
+      ++ctx.rounds;
+    }
+  }
+  if (num_segs > 1) ctx.segments += num_segs;
+  return ErrorCode::kOk;
+}
+
+namespace {
+
+/// Ring reduce-scatter + allgather allreduce (the "rsag" algorithm):
+/// bandwidth-optimal for large payloads — every rank sends and receives
+/// 2*(n-1)/n of the payload regardless of n, versus the reduce+broadcast
+/// pair's 2×log2(n) full-payload hops through the root's links.
+ErrorCode allreduce_ring(Ctx& ctx, const void* in, void* out, std::size_t bytes,
+                         std::size_t elem_size, ReduceFn fn) {
+  const int n = ctx.comm.size();
+  const int me = ctx.comm.rank();
+  const std::size_t count = bytes / elem_size;
+  auto* out_bytes = static_cast<unsigned char*>(out);
+  std::memcpy(out_bytes, in, bytes);
+
+  // Chunk c covers elements [ofs(c), ofs(c+1)): count/n each, the first
+  // count%n chunks one element larger.
+  const std::size_t q = count / static_cast<std::size_t>(n);
+  const std::size_t r = count % static_cast<std::size_t>(n);
+  const auto ofs = [&](int c) {
+    const auto uc = static_cast<std::size_t>(c);
+    return uc * q + std::min(uc, r);
+  };
+  const auto chunk_len = [&](int c) { return ofs(c + 1) - ofs(c); };
+
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  std::vector<unsigned char> scratch((q + (r != 0 ? 1 : 0)) * elem_size);
+
+  // Reduce-scatter: after n-1 steps rank me holds the fully-reduced chunk
+  // (me+1) % n. Each step sends the chunk reduced so far downstream and
+  // folds the one arriving from upstream.
+  for (int s = 0; s < n - 1; ++s) {
+    if (ctx.revoked()) return ErrorCode::kCommRevoked;
+    const int send_chunk = (me - s + n) % n;
+    const int recv_chunk = (me - s - 1 + n) % n;
+    Request sreq;
+    ctx.isend(right, kOffAllreduceRs, out_bytes + ofs(send_chunk) * elem_size,
+              chunk_len(send_chunk) * elem_size, sreq);
+    const ErrorCode rrc = ctx.recv(left, kOffAllreduceRs, scratch.data(),
+                                   chunk_len(recv_chunk) * elem_size);
+    if (rrc != ErrorCode::kOk) {
+      ctx.drain(&sreq, 1);
+      return rrc;
+    }
+    fn(out_bytes + ofs(recv_chunk) * elem_size, scratch.data(), chunk_len(recv_chunk));
+    const ErrorCode src = ctx.wait(sreq);
+    if (src != ErrorCode::kOk) return src;
+    ++ctx.rounds;
+  }
+
+  // Allgather ring: circulate the reduced chunks; receives land in place.
+  for (int s = 0; s < n - 1; ++s) {
+    if (ctx.revoked()) return ErrorCode::kCommRevoked;
+    const int send_chunk = (me + 1 - s + 2 * n) % n;
+    const int recv_chunk = (me - s + n) % n;
+    Request sreq;
+    ctx.isend(right, kOffAllreduceAg, out_bytes + ofs(send_chunk) * elem_size,
+              chunk_len(send_chunk) * elem_size, sreq);
+    const ErrorCode rrc = ctx.recv(left, kOffAllreduceAg,
+                                   out_bytes + ofs(recv_chunk) * elem_size,
+                                   chunk_len(recv_chunk) * elem_size);
+    if (rrc != ErrorCode::kOk) {
+      ctx.drain(&sreq, 1);
+      return rrc;
+    }
+    const ErrorCode src = ctx.wait(sreq);
+    if (src != ErrorCode::kOk) return src;
+    ++ctx.rounds;
+  }
+  return ErrorCode::kOk;
+}
+
+}  // namespace
+
+ErrorCode allreduce_bytes(Communicator comm, const void* in, void* out,
+                          std::size_t bytes, std::size_t elem_size, ReduceFn fn,
+                          int lane) {
+  const int n = comm.size();
+  if (n == 1) {
+    std::memcpy(out, in, bytes);
+    return ErrorCode::kOk;
+  }
+  const Config& cfg = comm.owner().universe().config();
+  if (bytes >= cfg.coll_rsag_min_bytes && bytes / elem_size > 0) {
+    Ctx ctx(comm, lane, kOpAllreduce);
+    ctx.rank.counters().add(Counter::kCollRsagOps);
+    return allreduce_ring(ctx, in, out, bytes, elem_size, fn);
+  }
+  // Latency regime: reduce to local rank 0, broadcast the result. The two
+  // phases use distinct tag offsets of the same lane, so back-to-back
+  // allreduces on one lane cannot cross-match.
+  const int me = comm.rank();
+  ErrorCode rc;
+  if (me == 0) {
+    rc = reduce_bytes(comm, 0, in, out, bytes, elem_size, fn, lane);
+  } else {
+    std::vector<unsigned char> scratch(bytes);
+    rc = reduce_bytes(comm, 0, in, scratch.data(), bytes, elem_size, fn, lane);
+  }
+  if (rc != ErrorCode::kOk) return rc;
+  return broadcast_bytes(comm, 0, out, bytes, lane);
+}
+
+ErrorCode gather_bytes(Communicator comm, int root, const void* in, std::size_t bytes,
+                       void* out, int lane) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  if (n == 1) {
+    std::memcpy(out, in, bytes);
+    return ErrorCode::kOk;
+  }
+  Ctx ctx(comm, lane, kOpGather);
+  if (me == root) {
+    auto* out_bytes = static_cast<unsigned char*>(out);
+    std::memcpy(out_bytes + static_cast<std::size_t>(me) * bytes, in, bytes);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      if (ctx.revoked()) return ErrorCode::kCommRevoked;
+      const ErrorCode rc =
+          ctx.recv(r, kOffGather, out_bytes + static_cast<std::size_t>(r) * bytes, bytes);
+      if (rc != ErrorCode::kOk) return rc;
+      ++ctx.rounds;
+    }
+    return ErrorCode::kOk;
+  }
+  ++ctx.rounds;
+  return ctx.send(root, kOffGather, in, bytes);
+}
+
+ErrorCode scatter_bytes(Communicator comm, int root, const void* in, void* out,
+                        std::size_t bytes, int lane) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  if (n == 1) {
+    std::memcpy(out, in, bytes);
+    return ErrorCode::kOk;
+  }
+  Ctx ctx(comm, lane, kOpScatter);
+  if (me == root) {
+    const auto* in_bytes = static_cast<const unsigned char*>(in);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      if (ctx.revoked()) return ErrorCode::kCommRevoked;
+      const ErrorCode rc =
+          ctx.send(r, kOffScatter, in_bytes + static_cast<std::size_t>(r) * bytes, bytes);
+      if (rc != ErrorCode::kOk) return rc;
+      ++ctx.rounds;
+    }
+    std::memcpy(out, in_bytes + static_cast<std::size_t>(me) * bytes, bytes);
+    return ErrorCode::kOk;
+  }
+  ++ctx.rounds;
+  return ctx.recv(root, kOffScatter, out, bytes);
+}
+
+}  // namespace fairmpi::coll::detail

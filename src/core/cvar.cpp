@@ -245,6 +245,16 @@ bool apply_cvar(Config& cfg, std::string_view name, std::string_view value) {
     cfg.op_deadline_ns = u;
     return true;
   }
+  if (name == "coll_segment_bytes") {
+    if (!parse_u64(value, u)) return false;
+    cfg.coll_segment_bytes = static_cast<std::size_t>(u);
+    return true;
+  }
+  if (name == "coll_rsag_min_bytes") {
+    if (!parse_u64(value, u)) return false;
+    cfg.coll_rsag_min_bytes = static_cast<std::size_t>(u);
+    return true;
+  }
   return false;
 }
 
@@ -265,6 +275,7 @@ Config config_from_env(Config base) {
       "payload_pool_cap", "payload_pool_policy",
       "tracker_cap",   "tracker_policy",
       "overload_high_pct", "overload_low_pct", "op_deadline_ns",
+      "coll_segment_bytes", "coll_rsag_min_bytes",
   };
   for (const char* name : kNames) {
     std::string env_name = "FAIRMPI_";
@@ -324,7 +335,9 @@ std::string list_cvars(const Config& cfg) {
      << "tracker_policy    = " << overload::policy_name(cfg.tracker_policy) << '\n'
      << "overload_high_pct = " << cfg.overload_high_pct << '\n'
      << "overload_low_pct  = " << cfg.overload_low_pct << '\n'
-     << "op_deadline_ns    = " << cfg.op_deadline_ns << '\n';
+     << "op_deadline_ns    = " << cfg.op_deadline_ns << '\n'
+     << "coll_segment_bytes = " << cfg.coll_segment_bytes << '\n'
+     << "coll_rsag_min_bytes = " << cfg.coll_rsag_min_bytes << '\n';
   return os.str();
 }
 

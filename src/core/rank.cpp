@@ -790,19 +790,44 @@ bool Communicator::revoked() const noexcept {
   return rank_->comm_state(id_).revoked();
 }
 
+// Reserved-tag guard (bugfix, DESIGN.md §5i): tags at or above
+// p2p::kReservedTagBase carry collective lanes and barrier rounds. A user
+// op posted there through the public Communicator API would silently match
+// against (or steal) collective traffic — fail it typed at post time
+// instead. Engine internals (coll, barrier) bypass via the Rank-level ops.
+bool Communicator::reject_reserved_tag(Request& req, int tag, int peer,
+                                       bool is_send) const {
+  if (tag == kAnyTag || tag < p2p::kReservedTagBase) return false;
+  if (is_send) {
+    req.init_send();
+  } else {
+    req.init_recv(nullptr, 0, peer, tag, 0);
+  }
+  if (req.fail(common::ErrorCode::kReservedTag)) {
+    rank_->counters().add(Counter::kReservedTagRejects);
+  }
+  rank_->report_error(common::Error{common::ErrorCode::kReservedTag, rank_->id(), peer,
+                                    static_cast<std::uint64_t>(tag)});
+  return true;
+}
+
 void Communicator::isend(int dst, int tag, const void* buf, std::size_t n, Request& req,
                          std::uint64_t deadline_ns) {
+  if (reject_reserved_tag(req, tag, dst, /*is_send=*/true)) return;
   rank_->isend(id_, global_of(dst), tag, buf, n, req, deadline_ns);
 }
 
 void Communicator::irecv(int src, int tag, void* buf, std::size_t capacity, Request& req,
                          std::uint64_t deadline_ns) {
+  if (reject_reserved_tag(req, tag, src, /*is_send=*/false)) return;
   rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req,
                deadline_ns);
 }
 
 void Communicator::send(int dst, int tag, const void* buf, std::size_t n) {
-  rank_->send(id_, global_of(dst), tag, buf, n);
+  Request req;
+  isend(dst, tag, buf, n, req);  // through the reserved-tag guard
+  rank_->wait(req);
 }
 
 Status Communicator::recv(int src, int tag, void* buf, std::size_t capacity) {
@@ -822,7 +847,7 @@ static std::uint64_t checked_deadline(Rank& rank) {
 common::ErrorCode Communicator::send_checked(int dst, int tag, const void* buf,
                                              std::size_t n) {
   Request req;
-  rank_->isend(id_, global_of(dst), tag, buf, n, req, checked_deadline(*rank_));
+  isend(dst, tag, buf, n, req, checked_deadline(*rank_));
   rank_->wait(req);
   return req.error();
 }
@@ -830,8 +855,7 @@ common::ErrorCode Communicator::send_checked(int dst, int tag, const void* buf,
 common::ErrorCode Communicator::recv_checked(int src, int tag, void* buf,
                                              std::size_t capacity, Status* status) {
   Request req;
-  rank_->irecv(id_, src == kAnySource ? src : global_of(src), tag, buf, capacity, req,
-               checked_deadline(*rank_));
+  irecv(src, tag, buf, capacity, req, checked_deadline(*rank_));
   rank_->wait(req);
   if (status != nullptr) {
     *status = req.status();

@@ -54,6 +54,15 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kCancelledOps: return "CancelledOps";
     case Counter::kDeadlineExceededOps: return "DeadlineExceededOps";
     case Counter::kQuiesceTimeouts: return "QuiesceTimeouts";
+    case Counter::kCollOps: return "CollOps";
+    case Counter::kCollRounds: return "CollRounds";
+    case Counter::kCollSegments: return "CollSegments";
+    case Counter::kCollLaneAcquires: return "CollLaneAcquires";
+    case Counter::kCollLaneWaits: return "CollLaneWaits";
+    case Counter::kCollBinomialOps: return "CollBinomialOps";
+    case Counter::kCollRsagOps: return "CollRsagOps";
+    case Counter::kCollPipelinedOps: return "CollPipelinedOps";
+    case Counter::kReservedTagRejects: return "ReservedTagRejects";
     case Counter::kCount: break;
   }
   return "Unknown";

@@ -33,6 +33,7 @@ const char* event_name(Event e) noexcept {
     case Event::kOverloadPause: return "OverloadPause";
     case Event::kCancel: return "Cancel";
     case Event::kDeadline: return "Deadline";
+    case Event::kCollOp: return "CollOp";
   }
   return "Unknown";
 }

@@ -1,0 +1,184 @@
+// Concurrent-collectives stress (§5i tentpole): N application threads per
+// rank, each on its own communicator (the paper's §III-F per-thread-
+// communicator trick), run interleaved broadcast/allreduce streams with
+// per-operation payload checks. The point is cross-talk: before tag lanes,
+// two collectives in flight on the same universe could match each other's
+// traffic; any mixup here corrupts a payload deterministically.
+//
+// Suite names carry "CollMt" so the CI regexes (`-R '...|Coll'`) pick them
+// up under TSan, lockcheck, and the seeded-chaos profiles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "fairmpi/coll/coll.hpp"
+
+namespace fairmpi {
+namespace {
+
+using spc::Counter;
+
+/// Distinct per-(thread, iteration) payload seed — wrong-stream data can
+/// never masquerade as the right value.
+std::uint64_t stamp(int thread, int iter) {
+  return (static_cast<std::uint64_t>(thread + 1) << 32) |
+         static_cast<std::uint64_t>(iter * 2654435761u);
+}
+
+/// N ranks x T threads: thread t of every rank shares communicator t.
+/// Every thread interleaves broadcast (rotating root) and allreduce with
+/// full payload verification each iteration.
+void stress(int ranks, int threads_per_rank, int iters, Config cfg = {}) {
+  cfg.num_ranks = ranks;
+  Universe uni(cfg);
+  std::vector<CommId> comms(static_cast<std::size_t>(threads_per_rank));
+  comms[0] = kWorldComm;
+  for (int t = 1; t < threads_per_rank; ++t) comms[static_cast<std::size_t>(t)] = uni.create_communicator();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (int r = 0; r < ranks; ++r) {
+    for (int t = 0; t < threads_per_rank; ++t) {
+      pool.emplace_back([&, r, t] {
+        Communicator comm = uni.rank(r).comm(comms[static_cast<std::size_t>(t)]);
+        std::vector<std::uint64_t> bcast_buf(97);
+        std::vector<std::uint64_t> in(64), out(64);
+        for (int iter = 0; iter < iters; ++iter) {
+          // Broadcast with a rotating root; only the root fills the buffer.
+          const int root = iter % ranks;
+          const std::uint64_t want = stamp(t, iter);
+          for (std::size_t i = 0; i < bcast_buf.size(); ++i) {
+            bcast_buf[i] = r == root ? want + i : 0;
+          }
+          if (coll::broadcast(comm, root, bcast_buf.data(), bcast_buf.size()) !=
+              common::ErrorCode::kOk) {
+            failures.fetch_add(1);
+            return;
+          }
+          for (std::size_t i = 0; i < bcast_buf.size(); ++i) {
+            if (bcast_buf[i] != want + i) {
+              ADD_FAILURE() << "bcast cross-talk: rank " << r << " thread " << t
+                            << " iter " << iter << " slot " << i;
+              failures.fetch_add(1);
+              return;
+            }
+          }
+          // Allreduce sum with a thread-tagged payload.
+          for (std::size_t i = 0; i < in.size(); ++i) {
+            in[i] = stamp(t, iter) + static_cast<std::uint64_t>(r) * 1000 + i;
+          }
+          if (coll::allreduce(comm, in.data(), out.data(), in.size(),
+                              coll::ReduceOp::kSum) != common::ErrorCode::kOk) {
+            failures.fetch_add(1);
+            return;
+          }
+          const auto n = static_cast<std::uint64_t>(ranks);
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            const std::uint64_t expect =
+                n * (stamp(t, iter) + i) + 1000 * (n * (n - 1) / 2);
+            if (out[i] != expect) {
+              ADD_FAILURE() << "allreduce cross-talk: rank " << r << " thread " << t
+                            << " iter " << iter << " slot " << i;
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        }
+      });
+    }
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(CollMt, FourRanksFourThreadsPerThreadComms) { stress(4, 4, 30); }
+
+TEST(CollMt, NonPowerOfTwoRanksAndThreads) { stress(3, 5, 25); }
+
+TEST(CollMt, EightThreadsConcurrentProgress) {
+  Config cfg;
+  cfg.num_instances = 4;
+  cfg.progress_mode = progress::ProgressMode::kConcurrent;
+  stress(2, 8, 25, cfg);
+}
+
+TEST(CollMt, MixedAlgorithmsSegmentedAndRsag) {
+  // Payload sizes straddling both thresholds so pipelined trees and the
+  // rsag ring run concurrently on different communicators.
+  Config cfg;
+  cfg.num_ranks = 4;
+  cfg.coll_segment_bytes = 1024;
+  cfg.coll_rsag_min_bytes = 2048;
+  Universe uni(cfg);
+  const CommId big = uni.create_communicator();
+  std::vector<std::thread> pool;
+  for (int r = 0; r < 4; ++r) {
+    pool.emplace_back([&, r] {  // small payloads: binomial + reduce/bcast
+      Communicator comm = uni.rank(r).world();
+      for (int iter = 0; iter < 20; ++iter) {
+        std::int64_t mine = r + iter, sum = 0;
+        ASSERT_EQ(coll::allreduce(comm, &mine, &sum, 1, coll::ReduceOp::kSum),
+                  common::ErrorCode::kOk);
+        ASSERT_EQ(sum, 6 + 4 * iter);
+      }
+    });
+    pool.emplace_back([&, r] {  // large payloads: pipelined bcast + rsag ring
+      Communicator comm = uni.rank(r).comm(big);
+      std::vector<std::int64_t> in(1024), out(1024);
+      for (int iter = 0; iter < 20; ++iter) {
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          in[i] = r + static_cast<std::int64_t>(i) + iter;
+        }
+        ASSERT_EQ(coll::allreduce(comm, in.data(), out.data(), in.size(),
+                                  coll::ReduceOp::kSum),
+                  common::ErrorCode::kOk);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          ASSERT_EQ(out[i], 6 + 4 * (static_cast<std::int64_t>(i) + iter));
+        }
+        // 8 KiB broadcast > coll_segment_bytes: the pipelined tree.
+        std::vector<std::uint64_t> blob(1024, r == iter % 4 ? 0xc0ffee00u + iter : 0u);
+        ASSERT_EQ(coll::broadcast(comm, iter % 4, blob.data(), blob.size()),
+                  common::ErrorCode::kOk);
+        for (const auto v : blob) ASSERT_EQ(v, 0xc0ffee00u + iter);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const spc::Snapshot total = uni.aggregate_counters();
+  EXPECT_GT(total.get(Counter::kCollRsagOps), 0u);
+  EXPECT_GT(total.get(Counter::kCollPipelinedOps), 0u);
+}
+
+TEST(CollMt, LaneExhaustionBlocksThenRecovers) {
+  // More outstanding handle requests than lanes on one communicator: the
+  // excess acquisitions must block (counting kCollLaneWaits), then obtain
+  // a lane as earlier handles drop. Single rank keeps it a pure
+  // lane-allocator test with no tree traffic.
+  Config cfg;
+  cfg.num_ranks = 1;
+  Universe uni(cfg);
+  Communicator comm = uni.rank(0).world();
+  std::vector<coll::CollHandle> held;
+  held.reserve(static_cast<std::size_t>(coll::kMaxCollLanes));
+  for (int i = 0; i < coll::kMaxCollLanes; ++i) held.emplace_back(comm);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    coll::CollHandle extra(comm);  // blocks until a lane frees
+    acquired.store(true);
+  });
+  // Give the waiter time to hit the full bitmap, then free one lane.
+  while (uni.aggregate_counters().get(Counter::kCollLaneWaits) == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(acquired.load());
+  held.pop_back();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(uni.aggregate_counters().get(Counter::kCollLaneWaits), 1u);
+}
+
+}  // namespace
+}  // namespace fairmpi

@@ -34,6 +34,7 @@ EXPECTED_EVENT_NAMES = {
     "RndvRts", "RndvDone", "Retransmit", "WatchdogStall",
     "AckSent", "AckRecv", "CsumDrop", "CriDrain",
     "OverloadShed", "OverloadLevel", "OverloadPause", "Cancel", "Deadline",
+    "CollOp",
 }
 
 # Overload-control SPCs (DESIGN.md §5h): --report fails if a snapshot's
@@ -43,6 +44,14 @@ OVERLOAD_SPC_NAMES = (
     "OverloadShedMessages", "OverloadNacksSent", "OverloadNacksReceived",
     "OverloadPausedPeers", "OverloadLevelChanges", "OverloadPoolPeak",
     "CancelledOps", "DeadlineExceededOps", "QuiesceTimeouts",
+)
+
+# Collective SPCs (DESIGN.md §5i): same drift guard as the §5h set — the
+# coll-mt CI job's accounting and the collectives table below read these.
+COLL_SPC_NAMES = (
+    "CollOps", "CollRounds", "CollSegments", "CollLaneAcquires",
+    "CollLaneWaits", "CollBinomialOps", "CollRsagOps", "CollPipelinedOps",
+    "ReservedTagRejects",
 )
 
 
@@ -263,6 +272,30 @@ def report_obs(path: str, require_wait: list[str]) -> None:
               f"high_water={pool.get('high_water_bytes')}B")
         print()
 
+    # --- collectives (DESIGN.md §5i) ---
+    # Only rendered once any rank ran a collective; pre-§5i snapshots (or
+    # p2p-only runs) skip the table.
+    coll_rows = []
+    for rank in doc["ranks"]:
+        spc = rank.get("spc", {})
+        if not spc.get("CollOps"):
+            continue
+        coll_rows.append([
+            f"r{rank['rank']}", str(spc.get("CollOps", 0)),
+            str(spc.get("CollRounds", 0)), str(spc.get("CollSegments", 0)),
+            str(spc.get("CollBinomialOps", 0)), str(spc.get("CollRsagOps", 0)),
+            str(spc.get("CollPipelinedOps", 0)),
+            str(spc.get("CollLaneAcquires", 0)), str(spc.get("CollLaneWaits", 0)),
+            str(spc.get("ReservedTagRejects", 0)),
+        ])
+    if coll_rows:
+        print("collectives (per rank):")
+        print(render_table(
+            ["rank", "ops", "rounds", "segs", "binomial", "rsag", "pipelined",
+             "lane-acq", "lane-wait", "tag-rejects"],
+            coll_rows))
+        print()
+
     # --- requirements ---
     failures = []
     # Schema-drift guard: a snapshot that carries spc_total must carry the
@@ -271,6 +304,9 @@ def report_obs(path: str, require_wait: list[str]) -> None:
     for name in OVERLOAD_SPC_NAMES:
         if name not in spc_total:
             failures.append(f"spc_total is missing overload counter {name!r}")
+    for name in COLL_SPC_NAMES:
+        if name not in spc_total:
+            failures.append(f"spc_total is missing coll counter {name!r}")
     by_name = {c["name"]: c for c in doc["contention"]}
     for want in require_wait:
         c = by_name.get(want)
